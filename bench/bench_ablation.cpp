@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation studies on the D-KIP design choices DESIGN.md calls out:
+ * the Aging-ROB timer, LLIB capacity, LLRF banking, checkpoint-stack
+ * depth and the branch predictor family. Each sweep runs a small
+ * representative workload set (one streaming FP, one chasing INT,
+ * one branchy INT).
+ */
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+#include "src/sim/table.hh"
+
+using namespace kilo;
+using namespace kilo::sim;
+
+namespace
+{
+
+const std::vector<std::string> kBenches{"swim", "vpr", "gcc"};
+
+void
+sweep(const char *title, const char *axis,
+      const std::vector<std::string> &points,
+      const std::function<MachineConfig(size_t)> &make)
+{
+    std::vector<std::string> headers{axis};
+    for (const auto &b : kBenches)
+        headers.push_back(b);
+    Table table(headers);
+
+    for (size_t i = 0; i < points.size(); ++i) {
+        std::vector<std::string> row{points[i]};
+        MachineConfig cfg = make(i);
+        for (const auto &b : kBenches) {
+            auto res = Simulator::run(cfg, b, mem::MemConfig::mem400(),
+                                      RunConfig::sweep());
+            row.push_back(Table::num(res.ipc));
+        }
+        table.addRow(row);
+    }
+    std::printf("== %s ==\n%s\n", title, table.render().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    sweep("Aging-ROB timer (cycles before Analyze)", "timer",
+          {"8", "16", "32", "64"}, [](size_t i) {
+              int timers[] = {8, 16, 32, 64};
+              auto m = MachineConfig::dkip2048();
+              m.dkip.robTimer = timers[i];
+              m.dkip.cp.robSize = size_t(timers[i]) * 4;
+              return m;
+          });
+
+    sweep("LLIB capacity (entries per buffer)", "entries",
+          {"256", "512", "1024", "2048"}, [](size_t i) {
+              size_t caps[] = {256, 512, 1024, 2048};
+              auto m = MachineConfig::dkip2048();
+              m.dkip.llibCapacity = caps[i];
+              return m;
+          });
+
+    sweep("LLRF banks (constant 2048 registers)", "banks",
+          {"2", "4", "8", "16"}, [](size_t i) {
+              int banks[] = {2, 4, 8, 16};
+              auto m = MachineConfig::dkip2048();
+              m.dkip.llrfBanks = banks[i];
+              m.dkip.llrfRegsPerBank = 2048 / banks[i];
+              return m;
+          });
+
+    sweep("Checkpoint stack depth", "entries", {"2", "4", "8", "16",
+                                                "32"},
+          [](size_t i) {
+              size_t caps[] = {2, 4, 8, 16, 32};
+              auto m = MachineConfig::dkip2048();
+              m.dkip.checkpointCapacity = caps[i];
+              return m;
+          });
+
+    sweep("Branch predictor (Cache Processor)", "kind",
+          {"perceptron", "gshare", "bimodal", "always-taken",
+           "perfect"},
+          [](size_t i) {
+              pred::BpKind kinds[] = {
+                  pred::BpKind::Perceptron, pred::BpKind::Gshare,
+                  pred::BpKind::Bimodal, pred::BpKind::AlwaysTaken,
+                  pred::BpKind::Perfect};
+              auto m = MachineConfig::dkip2048();
+              m.dkip.cp.predictor = kinds[i];
+              return m;
+          });
+
+    sweep("MP reservation-queue size (in-order)", "entries",
+          {"8", "20", "40", "80"}, [](size_t i) {
+              size_t sizes[] = {8, 20, 40, 80};
+              auto m = MachineConfig::dkip2048();
+              m.dkip.mpIqSize = sizes[i];
+              return m;
+          });
+
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces Figures 11 and 12 (and the section 4.4 locality rows):
+ * IPC under L2 capacities from 64KB to 4MB for R10-256 and four
+ * D-KIP configurations (INO-INO, OOO20-INO, OOO80-INO, OOO80-OOO40),
+ * on both suites, plus the fraction of committed instructions the
+ * Cache Processor executes at the sweep endpoints.
+ *
+ * Expected shape: integer IPC climbs steadily with L2 size on every
+ * machine; FP IPC on the D-KIP is largely cache-insensitive (the MP
+ * processes the extra misses), while the conventional R10-256 gains
+ * ~1.5x across the sweep.
+ */
+
+#include <cstdio>
+
+#include "src/sim/sweep.hh"
+#include "src/sim/table.hh"
+
+using namespace kilo;
+using namespace kilo::sim;
+
+int
+main()
+{
+    using core::SchedPolicy;
+    const std::vector<uint64_t> l2_kb{64, 128, 256, 512, 1024, 2048,
+                                      4096};
+    struct Machine
+    {
+        std::string label;
+        MachineConfig cfg;
+    };
+    const std::vector<Machine> machines{
+        {"R10-256", MachineConfig::r10_256()},
+        {"INO-INO",
+         MachineConfig::dkipSched(SchedPolicy::InOrder, 40,
+                                  SchedPolicy::InOrder, 20)},
+        {"OOO20-INO",
+         MachineConfig::dkipSched(SchedPolicy::OutOfOrder, 20,
+                                  SchedPolicy::InOrder, 20)},
+        {"OOO80-INO",
+         MachineConfig::dkipSched(SchedPolicy::OutOfOrder, 80,
+                                  SchedPolicy::InOrder, 20)},
+        {"OOO80-OOO40",
+         MachineConfig::dkipSched(SchedPolicy::OutOfOrder, 80,
+                                  SchedPolicy::OutOfOrder, 40)},
+    };
+    RunConfig rc = RunConfig::sweep();
+
+    for (auto suite :
+         {std::pair{"Figure 11 (SpecINT-like)", intSuite()},
+          std::pair{"Figure 12 (SpecFP-like)", fpSuite()}}) {
+        std::vector<std::string> headers{"config"};
+        for (uint64_t kb : l2_kb)
+            headers.push_back(std::to_string(kb) + "KB");
+        headers.push_back("max/min");
+        Table table(headers);
+
+        for (const auto &m : machines) {
+            std::vector<std::string> row{m.label};
+            double lo = 1e9, hi = 0.0;
+            double cp_frac_small = 0.0, cp_frac_big = 0.0;
+            for (uint64_t kb : l2_kb) {
+                auto results = runSuite(
+                    m.cfg, suite.second,
+                    mem::MemConfig::withL2Size(kb * 1024), rc);
+                double ipc = meanIpc(results);
+                row.push_back(Table::num(ipc));
+                lo = std::min(lo, ipc);
+                hi = std::max(hi, ipc);
+                if (kb == l2_kb.front())
+                    cp_frac_small = 1.0 - meanMpFraction(results);
+                if (kb == l2_kb.back())
+                    cp_frac_big = 1.0 - meanMpFraction(results);
+            }
+            row.push_back(Table::num(hi / lo));
+            table.addRow(row);
+            if (m.cfg.kind == MachineKind::Dkip) {
+                std::printf("  [%s] CP executes %.0f%% of commits at "
+                            "%luKB, %.0f%% at %luKB\n",
+                            m.label.c_str(), 100.0 * cp_frac_small,
+                            (unsigned long)l2_kb.front(),
+                            100.0 * cp_frac_big,
+                            (unsigned long)l2_kb.back());
+            }
+        }
+        std::printf("== %s ==\n%s\n", suite.first,
+                    table.render().c_str());
+    }
+
+    std::printf("paper reference: R10-256 gains ~1.55x over the "
+                "sweep; the most aggressive D-KIP only ~1.18x on FP; "
+                "CP share rises 67%% -> 77%% (FP)\n");
+    return 0;
+}

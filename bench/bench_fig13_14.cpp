@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Figures 13 and 14: the per-benchmark high-water marks of
+ * LLIB occupancy — simultaneous instructions and simultaneous READY
+ * registers (LLRF allocation) — for the integer LLIB on the
+ * SpecINT-like suite and the FP LLIB on the SpecFP-like suite.
+ *
+ * Expected shape: registers track well below instructions (many
+ * low-locality instructions carry no READY operand); only integer
+ * members with long irregular load chains approach the 2048-entry
+ * capacity.
+ */
+
+#include <cstdio>
+
+#include "src/sim/sweep.hh"
+#include "src/sim/table.hh"
+
+using namespace kilo;
+using namespace kilo::sim;
+
+int
+main()
+{
+    RunConfig rc; // full-length runs for credible high-water marks
+
+    for (auto suite :
+         {std::pair{"Figure 13 (integer LLIB, SpecINT-like)",
+                    intSuite()},
+          std::pair{"Figure 14 (FP LLIB, SpecFP-like)", fpSuite()}}) {
+        bool fp_side =
+            suite.second.size() == fpSuite().size() &&
+            suite.second.front() == fpSuite().front();
+        Table table({"bench", "max instructions", "max registers",
+                     "regs/instrs"});
+        for (const auto &bench : suite.second) {
+            auto res = Simulator::run(MachineConfig::dkip2048(), bench,
+                                      mem::MemConfig::mem400(), rc);
+            uint64_t insts = fp_side ? res.stats.maxLlibInstrsFp
+                                     : res.stats.maxLlibInstrsInt;
+            uint64_t regs = fp_side ? res.stats.maxLlibRegsFp
+                                    : res.stats.maxLlibRegsInt;
+            table.addRow({bench, std::to_string(insts),
+                          std::to_string(regs),
+                          insts ? sim::Table::num(double(regs) /
+                                                  double(insts))
+                                : "-"});
+        }
+        std::printf("== %s ==\n%s\n", suite.first,
+                    table.render().c_str());
+    }
+
+    std::printf("paper reference: register high-water marks sit well "
+                "below instruction marks; a ~1000-entry LLRF would "
+                "have sufficed for all benchmarks\n");
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * cache/hierarchy lookups, perceptron prediction, issue-queue
+ * operations, LLIB/LLRF traffic, workload generation, and whole-core
+ * simulation throughput (simulated instructions per second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/issue_queue.hh"
+#include "src/core/ooo_core.hh"
+#include "src/dkip/dkip_core.hh"
+#include "src/dkip/llib.hh"
+#include "src/dkip/llrf.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/pred/perceptron.hh"
+#include "src/sim/simulator.hh"
+#include "src/util/rng.hh"
+#include "src/wload/synthetic.hh"
+
+using namespace kilo;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheGeometry g;
+    g.sizeBytes = 512 * 1024;
+    g.assoc = 8;
+    mem::SetAssocCache cache(g);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.range(4 * 1024 * 1024)));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    mem::MemoryHierarchy mem(mem::MemConfig::mem400());
+    Rng rng(2);
+    uint64_t now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.access(rng.range(8 * 1024 * 1024), false, now));
+        now += 3;
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void
+BM_PerceptronLookup(benchmark::State &state)
+{
+    pred::PerceptronPredictor bp;
+    uint64_t pc = 0x1000, hist = 0xdeadbeef;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.lookup(pc, hist));
+        pc += 4;
+        hist = (hist << 1) | 1;
+    }
+}
+BENCHMARK(BM_PerceptronLookup);
+
+void
+BM_PerceptronTrain(benchmark::State &state)
+{
+    pred::PerceptronPredictor bp;
+    uint64_t pc = 0x1000, hist = 0;
+    bool taken = false;
+    for (auto _ : state) {
+        bp.train(pc, hist, taken);
+        pc += 4;
+        hist = (hist << 1) | (taken ? 1 : 0);
+        taken = !taken;
+    }
+}
+BENCHMARK(BM_PerceptronTrain);
+
+void
+BM_IssueQueueInsertPop(benchmark::State &state)
+{
+    core::IssueQueue q("bench", 4096,
+                       core::SchedPolicy::OutOfOrder);
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        auto inst = std::make_shared<core::DynInst>();
+        inst->op = isa::makeAlu(1, 2, 3);
+        inst->seq = ++seq;
+        inst->readyFlag = true;
+        q.insert(inst);
+        auto got = q.popReady(0);
+        got->issued = true;
+        q.removeIssued(got);
+    }
+}
+BENCHMARK(BM_IssueQueueInsertPop);
+
+void
+BM_LlibPushPop(benchmark::State &state)
+{
+    dkip::Llib llib("bench", 2048);
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        auto inst = std::make_shared<core::DynInst>();
+        inst->op = isa::makeAlu(1, 2, 3);
+        inst->seq = ++seq;
+        llib.push(inst);
+        benchmark::DoNotOptimize(llib.popFront());
+    }
+}
+BENCHMARK(BM_LlibPushPop);
+
+void
+BM_LlrfAllocRelease(benchmark::State &state)
+{
+    dkip::Llrf llrf;
+    for (auto _ : state) {
+        auto inst = std::make_shared<core::DynInst>();
+        llrf.tryAlloc(inst);
+        llrf.release(inst);
+        llrf.beginCycle();
+    }
+}
+BENCHMARK(BM_LlrfAllocRelease);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto wl = wload::makeWorkload("swim");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(wl->next());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_OooCoreSimThroughput(benchmark::State &state)
+{
+    auto wl = wload::makeWorkload("gzip");
+    core::CoreParams params;
+    core::OooCore core(params, *wl, mem::MemConfig::mem400());
+    for (auto _ : state)
+        core.run(1000);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_OooCoreSimThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_DkipCoreSimThroughput(benchmark::State &state)
+{
+    auto wl = wload::makeWorkload("swim");
+    dkip::DkipCore core(dkip::DkipParams::dkip2048(), *wl,
+                        mem::MemConfig::mem400());
+    for (auto _ : state)
+        core.run(1000);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
+}
+BENCHMARK(BM_DkipCoreSimThroughput)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

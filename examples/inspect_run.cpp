@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deep-dive diagnostic: run one (machine, benchmark) pair and dump
+ * every counter the simulator keeps. Useful when calibrating
+ * workload profiles or debugging pipeline behaviour.
+ *
+ *     ./inspect_run <benchmark> <machine> [mem]
+ *
+ * machine: r10-64 | r10-256 | r10-768 | kilo | dkip
+ * mem:     l1 | l2-11 | l2-21 | mem-100 | mem-400 | mem-1000
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/simulator.hh"
+
+using namespace kilo;
+
+namespace
+{
+
+sim::MachineConfig
+machineByName(const std::string &name)
+{
+    if (name == "r10-64")
+        return sim::MachineConfig::r10_64();
+    if (name == "r10-256")
+        return sim::MachineConfig::r10_256();
+    if (name == "r10-768")
+        return sim::MachineConfig::r10_768();
+    if (name == "kilo")
+        return sim::MachineConfig::kilo1024();
+    if (name == "dkip")
+        return sim::MachineConfig::dkip2048();
+    KILO_FATAL("unknown machine '%s'", name.c_str());
+}
+
+mem::MemConfig
+memByName(const std::string &name)
+{
+    if (name == "l1")
+        return mem::MemConfig::l1Only();
+    if (name == "l2-11")
+        return mem::MemConfig::l2Perfect11();
+    if (name == "l2-21")
+        return mem::MemConfig::l2Perfect21();
+    if (name == "mem-100")
+        return mem::MemConfig::mem100();
+    if (name == "mem-400")
+        return mem::MemConfig::mem400();
+    if (name == "mem-1000")
+        return mem::MemConfig::mem1000();
+    KILO_FATAL("unknown memory config '%s'", name.c_str());
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "swim";
+    std::string machine = argc > 2 ? argv[2] : "dkip";
+    std::string memname = argc > 3 ? argv[3] : "mem-400";
+
+    auto res = sim::Simulator::run(machineByName(machine), bench,
+                                   memByName(memname),
+                                   sim::RunConfig());
+    const auto &s = res.stats;
+
+    std::printf("run        : %s on %s, %s\n", bench.c_str(),
+                machine.c_str(), memname.c_str());
+    std::printf("IPC        : %.3f (%lu insts / %lu cycles)\n",
+                res.ipc, (unsigned long)s.committed,
+                (unsigned long)s.cycles);
+    std::printf("fetched    : %lu   dispatched: %lu   issued: %lu   "
+                "squashed: %lu\n",
+                (unsigned long)s.fetched, (unsigned long)s.dispatched,
+                (unsigned long)s.issued, (unsigned long)s.squashed);
+    std::printf("branches   : %lu   mispredicts: %lu (%.2f%%)\n",
+                (unsigned long)s.branches, (unsigned long)s.mispredicts,
+                100.0 * s.mispredictRate());
+    std::printf("loads      : %lu (L1 %lu, L2 %lu, MEM %lu)   "
+                "stores: %lu   fwd: %lu\n",
+                (unsigned long)s.loads, (unsigned long)s.loadL1,
+                (unsigned long)s.loadL2, (unsigned long)s.loadMem,
+                (unsigned long)s.stores, (unsigned long)s.storeForwards);
+    std::printf("issue lat  : mean %.1f cycles, %%<100: %.1f  "
+                "%%<300: %.1f\n",
+                s.issueLatency.mean(),
+                100.0 * s.issueLatency.fractionBelow(100),
+                100.0 * s.issueLatency.fractionBelow(300));
+    std::printf("locality   : CP %lu  MP %lu (MP frac %.1f%%)\n",
+                (unsigned long)s.cpExecuted,
+                (unsigned long)s.mpExecuted, 100.0 * s.mpFraction());
+    std::printf("llib       : ins int %lu fp %lu   max instrs %lu/%lu "
+                "max regs %lu/%lu\n",
+                (unsigned long)s.llibInsertedInt,
+                (unsigned long)s.llibInsertedFp,
+                (unsigned long)s.maxLlibInstrsInt,
+                (unsigned long)s.maxLlibInstrsFp,
+                (unsigned long)s.maxLlibRegsInt,
+                (unsigned long)s.maxLlibRegsFp);
+    std::printf("stalls     : analyze %lu  llibFull %lu  llrfFull %lu "
+                "llrfConf %lu  chkpt-skip %lu (taken %lu)\n",
+                (unsigned long)s.analyzeStallCycles,
+                (unsigned long)s.llibFullStalls,
+                (unsigned long)s.llrfFullStalls,
+                (unsigned long)s.llrfConflictStalls,
+                (unsigned long)s.checkpointSkips,
+                (unsigned long)s.checkpointsTaken);
+    std::printf("memory     : accesses %lu  l2Misses %lu (%.1f%%)\n",
+                (unsigned long)res.memAccesses,
+                (unsigned long)res.l2Misses, 100.0 * res.l2MissRatio);
+    return 0;
+}

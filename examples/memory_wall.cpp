@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Mini memory-wall study (the paper's section 2, Figures 1-2, in
+ * miniature): how the instruction window interacts with the memory
+ * subsystem for one benchmark, across the Table 1 configurations.
+ *
+ *     ./memory_wall [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+#include "src/sim/table.hh"
+
+using namespace kilo;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "swim";
+    sim::RunConfig rc = sim::RunConfig::sweep();
+
+    const std::vector<mem::MemConfig> mems{
+        mem::MemConfig::l1Only(), mem::MemConfig::l2Perfect11(),
+        mem::MemConfig::mem100(), mem::MemConfig::mem400(),
+        mem::MemConfig::mem1000()};
+    const std::vector<size_t> windows{32, 64, 256, 1024, 4096};
+
+    std::vector<std::string> headers{"window"};
+    for (const auto &m : mems)
+        headers.push_back(m.name);
+    sim::Table table(headers);
+
+    for (size_t w : windows) {
+        std::vector<std::string> row{std::to_string(w)};
+        for (const auto &m : mems) {
+            auto res = sim::Simulator::run(
+                sim::MachineConfig::windowLimit(w), bench, m, rc);
+            row.push_back(sim::Table::num(res.ipc));
+        }
+        table.addRow(row);
+    }
+
+    std::printf("== %s: IPC vs window size vs memory subsystem ==\n%s",
+                bench.c_str(), table.render().c_str());
+    std::printf("\nA kilo-entry window recovers the memory-wall loss "
+                "when misses are independent;\nthe D-KIP provides "
+                "that window with small structures (see "
+                "dkip_vs_baselines).\n");
+    return 0;
+}

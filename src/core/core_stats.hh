@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Statistics block maintained by every core model.
+ *
+ * All counters are zeroed by resetStats() at the end of warm-up;
+ * derived metrics (IPC, misprediction rate) are computed over the
+ * post-warm-up region only.
+ */
+
+#ifndef KILO_CORE_CORE_STATS_HH
+#define KILO_CORE_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "src/util/histogram.hh"
+
+namespace kilo::core
+{
+
+/** Counters and distributions collected during simulation. */
+struct CoreStats
+{
+    /** Basic throughput. @{ */
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    uint64_t fetched = 0;
+    uint64_t dispatched = 0;
+    uint64_t issued = 0;
+    uint64_t squashed = 0;
+    /** @} */
+
+    /** Control flow. @{ */
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    /** @} */
+
+    /** Memory operations. @{ */
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t loadL1 = 0;
+    uint64_t loadL2 = 0;
+    uint64_t loadMem = 0;
+    uint64_t storeForwards = 0;
+    /** @} */
+
+    /** Decoupled-machine statistics (D-KIP / KILO only). @{ */
+    uint64_t llibInsertedInt = 0;
+    uint64_t llibInsertedFp = 0;
+    uint64_t mpExecuted = 0;       ///< committed insts executed in MP
+    uint64_t cpExecuted = 0;       ///< committed insts executed in CP
+    uint64_t analyzeStallCycles = 0;
+    uint64_t llrfConflictStalls = 0;
+    uint64_t llibFullStalls = 0;
+    uint64_t llrfFullStalls = 0;
+    uint64_t checkpointSkips = 0;   ///< branches with no free entry
+    uint64_t checkpointsTaken = 0;
+    uint64_t maxLlibInstrsInt = 0;
+    uint64_t maxLlibRegsInt = 0;
+    uint64_t maxLlibInstrsFp = 0;
+    uint64_t maxLlibRegsFp = 0;
+    /** @} */
+
+    /** Decode->issue distance distribution (Figure 3). */
+    Histogram issueLatency{25, 80};   // 25-cycle buckets to 2000
+
+    /** Instructions per cycle over the measured region. */
+    double
+    ipc() const
+    {
+        return cycles ? double(committed) / double(cycles) : 0.0;
+    }
+
+    /** Branch misprediction rate (per branch). */
+    double
+    mispredictRate() const
+    {
+        return branches ? double(mispredicts) / double(branches) : 0.0;
+    }
+
+    /** Fraction of committed instructions executed in the MP. */
+    double
+    mpFraction() const
+    {
+        uint64_t total = mpExecuted + cpExecuted;
+        return total ? double(mpExecuted) / double(total) : 0.0;
+    }
+
+    /** Zero every counter (end of warm-up). */
+    void
+    reset()
+    {
+        *this = CoreStats();
+    }
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_CORE_STATS_HH

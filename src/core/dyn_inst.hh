@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Dynamic instruction state shared by every core model.
+ *
+ * A DynInst is a micro-op in flight: it carries pipeline timestamps,
+ * dataflow links (producers wake dependents on completion), and the
+ * D-KIP classification state (execution locality, LLIB/LLRF
+ * residency). Ownership discipline: containers (ROB, queues, LLIB)
+ * hold shared_ptrs; producers hold shared_ptrs to *dependents* only,
+ * and clear that list on completion or squash, so no reference cycles
+ * form (a dependent never outlives its producer's completion).
+ */
+
+#ifndef KILO_CORE_DYN_INST_HH
+#define KILO_CORE_DYN_INST_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/isa/micro_op.hh"
+#include "src/mem/hierarchy.hh"
+
+namespace kilo::core
+{
+
+class IssueQueue;
+
+struct DynInst;
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+/** One in-flight instruction. */
+struct DynInst
+{
+    isa::MicroOp op;
+    uint64_t seq = 0;            ///< dynamic sequence number
+
+    /** Pipeline timestamps (absolute cycles). @{ */
+    uint64_t fetchCycle = 0;
+    uint64_t dispatchCycle = 0;  ///< rename/dispatch (decode time)
+    uint64_t issueCycle = 0;
+    uint64_t completeCycle = 0;
+    /** @} */
+
+    /** Status flags. @{ */
+    bool dispatched = false;
+    bool readyFlag = false;      ///< all sources available
+    bool issued = false;
+    bool completed = false;
+    bool squashed = false;
+    /** @} */
+
+    /** Dataflow. @{ */
+    int srcNotReady = 0;         ///< pending source count
+    std::vector<DynInstPtr> dependents;
+    /**
+     * In-flight producers of src1/src2 at rename time (null when the
+     * source was ready). Used by Analyze (long-latency-load tests)
+     * and released at completion/squash to avoid reference cycles.
+     */
+    DynInstPtr producers[2];
+    uint64_t readyCycle = 0;     ///< cycle the last source arrived
+    /** @} */
+
+    /** Branch state. @{ */
+    bool predTaken = false;
+    bool mispredicted = false;
+    uint64_t historySnapshot = 0;
+    /** @} */
+
+    /** Memory state. @{ */
+    mem::ServiceLevel serviceLevel = mem::ServiceLevel::L1;
+    /** @} */
+
+    /** True while this op holds an LSQ entry. */
+    bool inLsq = false;
+
+    /** D-KIP / KILO classification state. @{ */
+    bool longLatency = false;    ///< classified low execution locality
+    bool inLlib = false;         ///< currently resident in an LLIB
+    bool execInMp = false;       ///< executed by a Memory Processor
+    int llrfBank = -1;           ///< LLRF bank of the READY operand
+    int llrfSlot = -1;           ///< LLRF slot within the bank
+    /** @} */
+
+    /** Issue queue currently holding this instruction (or null). */
+    IssueQueue *iq = nullptr;
+
+    /** Previous scoreboard mapping of op.dst, for squash restore. @{ */
+    DynInstPtr prevProducer;
+    uint64_t prevReadyCycle = 0;
+    uint64_t prevDefinerSeq = 0;
+    bool prevDefinerValid = false;
+    /** @} */
+
+    /** Decode-to-issue distance (the paper's Issue Latency). */
+    uint64_t
+    issueLatency() const
+    {
+        return issueCycle >= dispatchCycle ? issueCycle - dispatchCycle
+                                           : 0;
+    }
+
+    /** Release dataflow edges (called on completion and on squash). */
+    void
+    dropDependents()
+    {
+        dependents.clear();
+        dependents.shrink_to_fit();
+    }
+
+    /** Release producer links (called on completion and on squash). */
+    void
+    dropProducers()
+    {
+        producers[0] = nullptr;
+        producers[1] = nullptr;
+    }
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_DYN_INST_HH

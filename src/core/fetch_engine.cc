@@ -1,0 +1,58 @@
+#include "src/core/fetch_engine.hh"
+
+namespace kilo::core
+{
+
+FetchEngine::FetchEngine(wload::TraceWindow &window,
+                         pred::BranchPredictor &predictor,
+                         const CoreParams &params)
+    : window(window), predictor(predictor), params(params)
+{}
+
+std::vector<DynInstPtr>
+FetchEngine::fetch(uint64_t now, int max_count)
+{
+    std::vector<DynInstPtr> fetched;
+    if (blocked(now))
+        return fetched;
+
+    for (int i = 0; i < max_count; ++i) {
+        const isa::MicroOp &op = window.op(fetchSeq);
+
+        auto inst = std::make_shared<DynInst>();
+        inst->op = op;
+        inst->seq = fetchSeq;
+        inst->fetchCycle = now;
+        ++fetchSeq;
+
+        if (op.isBranch()) {
+            inst->historySnapshot = ghr;
+            bool pred_taken = predictor.isPerfect()
+                ? op.taken
+                : predictor.lookup(op.pc, ghr);
+            inst->predTaken = pred_taken;
+            inst->mispredicted = pred_taken != op.taken;
+            // Correct-path fetch: speculative history tracks actual
+            // outcomes (see DESIGN.md on squash-replay).
+            ghr = (ghr << 1) | (op.taken ? 1 : 0);
+        }
+
+        fetched.push_back(inst);
+
+        // A taken branch ends the fetch group.
+        if (op.isBranch() && op.taken && params.fetchStopOnTaken)
+            break;
+    }
+    return fetched;
+}
+
+void
+FetchEngine::redirect(uint64_t resume_seq, uint64_t ready_cycle,
+                      uint64_t history)
+{
+    fetchSeq = resume_seq;
+    redirectCycle = ready_cycle;
+    ghr = history;
+}
+
+} // namespace kilo::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Front end: prediction, fetch bandwidth and squash-replay redirects.
+ *
+ * The engine walks the trace window, consulting the branch predictor
+ * at every branch. Because the trace is correct-path only, a wrong
+ * prediction cannot divert fetch down the wrong path; instead the
+ * fetched branch is tagged mispredicted and, when it resolves, the
+ * core squashes everything younger and calls redirect() — fetch then
+ * replays the same micro-ops, modelling the refill penalty and the
+ * wasted work without simulating wrong-path instructions (see
+ * DESIGN.md, substitution table).
+ */
+
+#ifndef KILO_CORE_FETCH_ENGINE_HH
+#define KILO_CORE_FETCH_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/dyn_inst.hh"
+#include "src/core/params.hh"
+#include "src/pred/predictor.hh"
+#include "src/wload/trace_window.hh"
+
+namespace kilo::core
+{
+
+/** Instruction fetch with branch prediction and replay. */
+class FetchEngine
+{
+  public:
+    FetchEngine(wload::TraceWindow &window,
+                pred::BranchPredictor &predictor,
+                const CoreParams &params);
+
+    /**
+     * Fetch up to @p max_count micro-ops at cycle @p now, wrapping
+     * them in fresh DynInsts. Honours redirect stalls and the
+     * stop-at-taken-branch fetch break.
+     */
+    std::vector<DynInstPtr> fetch(uint64_t now, int max_count);
+
+    /**
+     * Restart fetch after a squash.
+     *
+     * @param resume_seq  first sequence number to refetch
+     * @param ready_cycle cycle fetch may resume
+     * @param history     global history after the resolving branch
+     */
+    void redirect(uint64_t resume_seq, uint64_t ready_cycle,
+                  uint64_t history);
+
+    /** True while the redirect stall is in effect. */
+    bool blocked(uint64_t now) const { return now < redirectCycle; }
+
+    /** Cycle fetch resumes after the pending redirect. */
+    uint64_t redirectReady() const { return redirectCycle; }
+
+    /** Next sequence number fetch will produce. */
+    uint64_t nextSeq() const { return fetchSeq; }
+
+    /** Current speculative global history (for checkpoint tests). */
+    uint64_t history() const { return ghr; }
+
+  private:
+    wload::TraceWindow &window;
+    pred::BranchPredictor &predictor;
+    const CoreParams &params;
+
+    uint64_t fetchSeq = 0;
+    uint64_t redirectCycle = 0;
+    uint64_t ghr = 0;
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_FETCH_ENGINE_HH

@@ -1,0 +1,76 @@
+#include "src/core/fu_pool.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+FuPool::FuPool(const FuConfig &cfg)
+    : cfg(cfg)
+{
+    intAlu.busyUntil.assign(size_t(cfg.intAlu), 0);
+    intMul.busyUntil.assign(size_t(cfg.intMul), 0);
+    fpAdd.busyUntil.assign(size_t(cfg.fpAdd), 0);
+    fpMulDiv.busyUntil.assign(size_t(cfg.fpMulDiv), 0);
+}
+
+bool
+FuPool::needsUnit(isa::OpClass cls)
+{
+    switch (cls) {
+      case isa::OpClass::Load:
+      case isa::OpClass::Store:
+      case isa::OpClass::Nop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+FuPool::Group *
+FuPool::groupFor(isa::OpClass cls)
+{
+    switch (cls) {
+      case isa::OpClass::IntAlu:
+      case isa::OpClass::Branch:
+        return &intAlu;
+      case isa::OpClass::IntMul:
+        return &intMul;
+      case isa::OpClass::FpAdd:
+        return &fpAdd;
+      case isa::OpClass::FpMul:
+      case isa::OpClass::FpDiv:
+        return &fpMulDiv;
+      default:
+        return nullptr;
+    }
+}
+
+bool
+FuPool::acquireFrom(Group &g, uint64_t now, uint64_t until)
+{
+    for (auto &busy : g.busyUntil) {
+        if (busy <= now) {
+            busy = until;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FuPool::tryAcquire(isa::OpClass cls, uint64_t now, uint32_t latency)
+{
+    Group *g = groupFor(cls);
+    if (!g)
+        return true;          // loads/stores/nops need no unit here
+    if (g->busyUntil.empty())
+        return false;         // cluster lacks this unit type entirely
+    // Pipelined classes free the issue slot next cycle; the
+    // unpipelined FP divide holds its unit for the whole operation.
+    uint64_t until =
+        (cls == isa::OpClass::FpDiv) ? now + latency : now + 1;
+    return acquireFrom(*g, now, until);
+}
+
+} // namespace kilo::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Functional-unit pool with per-class unit counts.
+ *
+ * Matches the paper's Table 2 resources: N integer ALUs, one integer
+ * multiplier, N FP adders and one FP multiplier/divider. Pipelined
+ * classes occupy a unit for one issue slot; the FP divider is
+ * unpipelined and blocks its unit for the full latency.
+ */
+
+#ifndef KILO_CORE_FU_POOL_HH
+#define KILO_CORE_FU_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/micro_op.hh"
+
+namespace kilo::core
+{
+
+/** Unit counts of one execution cluster. */
+struct FuConfig
+{
+    int intAlu = 4;       ///< also executes branches
+    int intMul = 1;
+    int fpAdd = 4;
+    int fpMulDiv = 1;     ///< FP multiply (pipelined) and divide (not)
+
+    /** The paper's Cache Processor / R10000 cluster. */
+    static FuConfig cacheProcessor() { return FuConfig(); }
+
+    /** The paper's integer Memory Processor cluster. */
+    static FuConfig
+    intMemProcessor()
+    {
+        FuConfig f;
+        f.fpAdd = 0;
+        f.fpMulDiv = 0;
+        return f;
+    }
+
+    /** The paper's FP Memory Processor cluster. */
+    static FuConfig
+    fpMemProcessor()
+    {
+        FuConfig f;
+        f.intAlu = 1;     // branch resolution and address generation
+        f.intMul = 0;
+        return f;
+    }
+};
+
+/** Execution-bandwidth tracker for one cluster. */
+class FuPool
+{
+  public:
+    explicit FuPool(const FuConfig &cfg);
+
+    /**
+     * Try to claim a unit for an op of class @p cls at cycle @p now
+     * with execution latency @p latency.
+     * @return true and reserves the unit on success.
+     */
+    bool tryAcquire(isa::OpClass cls, uint64_t now, uint32_t latency);
+
+    /** True when @p cls needs a functional unit at all. */
+    static bool needsUnit(isa::OpClass cls);
+
+    /** Configuration. */
+    const FuConfig &config() const { return cfg; }
+
+  private:
+    /** Unit group: busyUntil per unit. */
+    struct Group
+    {
+        std::vector<uint64_t> busyUntil;
+        bool pipelined = true;
+    };
+
+    Group *groupFor(isa::OpClass cls);
+    static bool acquireFrom(Group &g, uint64_t now, uint64_t until);
+
+    FuConfig cfg;
+    Group intAlu;
+    Group intMul;
+    Group fpAdd;
+    Group fpMulDiv;
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_FU_POOL_HH

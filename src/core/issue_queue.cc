@@ -1,0 +1,171 @@
+#include "src/core/issue_queue.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+const char *
+schedPolicyName(SchedPolicy policy)
+{
+    return policy == SchedPolicy::InOrder ? "INO" : "OOO";
+}
+
+IssueQueue::IssueQueue(std::string name, size_t capacity,
+                       SchedPolicy policy)
+    : label(std::move(name)), cap(capacity ? capacity : 1),
+      sched(policy)
+{}
+
+void
+IssueQueue::beginCycle()
+{
+    stalledThisCycle = false;
+    for (auto &inst : deferred)
+        readyHeap.push(inst);
+    deferred.clear();
+}
+
+void
+IssueQueue::insert(const DynInstPtr &inst)
+{
+    KILO_ASSERT(!full(), "insert into full issue queue %s",
+                label.c_str());
+    KILO_ASSERT(inst->iq == nullptr, "instruction already in a queue");
+    inst->iq = this;
+    ++count;
+    if (sched == SchedPolicy::InOrder)
+        fifo.push_back(inst);
+    if (inst->readyFlag && !inst->issued) {
+        ++readyCount;
+        if (sched == SchedPolicy::OutOfOrder)
+            readyHeap.push(inst);
+    }
+}
+
+void
+IssueQueue::markReady(const DynInstPtr &inst)
+{
+    KILO_ASSERT(inst->iq == this, "markReady on non-resident inst");
+    if (inst->issued)
+        return;
+    ++readyCount;
+    if (sched == SchedPolicy::OutOfOrder)
+        readyHeap.push(inst);
+}
+
+DynInstPtr
+IssueQueue::popReady(uint64_t now)
+{
+    (void)now;
+    if (sched == SchedPolicy::InOrder) {
+        if (stalledThisCycle || fifo.empty())
+            return nullptr;
+        DynInstPtr head = fifo.front();
+        if (!head->readyFlag || head->issued)
+            return nullptr;
+        // Head-only selection: returning it without removal; the
+        // caller resolves via removeIssued/requeue/droppedNotReady.
+        // Guard against re-selection within the cycle.
+        stalledThisCycle = true;
+        return head;
+    }
+
+    while (!readyHeap.empty()) {
+        DynInstPtr inst = readyHeap.top();
+        readyHeap.pop();
+        // Lazy deletion: skip stale entries.
+        if (inst->iq != this || inst->issued || inst->squashed ||
+            !inst->readyFlag) {
+            continue;
+        }
+        return inst;
+    }
+    return nullptr;
+}
+
+void
+IssueQueue::requeue(const DynInstPtr &inst)
+{
+    if (sched == SchedPolicy::OutOfOrder) {
+        deferred.push_back(inst);
+    }
+    // InOrder: the head stays in place; stalledThisCycle already set.
+    (void)inst;
+}
+
+void
+IssueQueue::droppedNotReady(const DynInstPtr &inst)
+{
+    KILO_ASSERT(readyCount > 0, "droppedNotReady underflow in %s",
+                label.c_str());
+    --readyCount;
+    (void)inst;
+}
+
+void
+IssueQueue::removeIssued(const DynInstPtr &inst)
+{
+    KILO_ASSERT(inst->iq == this, "removeIssued on non-resident inst");
+    KILO_ASSERT(readyCount > 0, "removeIssued underflow in %s",
+                label.c_str());
+    --readyCount;
+    --count;
+    inst->iq = nullptr;
+    if (sched == SchedPolicy::InOrder) {
+        KILO_ASSERT(!fifo.empty() && fifo.front() == inst,
+                    "in-order queue issued non-head instruction");
+        fifo.pop_front();
+        // The next head may issue in the same cycle.
+        stalledThisCycle = false;
+    }
+}
+
+void
+IssueQueue::eraseFromFifo(const DynInstPtr &inst)
+{
+    auto it = std::find(fifo.begin(), fifo.end(), inst);
+    KILO_ASSERT(it != fifo.end(), "instruction missing from fifo %s",
+                label.c_str());
+    fifo.erase(it);
+}
+
+void
+IssueQueue::erase(const DynInstPtr &inst)
+{
+    KILO_ASSERT(inst->iq == this, "erase on non-resident inst");
+    if (inst->readyFlag && !inst->issued) {
+        KILO_ASSERT(readyCount > 0, "erase underflow in %s",
+                    label.c_str());
+        --readyCount;
+    }
+    --count;
+    inst->iq = nullptr;
+    if (sched == SchedPolicy::InOrder)
+        eraseFromFifo(inst);
+}
+
+DynInstPtr
+IssueQueue::debugFront() const
+{
+    return fifo.empty() ? nullptr : fifo.front();
+}
+
+void
+IssueQueue::notifySquashed(const DynInstPtr &inst)
+{
+    KILO_ASSERT(inst->iq == this, "squash notify on non-resident inst");
+    if (inst->readyFlag && !inst->issued) {
+        KILO_ASSERT(readyCount > 0, "squash underflow in %s",
+                    label.c_str());
+        --readyCount;
+    }
+    --count;
+    inst->iq = nullptr;
+    if (sched == SchedPolicy::InOrder)
+        eraseFromFifo(inst);
+}
+
+} // namespace kilo::core

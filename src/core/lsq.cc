@@ -1,0 +1,85 @@
+#include "src/core/lsq.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+Lsq::Lsq(size_t capacity)
+    : cap(capacity ? capacity : 1)
+{}
+
+void
+Lsq::insert(const DynInstPtr &inst)
+{
+    KILO_ASSERT(!full(), "insert into full LSQ");
+    KILO_ASSERT(inst->op.isMem(), "non-memory op inserted in LSQ");
+    KILO_ASSERT(entries.empty() || entries.back()->seq < inst->seq,
+                "LSQ insert out of program order");
+    entries.push_back(inst);
+    inst->inLsq = true;
+    if (inst->op.isStore())
+        storeIndex[keyOf(inst->op.effAddr)].push_back(inst);
+}
+
+LoadCheck
+Lsq::checkLoad(const DynInstPtr &load) const
+{
+    LoadCheck res;
+    auto it = storeIndex.find(keyOf(load->op.effAddr));
+    if (it == storeIndex.end())
+        return res;
+    // Youngest store older than the load; the per-address vector is
+    // in program order.
+    const auto &stores = it->second;
+    for (auto sit = stores.rbegin(); sit != stores.rend(); ++sit) {
+        const DynInstPtr &st = *sit;
+        if (st->seq < load->seq) {
+            res.store = st;
+            res.kind = st->issued ? LoadCheck::Kind::Forward
+                                  : LoadCheck::Kind::Blocked;
+            return res;
+        }
+    }
+    return res;
+}
+
+void
+Lsq::retireCompleted()
+{
+    while (!entries.empty() && entries.front()->completed) {
+        DynInstPtr head = entries.front();
+        entries.pop_front();
+        head->inLsq = false;
+        if (head->op.isStore())
+            removeFromIndex(head);
+    }
+}
+
+void
+Lsq::removeFromIndex(const DynInstPtr &store)
+{
+    auto it = storeIndex.find(keyOf(store->op.effAddr));
+    KILO_ASSERT(it != storeIndex.end(), "store missing from index");
+    auto &vec = it->second;
+    auto vit = std::find(vec.begin(), vec.end(), store);
+    KILO_ASSERT(vit != vec.end(), "store missing from index vector");
+    vec.erase(vit);
+    if (vec.empty())
+        storeIndex.erase(it);
+}
+
+void
+Lsq::notifySquashed(const DynInstPtr &inst)
+{
+    KILO_ASSERT(!entries.empty() && entries.back() == inst,
+                "LSQ squash of non-youngest entry");
+    entries.pop_back();
+    inst->inLsq = false;
+    if (inst->op.isStore())
+        removeFromIndex(inst);
+}
+
+} // namespace kilo::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unified load/store queue (the Address Processor's storage).
+ *
+ * Entries are allocated at dispatch in program order and released
+ * from the head once complete, so capacity pressure from long-latency
+ * loads is modelled. Disambiguation is oracle (the trace carries
+ * exact addresses): a load may issue as soon as its address register
+ * is ready unless an older, unexecuted store to the same location
+ * exists, in which case the load blocks on that store and forwards
+ * from it when it executes. This is the behaviour the paper assumes
+ * from the scalable LSQ proposals it cites ([12]-[14]).
+ */
+
+#ifndef KILO_CORE_LSQ_HH
+#define KILO_CORE_LSQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/dyn_inst.hh"
+
+namespace kilo::core
+{
+
+/** Result of a load's disambiguation check. */
+struct LoadCheck
+{
+    enum class Kind : uint8_t
+    {
+        Memory,    ///< no conflict; access the hierarchy
+        Forward,   ///< forward from an executed older store
+        Blocked,   ///< wait for an older store to execute
+    };
+
+    Kind kind = Kind::Memory;
+    DynInstPtr store;  ///< conflicting store for Forward/Blocked
+};
+
+/** Unified LSQ model. */
+class Lsq
+{
+  public:
+    explicit Lsq(size_t capacity);
+
+    size_t capacity() const { return cap; }
+    size_t size() const { return entries.size(); }
+    bool full() const { return entries.size() >= cap; }
+
+    /** Allocate an entry at dispatch (program order). */
+    void insert(const DynInstPtr &inst);
+
+    /** Disambiguate @p load against older stores. */
+    LoadCheck checkLoad(const DynInstPtr &load) const;
+
+    /** Release completed entries from the head. */
+    void retireCompleted();
+
+    /** @p inst was squashed; must be the youngest entry. */
+    void notifySquashed(const DynInstPtr &inst);
+
+    /** Total store-to-load forwards observed. */
+    uint64_t forwards() const { return nForwards; }
+
+    /** Count one forward (called by the core on a Forward result). */
+    void countForward() { ++nForwards; }
+
+  private:
+    static uint64_t keyOf(uint64_t addr) { return addr >> 3; }
+
+    void removeFromIndex(const DynInstPtr &store);
+
+    size_t cap;
+    std::deque<DynInstPtr> entries;
+    /** 8-byte-granule address -> stores in program order. */
+    std::unordered_map<uint64_t, std::vector<DynInstPtr>> storeIndex;
+    uint64_t nForwards = 0;
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_LSQ_HH

@@ -1,0 +1,103 @@
+#include "src/core/ooo_core.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+OooCore::OooCore(const CoreParams &params, wload::Workload &workload,
+                 const mem::MemConfig &mem_config)
+    : PipelineBase(params, workload, mem_config),
+      rob(params.robSize),
+      intIq("intIQ", params.intIqSize, params.intPolicy),
+      fpIq("fpIQ", params.fpIqSize, params.fpPolicy),
+      fus(params.fus)
+{}
+
+IssueQueue &
+OooCore::queueFor(const DynInstPtr &inst)
+{
+    return isa::isFpClass(inst->op.cls) ? fpIq : intIq;
+}
+
+void
+OooCore::beginCycleQueues()
+{
+    intIq.beginCycle();
+    fpIq.beginCycle();
+}
+
+size_t
+OooCore::totalReady() const
+{
+    return intIq.numReady() + fpIq.numReady();
+}
+
+void
+OooCore::stageIssue()
+{
+    issueFromQueue(intIq, fus, prm.issueWidthInt);
+    issueFromQueue(fpIq, fus, prm.issueWidthFp);
+}
+
+void
+OooCore::stageDispatch()
+{
+    int budget = prm.dispatchWidth;
+    while (budget > 0 && !fetchBuffer.empty()) {
+        DynInstPtr inst = fetchBuffer.front();
+        if (now < inst->fetchCycle + uint64_t(prm.frontEndDepth))
+            break;
+        if (rob.full())
+            break;
+        if (inst->op.isMem() && lsq.full())
+            break;
+        IssueQueue &iq = queueFor(inst);
+        bool needs_iq = inst->op.cls != isa::OpClass::Nop;
+        if (needs_iq && iq.full())
+            break;
+
+        fetchBuffer.pop_front();
+        dispatchCommon(inst);
+        rob.pushBack(inst);
+        if (needs_iq) {
+            iq.insert(inst);
+        } else {
+            // Nops complete without occupying any queue.
+            inst->issued = true;
+            inst->issueCycle = now;
+            scheduleCompletion(inst, 1);
+        }
+        --budget;
+    }
+}
+
+void
+OooCore::onCommitInst(const DynInstPtr &inst)
+{
+    KILO_ASSERT(!rob.empty() && rob.front() == inst,
+                "ROB head does not match committing instruction");
+    rob.popFront();
+}
+
+void
+OooCore::onSquashInst(const DynInstPtr &inst)
+{
+    KILO_ASSERT(!rob.empty() && rob.back() == inst,
+                "ROB tail does not match squashed instruction");
+    rob.popBack();
+}
+
+void
+OooCore::tick()
+{
+    beginCycle();
+    stageCommit();
+    stageComplete();
+    stageIssue();
+    stageDispatch();
+    stageFetch();
+    endCycle();
+}
+
+} // namespace kilo::core

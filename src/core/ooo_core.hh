@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Baseline out-of-order core (MIPS R10000 style).
+ *
+ * A conventional machine: ROB-gated dispatch, separate integer and FP
+ * issue queues with selectable policy, in-order commit. Instances of
+ * this class model R10-64, R10-256, R10-768 and the idealised
+ * ROB-limited cores of the paper's Figures 1-3 limit study.
+ */
+
+#ifndef KILO_CORE_OOO_CORE_HH
+#define KILO_CORE_OOO_CORE_HH
+
+#include "src/core/pipeline_base.hh"
+#include "src/util/circular_buffer.hh"
+
+namespace kilo::core
+{
+
+/** Conventional out-of-order processor. */
+class OooCore : public PipelineBase
+{
+  public:
+    OooCore(const CoreParams &params, wload::Workload &workload,
+            const mem::MemConfig &mem_config);
+
+    /** ROB occupancy (tests). */
+    size_t robOccupancy() const { return rob.size(); }
+
+    /** Issue-queue occupancies (tests). @{ */
+    size_t intIqOccupancy() const { return intIq.size(); }
+    size_t fpIqOccupancy() const { return fpIq.size(); }
+    /** @} */
+
+  protected:
+    void tick() override;
+    void onCommitInst(const DynInstPtr &inst) override;
+    void onSquashInst(const DynInstPtr &inst) override;
+    size_t totalReady() const override;
+    void beginCycleQueues() override;
+
+    void stageDispatch();
+    void stageIssue();
+
+    /** Queue an instruction belongs to (loads/stores/branches are
+     *  integer-side; FP arithmetic is FP-side). */
+    IssueQueue &queueFor(const DynInstPtr &inst);
+
+    CircularBuffer<DynInstPtr> rob;
+    IssueQueue intIq;
+    IssueQueue fpIq;
+    FuPool fus;
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_OOO_CORE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Core configuration parameters.
+ *
+ * Defaults reproduce Table 2 / Table 3 of the paper; the preset
+ * builders in src/sim/config.hh derive the evaluated machines
+ * (R10-64, R10-256, KILO-1024, D-KIP-2048, ...) from this block.
+ */
+
+#ifndef KILO_CORE_PARAMS_HH
+#define KILO_CORE_PARAMS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "src/core/fu_pool.hh"
+#include "src/core/issue_queue.hh"
+#include "src/pred/predictor.hh"
+
+namespace kilo::core
+{
+
+/** Parameters shared by every core model. */
+struct CoreParams
+{
+    std::string name = "ooo";
+
+    /** Pipeline widths (the paper's 4-way machines). @{ */
+    int fetchWidth = 4;
+    int dispatchWidth = 4;
+    int commitWidth = 4;
+    int issueWidthInt = 4;
+    int issueWidthFp = 4;
+    /** @} */
+
+    /** Front end. @{ */
+    int frontEndDepth = 4;       ///< fetch-to-dispatch stages
+    int mispredictPenalty = 8;   ///< redirect-to-refetch cycles
+    bool fetchStopOnTaken = true;
+    size_t fetchBufferSize = 32;
+    pred::BpKind predictor = pred::BpKind::Perceptron;
+    /** @} */
+
+    /** Window and queues. @{ */
+    size_t robSize = 64;
+    size_t intIqSize = 40;
+    size_t fpIqSize = 40;
+    SchedPolicy intPolicy = SchedPolicy::OutOfOrder;
+    SchedPolicy fpPolicy = SchedPolicy::OutOfOrder;
+    /** @} */
+
+    /** Memory interface. @{ */
+    size_t lsqSize = 512;
+    int memPorts = 2;            ///< global R/W ports per cycle
+    /** @} */
+
+    /** Execution resources. */
+    FuConfig fus = FuConfig::cacheProcessor();
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_PARAMS_HH

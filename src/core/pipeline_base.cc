@@ -1,0 +1,451 @@
+#include "src/core/pipeline_base.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+PipelineBase::PipelineBase(const CoreParams &params,
+                           wload::Workload &workload,
+                           const mem::MemConfig &mem_config)
+    : prm(params), workload(workload), trace(workload),
+      bp(pred::makePredictor(params.predictor)),
+      fetchEngine(trace, *bp, prm), mem_(mem_config),
+      lsq(params.lsqSize)
+{}
+
+void
+PipelineBase::beginCycle()
+{
+    activity = 0;
+    portsUsed = 0;
+    beginCycleQueues();
+}
+
+void
+PipelineBase::endCycle()
+{
+    lsq.retireCompleted();
+    ++st.cycles;
+    ++now;
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+void
+PipelineBase::stageCommit()
+{
+    int budget = prm.commitWidth;
+    while (budget > 0 && !globalOrder.empty() &&
+           globalOrder.front()->completed) {
+        DynInstPtr inst = globalOrder.front();
+        globalOrder.pop_front();
+        --budget;
+        ++activity;
+
+        ++st.committed;
+        lastCommitCycle = now;
+        if (inst->op.isBranch()) {
+            ++st.branches;
+            if (inst->mispredicted)
+                ++st.mispredicts;
+        } else if (inst->op.isLoad()) {
+            ++st.loads;
+            switch (inst->serviceLevel) {
+              case mem::ServiceLevel::L1: ++st.loadL1; break;
+              case mem::ServiceLevel::L2: ++st.loadL2; break;
+              case mem::ServiceLevel::Memory: ++st.loadMem; break;
+            }
+        } else if (inst->op.isStore()) {
+            ++st.stores;
+        }
+        if (inst->execInMp)
+            ++st.mpExecuted;
+        else
+            ++st.cpExecuted;
+        st.issueLatency.sample(inst->issueLatency());
+
+        onCommitInst(inst);
+    }
+    // Ops may only be reclaimed once nothing can replay them: they
+    // must be older than every in-flight instruction, everything in
+    // the fetch buffer, and the (possibly rewound) fetch point.
+    uint64_t keep = fetchEngine.nextSeq();
+    if (!fetchBuffer.empty())
+        keep = std::min(keep, fetchBuffer.front()->seq);
+    if (!globalOrder.empty())
+        keep = std::min(keep, globalOrder.front()->seq);
+    trace.release(keep);
+}
+
+// ---------------------------------------------------------------------
+// Completion and recovery
+// ---------------------------------------------------------------------
+
+void
+PipelineBase::scheduleCompletion(const DynInstPtr &inst,
+                                 uint32_t latency)
+{
+    wheel.schedule(now + (latency ? latency : 1), inst);
+}
+
+void
+PipelineBase::wakeDependents(const DynInstPtr &inst)
+{
+    for (auto &dep : inst->dependents) {
+        if (dep->squashed)
+            continue;
+        KILO_ASSERT(dep->srcNotReady > 0,
+                    "wakeup underflow on seq %lu",
+                    (unsigned long)dep->seq);
+        if (--dep->srcNotReady == 0) {
+            dep->readyFlag = true;
+            dep->readyCycle = now;
+            if (dep->iq)
+                dep->iq->markReady(dep);
+        }
+    }
+    inst->dropDependents();
+}
+
+void
+PipelineBase::completeInst(const DynInstPtr &inst)
+{
+    KILO_ASSERT(!inst->completed, "double completion of seq %lu",
+                (unsigned long)inst->seq);
+    inst->completed = true;
+    inst->completeCycle = now;
+    scoreboard.complete(inst);
+    wakeDependents(inst);
+    inst->dropProducers();
+    ++activity;
+
+    if (inst->op.isBranch()) {
+        if (!bp->isPerfect())
+            bp->train(inst->op.pc, inst->historySnapshot,
+                      inst->op.taken);
+        if (inst->mispredicted)
+            resolvedMispredicts.push_back(inst);
+        else
+            onBranchResolved(inst);
+    }
+}
+
+void
+PipelineBase::stageComplete()
+{
+    dueBuf.clear();
+    resolvedMispredicts.clear();
+    wheel.popDue(now, dueBuf);
+    for (auto &inst : dueBuf) {
+        if (inst->squashed)
+            continue;
+        completeInst(inst);
+    }
+
+    if (!resolvedMispredicts.empty()) {
+        // Recover from the oldest mispredicted branch; younger ones
+        // sit in its shadow and are squashed by the recovery.
+        auto oldest = *std::min_element(
+            resolvedMispredicts.begin(), resolvedMispredicts.end(),
+            [](const DynInstPtr &a, const DynInstPtr &b) {
+                return a->seq < b->seq;
+            });
+        recoverFromBranch(oldest);
+        resolvedMispredicts.clear();
+    }
+}
+
+void
+PipelineBase::squashYoungerThan(uint64_t seq)
+{
+    while (!globalOrder.empty() && globalOrder.back()->seq > seq) {
+        DynInstPtr inst = globalOrder.back();
+        globalOrder.pop_back();
+        inst->squashed = true;
+        ++st.squashed;
+        if (inst->iq)
+            inst->iq->notifySquashed(inst);
+        if (inst->inLsq)
+            lsq.notifySquashed(inst);
+        scoreboard.restore(inst);
+        onSquashInst(inst);
+        inst->dropDependents();
+        inst->dropProducers();
+    }
+}
+
+void
+PipelineBase::recoverFromBranch(const DynInstPtr &branch)
+{
+    squashYoungerThan(branch->seq);
+
+    // Everything in the fetch buffer is younger than the branch.
+    for (auto &inst : fetchBuffer)
+        inst->squashed = true;
+    fetchBuffer.clear();
+
+    uint64_t history =
+        (branch->historySnapshot << 1) | (branch->op.taken ? 1 : 0);
+    uint64_t penalty = uint64_t(prm.mispredictPenalty) +
+        uint64_t(recoveryExtraPenalty(branch));
+    fetchEngine.redirect(branch->seq + 1, now + penalty, history);
+
+    onRecovered(branch);
+}
+
+// ---------------------------------------------------------------------
+// Issue
+// ---------------------------------------------------------------------
+
+void
+PipelineBase::issueCommon(const DynInstPtr &inst, IssueQueue &iq,
+                          uint32_t latency)
+{
+    inst->issued = true;
+    inst->issueCycle = now;
+    iq.removeIssued(inst);
+    scheduleCompletion(inst, latency);
+    ++st.issued;
+    ++activity;
+}
+
+bool
+PipelineBase::tryIssueInst(const DynInstPtr &inst, IssueQueue &iq,
+                           FuPool &fus)
+{
+    const isa::MicroOp &op = inst->op;
+
+    if (op.isMem()) {
+        if (!memPortAvailable()) {
+            iq.requeue(inst);
+            return false;
+        }
+        if (op.isLoad()) {
+            LoadCheck check = lsq.checkLoad(inst);
+            if (check.kind == LoadCheck::Kind::Blocked) {
+                // Wait for the conflicting older store to execute.
+                inst->readyFlag = false;
+                iq.droppedNotReady(inst);
+                addDependence(inst, check.store);
+                return false;
+            }
+            uint32_t latency;
+            if (check.kind == LoadCheck::Kind::Forward) {
+                latency = 1;
+                inst->serviceLevel = mem::ServiceLevel::L1;
+                lsq.countForward();
+                ++st.storeForwards;
+            } else {
+                auto res = mem_.access(op.effAddr, false, now);
+                latency = res.latency;
+                inst->serviceLevel = res.level;
+                inst->longLatency = res.offChip();
+            }
+            ++portsUsed;
+            issueCommon(inst, iq, latency);
+        } else {
+            // Stores drain through the write buffer: the line is
+            // installed now, dependents (via forwarding) see the data
+            // next cycle, and commit is never blocked on the miss.
+            mem_.access(op.effAddr, true, now);
+            ++portsUsed;
+            issueCommon(inst, iq, 1);
+        }
+        return true;
+    }
+
+    if (op.cls == isa::OpClass::Nop) {
+        issueCommon(inst, iq, 1);
+        return true;
+    }
+
+    uint32_t latency = uint32_t(isa::opLatency(op.cls));
+    if (!fus.tryAcquire(op.cls, now, latency)) {
+        iq.requeue(inst);
+        return false;
+    }
+    issueCommon(inst, iq, latency);
+    return true;
+}
+
+int
+PipelineBase::issueFromQueue(IssueQueue &iq, FuPool &fus, int width)
+{
+    int issued = 0;
+    while (issued < width) {
+        DynInstPtr inst = iq.popReady(now);
+        if (!inst)
+            break;
+        if (tryIssueInst(inst, iq, fus))
+            ++issued;
+    }
+    return issued;
+}
+
+void
+PipelineBase::addDependence(const DynInstPtr &inst,
+                            const DynInstPtr &producer)
+{
+    KILO_ASSERT(!producer->completed,
+                "dependence on completed producer");
+    producer->dependents.push_back(inst);
+    ++inst->srcNotReady;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch and fetch
+// ---------------------------------------------------------------------
+
+void
+PipelineBase::dispatchCommon(const DynInstPtr &inst)
+{
+    inst->dispatched = true;
+    inst->dispatchCycle = now;
+
+    auto wire = [&](int16_t reg, int slot) {
+        if (reg == isa::NoReg)
+            return;
+        const RegState &rs = scoreboard.get(reg);
+        if (rs.producer && !rs.producer->completed) {
+            rs.producer->dependents.push_back(inst);
+            inst->producers[slot] = rs.producer;
+            ++inst->srcNotReady;
+        }
+    };
+    wire(inst->op.src1, 0);
+    wire(inst->op.src2, 1);
+
+    if (inst->srcNotReady == 0) {
+        inst->readyFlag = true;
+        inst->readyCycle = now;
+    }
+
+    scoreboard.define(inst);
+    globalOrder.push_back(inst);
+    if (inst->op.isMem())
+        lsq.insert(inst);
+    ++st.dispatched;
+    ++activity;
+}
+
+void
+PipelineBase::stageFetch()
+{
+    if (fetchBuffer.size() >= prm.fetchBufferSize)
+        return;
+    if (fetchEngine.blocked(now))
+        return;
+    int space = int(prm.fetchBufferSize - fetchBuffer.size());
+    int count = std::min(prm.fetchWidth, space);
+    auto fetched = fetchEngine.fetch(now, count);
+    for (auto &inst : fetched) {
+        fetchBuffer.push_back(inst);
+        ++st.fetched;
+        ++activity;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------
+
+uint64_t
+PipelineBase::nextTimedWake() const
+{
+    if (!fetchBuffer.empty()) {
+        return fetchBuffer.front()->fetchCycle +
+               uint64_t(prm.frontEndDepth);
+    }
+    return UINT64_MAX;
+}
+
+void
+PipelineBase::idleSkip()
+{
+    if (activity != 0 || totalReady() != 0)
+        return;
+
+    uint64_t wake = UINT64_MAX;
+    if (!wheel.empty())
+        wake = wheel.nextCycle();
+    if (fetchEngine.blocked(now))
+        wake = std::min(wake, fetchEngine.redirectReady());
+    wake = std::min(wake, nextTimedWake());
+
+    if (wake == UINT64_MAX) {
+        // Fetch can proceed next cycle (the redirect just expired).
+        if (!fetchEngine.blocked(now) &&
+            fetchBuffer.size() < prm.fetchBufferSize) {
+            return;
+        }
+        KILO_PANIC("deadlock at cycle %lu: %zu in flight, "
+                   "%zu in fetch buffer, lsq %zu",
+                   (unsigned long)now, globalOrder.size(),
+                   fetchBuffer.size(), lsq.size());
+    }
+    if (wake > now) {
+        st.cycles += wake - now;
+        now = wake;
+    }
+}
+
+void
+PipelineBase::run(uint64_t num_insts)
+{
+    uint64_t target = st.committed + num_insts;
+    while (st.committed < target) {
+        tick();
+        idleSkip();
+        if (now - lastCommitCycle >= 4000000) {
+            if (!globalOrder.empty()) {
+                const auto &h = globalOrder.front();
+                std::fprintf(stderr,
+                             "stuck head: seq %lu %s ready=%d "
+                             "issued=%d completed=%d srcNotReady=%d "
+                             "inLlib=%d inLsq=%d iq=%s\n",
+                             (unsigned long)h->seq,
+                             h->op.toString().c_str(), h->readyFlag,
+                             h->issued, h->completed, h->srcNotReady,
+                             h->inLlib, h->inLsq,
+                             h->iq ? h->iq->name().c_str() : "-");
+                if (h->iq) {
+                    auto qh = h->iq->debugFront();
+                    if (qh) {
+                        std::fprintf(
+                            stderr,
+                            "queue head: seq %lu %s ready=%d "
+                            "issued=%d srcNotReady=%d\n",
+                            (unsigned long)qh->seq,
+                            qh->op.toString().c_str(), qh->readyFlag,
+                            qh->issued, qh->srcNotReady);
+                    }
+                }
+            }
+            KILO_PANIC("no commit in 4M cycles at cycle %lu "
+                       "(in flight %zu)",
+                       (unsigned long)now, globalOrder.size());
+        }
+    }
+}
+
+void
+PipelineBase::runCycles(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        tick();
+}
+
+void
+PipelineBase::resetStats()
+{
+    st.reset();
+    mem_.resetStats();
+    lastCommitCycle = now;
+}
+
+} // namespace kilo::core

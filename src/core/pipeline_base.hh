@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Shared cycle-level pipeline engine.
+ *
+ * All three machines (OooCore baseline, KiloCore, DkipCore) are built
+ * on this base, which owns the front end, register scoreboard, LSQ,
+ * memory hierarchy, completion event wheel, and the squash-replay
+ * recovery machinery. Subclasses own the instruction window policy:
+ * what gates dispatch, which queues issue, and what happens when an
+ * instruction reaches the head of the (aging) ROB.
+ *
+ * The engine is event assisted: wakeup is push-based (producers wake
+ * dependents), and when a cycle performs no work and no instruction
+ * is ready, simulation jumps to the next completion event, redirect
+ * point or subclass deadline. This keeps 400-1000 cycle memory
+ * stalls cheap to simulate.
+ */
+
+#ifndef KILO_CORE_PIPELINE_BASE_HH
+#define KILO_CORE_PIPELINE_BASE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/core/core_stats.hh"
+#include "src/core/dyn_inst.hh"
+#include "src/core/fetch_engine.hh"
+#include "src/core/fu_pool.hh"
+#include "src/core/issue_queue.hh"
+#include "src/core/lsq.hh"
+#include "src/core/params.hh"
+#include "src/core/scoreboard.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/util/event_wheel.hh"
+#include "src/wload/trace_window.hh"
+#include "src/wload/workload.hh"
+
+namespace kilo::core
+{
+
+/** Abstract cycle-level core. */
+class PipelineBase
+{
+  public:
+    PipelineBase(const CoreParams &params, wload::Workload &workload,
+                 const mem::MemConfig &mem_config);
+    virtual ~PipelineBase() = default;
+
+    PipelineBase(const PipelineBase &) = delete;
+    PipelineBase &operator=(const PipelineBase &) = delete;
+
+    /** Simulate until @p num_insts more instructions commit. */
+    void run(uint64_t num_insts);
+
+    /** Simulate exactly @p n cycles (no idle skipping). */
+    void runCycles(uint64_t n);
+
+    /** Statistics of the measured region. */
+    CoreStats &stats() { return st; }
+    const CoreStats &stats() const { return st; }
+
+    /** Data-memory hierarchy. */
+    mem::MemoryHierarchy &memory() { return mem_; }
+    const mem::MemoryHierarchy &memory() const { return mem_; }
+
+    /** Zero statistics after warm-up; microarchitectural state and
+     *  cache contents are preserved. */
+    void resetStats();
+
+    /** Current cycle. */
+    uint64_t cycle() const { return now; }
+
+    /** Configuration. */
+    const CoreParams &params() const { return prm; }
+
+    /** Number of instructions currently in flight. */
+    size_t inFlight() const { return globalOrder.size(); }
+
+  protected:
+    /** One simulated cycle; subclasses order their stages here. */
+    virtual void tick() = 0;
+
+    /** Stages provided by the base. @{ */
+    void stageCommit();
+    void stageComplete();
+    void stageFetch();
+    /** @} */
+
+    /** Per-cycle housekeeping (port counters, queue cycle reset). */
+    void beginCycle();
+
+    /** End-of-cycle housekeeping (LSQ retire, cycle advance). */
+    void endCycle();
+
+    /** Subclass hooks. @{ */
+    virtual void onCommitInst(const DynInstPtr &inst) { (void)inst; }
+    virtual void onSquashInst(const DynInstPtr &inst) { (void)inst; }
+    virtual void onBranchResolved(const DynInstPtr &inst)
+    {
+        (void)inst;
+    }
+    virtual void onRecovered(const DynInstPtr &branch) { (void)branch; }
+    /** Extra redirect penalty for @p branch (checkpoint recovery). */
+    virtual int recoveryExtraPenalty(const DynInstPtr &branch) const
+    {
+        (void)branch;
+        return 0;
+    }
+    /** Total ready-but-unissued instructions (idle-skip guard). */
+    virtual size_t totalReady() const = 0;
+    /** Reset per-cycle state of the subclass's queues. */
+    virtual void beginCycleQueues() = 0;
+    /** Earliest subclass-specific deadline (aging timers etc.). */
+    virtual uint64_t nextTimedWake() const;
+    /** @} */
+
+    /** Services for subclasses. @{ */
+
+    /**
+     * Rename @p inst (wire producers), define its destination, append
+     * it to the in-flight order and allocate its LSQ entry.
+     */
+    void dispatchCommon(const DynInstPtr &inst);
+
+    /** Schedule completion at now + @p latency. */
+    void scheduleCompletion(const DynInstPtr &inst, uint32_t latency);
+
+    /**
+     * Issue up to @p width instructions from @p iq using cluster
+     * @p fus. Returns the number issued.
+     */
+    int issueFromQueue(IssueQueue &iq, FuPool &fus, int width);
+
+    /** Make @p inst wait for @p producer (LSQ store dependence). */
+    void addDependence(const DynInstPtr &inst,
+                       const DynInstPtr &producer);
+
+    /** True when a global memory port is free this cycle. */
+    bool memPortAvailable() const
+    {
+        return portsUsed < prm.memPorts;
+    }
+    /** @} */
+
+    CoreParams prm;
+    CoreStats st;
+    wload::Workload &workload;
+    wload::TraceWindow trace;
+    std::unique_ptr<pred::BranchPredictor> bp;
+    FetchEngine fetchEngine;
+    mem::MemoryHierarchy mem_;
+    Scoreboard scoreboard;
+    Lsq lsq;
+    EventWheel<DynInstPtr> wheel;
+
+    /** Every in-flight instruction in program order. */
+    std::deque<DynInstPtr> globalOrder;
+
+    /** Fetched, not yet dispatched. */
+    std::deque<DynInstPtr> fetchBuffer;
+
+    uint64_t now = 0;
+    int portsUsed = 0;
+    uint64_t activity = 0;     ///< work units this cycle
+
+  private:
+    void completeInst(const DynInstPtr &inst);
+    void wakeDependents(const DynInstPtr &inst);
+    void recoverFromBranch(const DynInstPtr &branch);
+    void squashYoungerThan(uint64_t seq);
+    bool tryIssueInst(const DynInstPtr &inst, IssueQueue &iq,
+                      FuPool &fus);
+    void issueCommon(const DynInstPtr &inst, IssueQueue &iq,
+                     uint32_t latency);
+    void idleSkip();
+
+    std::vector<DynInstPtr> dueBuf;
+    std::vector<DynInstPtr> resolvedMispredicts;
+    uint64_t lastCommitCycle = 0;
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_PIPELINE_BASE_HH

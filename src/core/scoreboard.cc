@@ -1,0 +1,81 @@
+#include "src/core/scoreboard.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+Scoreboard::Scoreboard()
+{
+    clear();
+}
+
+const RegState &
+Scoreboard::get(int16_t reg) const
+{
+    KILO_ASSERT(reg >= 0 && reg < isa::NumRegs,
+                "scoreboard register %d out of range", reg);
+    return regs[size_t(reg)];
+}
+
+void
+Scoreboard::define(const DynInstPtr &inst)
+{
+    int16_t dst = inst->op.dst;
+    if (dst == isa::NoReg)
+        return;
+    RegState &rs = regs[size_t(dst)];
+    inst->prevProducer = rs.producer;
+    inst->prevReadyCycle = rs.readyCycle;
+    inst->prevDefinerSeq = rs.definerSeq;
+    inst->prevDefinerValid = rs.definerValid;
+    rs.producer = inst;
+    rs.readyCycle = 0;
+    rs.definerSeq = inst->seq;
+    rs.definerValid = true;
+}
+
+void
+Scoreboard::restore(const DynInstPtr &inst)
+{
+    int16_t dst = inst->op.dst;
+    if (dst == isa::NoReg)
+        return;
+    RegState &rs = regs[size_t(dst)];
+    // Only restore if this instruction is still the visible mapping;
+    // when squashing youngest-first the definer-sequence check also
+    // covers producers that already completed (producer == null).
+    if (rs.definerValid && rs.definerSeq == inst->seq) {
+        rs.producer = inst->prevProducer;
+        rs.readyCycle = inst->prevReadyCycle;
+        rs.definerSeq = inst->prevDefinerSeq;
+        rs.definerValid = inst->prevDefinerValid;
+    }
+    inst->prevProducer = nullptr;
+}
+
+void
+Scoreboard::complete(const DynInstPtr &inst)
+{
+    int16_t dst = inst->op.dst;
+    if (dst == isa::NoReg)
+        return;
+    RegState &rs = regs[size_t(dst)];
+    if (rs.producer == inst) {
+        rs.producer = nullptr;
+        rs.readyCycle = inst->completeCycle;
+    }
+}
+
+void
+Scoreboard::clear()
+{
+    for (auto &rs : regs) {
+        rs.producer = nullptr;
+        rs.readyCycle = 0;
+        rs.definerSeq = 0;
+        rs.definerValid = false;
+    }
+}
+
+} // namespace kilo::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Register scoreboard / rename view.
+ *
+ * Maps each logical register to its youngest in-flight producer (or,
+ * when the producer has completed, the cycle its value became
+ * available). Because the simulator is trace driven there is no
+ * physical register file to run out of — the paper's register
+ * management proposals are modelled as capacity constraints on the
+ * structures that actually bind registers (the LLRF banks and the MP
+ * reservation stations).
+ */
+
+#ifndef KILO_CORE_SCOREBOARD_HH
+#define KILO_CORE_SCOREBOARD_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/core/dyn_inst.hh"
+#include "src/isa/micro_op.hh"
+
+namespace kilo::core
+{
+
+/** Rename-time state of one logical register. */
+struct RegState
+{
+    DynInstPtr producer;      ///< youngest in-flight producer, or null
+    uint64_t readyCycle = 0;  ///< valid when producer is null/complete
+    uint64_t definerSeq = 0;  ///< sequence of the defining instruction
+    bool definerValid = false;
+};
+
+/** Scoreboard over the unified 64-register logical namespace. */
+class Scoreboard
+{
+  public:
+    Scoreboard();
+
+    /** State of register @p reg. */
+    const RegState &get(int16_t reg) const;
+
+    /**
+     * Record @p inst as the new producer of its destination register,
+     * saving the previous mapping into the instruction for squash
+     * restore.
+     */
+    void define(const DynInstPtr &inst);
+
+    /** Undo define() using the saved previous mapping. */
+    void restore(const DynInstPtr &inst);
+
+    /**
+     * Note the completion of a producer: if @p inst is still the
+     * current mapping of its destination, replace the producer link
+     * with its ready cycle.
+     */
+    void complete(const DynInstPtr &inst);
+
+    /** Reset every register to ready-at-cycle-0. */
+    void clear();
+
+  private:
+    std::array<RegState, isa::NumRegs> regs;
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_SCOREBOARD_HH

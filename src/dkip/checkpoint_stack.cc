@@ -1,0 +1,53 @@
+#include "src/dkip/checkpoint_stack.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::dkip
+{
+
+CheckpointStack::CheckpointStack(size_t capacity)
+    : cap(capacity ? capacity : 1)
+{}
+
+void
+CheckpointStack::push(uint64_t seq, const BitVector &llbv)
+{
+    KILO_ASSERT(!full(), "checkpoint stack overflow");
+    KILO_ASSERT(entries.empty() || entries.back().seq < seq,
+                "checkpoints must be taken in program order");
+    Checkpoint cp;
+    cp.seq = seq;
+    cp.llbv = llbv;
+    entries.push_back(cp);
+}
+
+void
+CheckpointStack::resolve(uint64_t seq)
+{
+    for (auto &cp : entries) {
+        if (cp.seq == seq) {
+            cp.resolved = true;
+            break;
+        }
+    }
+    while (!entries.empty() && entries.front().resolved)
+        entries.pop_front();
+}
+
+const Checkpoint *
+CheckpointStack::findFor(uint64_t seq) const
+{
+    for (const auto &cp : entries)
+        if (cp.seq == seq)
+            return &cp;
+    return nullptr;
+}
+
+void
+CheckpointStack::squashFrom(uint64_t seq)
+{
+    while (!entries.empty() && entries.back().seq >= seq)
+        entries.pop_back();
+}
+
+} // namespace kilo::dkip

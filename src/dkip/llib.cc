@@ -1,0 +1,54 @@
+#include "src/dkip/llib.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::dkip
+{
+
+Llib::Llib(std::string name, size_t capacity)
+    : label(std::move(name)), q(capacity)
+{}
+
+void
+Llib::push(const core::DynInstPtr &inst)
+{
+    KILO_ASSERT(!q.full(), "push into full LLIB %s", label.c_str());
+    KILO_ASSERT(q.empty() || q.back()->seq < inst->seq,
+                "LLIB insertion out of program order");
+    q.pushBack(inst);
+    if (q.size() > maxOcc)
+        maxOcc = q.size();
+}
+
+void
+Llib::notifySquashed(const core::DynInstPtr &inst)
+{
+    KILO_ASSERT(!q.empty() && q.back() == inst,
+                "LLIB squash of non-youngest entry");
+    q.popBack();
+}
+
+bool
+Llib::headBlocked() const
+{
+    if (q.empty())
+        return false;
+    const core::DynInstPtr &head = q.front();
+    // "When the depending instructions arrive at the head of the LLIB
+    // and the load value is available [...] insertion into the MP
+    // happens. For other instructions insertion is performed without
+    // additional checks." (paper, sections 3.2 and 3.4)
+    // The head waits for the values of its feeding loads — they
+    // arrive through the per-LLIB value FIFO and are written into
+    // the MP's Future File at insertion. Non-load producers are
+    // low-locality MP work already extracted ahead of the head (the
+    // LLIB is a FIFO), so their results flow through the Future File
+    // and "insertion is performed without additional checks" (3.4).
+    for (const auto &prod : head->producers) {
+        if (prod && prod->op.isLoad() && !prod->completed)
+            return true;
+    }
+    return false;
+}
+
+} // namespace kilo::dkip

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Low-Locality Instruction Buffer (LLIB).
+ *
+ * A plain FIFO with no issue capability and no CAM — the structural
+ * heart of the D-KIP's complexity argument. Instructions enter at
+ * Analyze and leave, in order, toward a Memory Processor once the
+ * long-latency load(s) they directly depend on have completed.
+ */
+
+#ifndef KILO_DKIP_LLIB_HH
+#define KILO_DKIP_LLIB_HH
+
+#include <string>
+
+#include "src/core/dyn_inst.hh"
+#include "src/util/circular_buffer.hh"
+
+namespace kilo::dkip
+{
+
+/** FIFO instruction buffer for one locality domain (int or FP). */
+class Llib
+{
+  public:
+    Llib(std::string name, size_t capacity);
+
+    const std::string &name() const { return label; }
+    size_t capacity() const { return q.capacity(); }
+    size_t size() const { return q.size(); }
+    bool empty() const { return q.empty(); }
+    bool full() const { return q.full(); }
+
+    /** High-water mark of occupancy (Figures 13/14). */
+    uint64_t maxOccupancy() const { return maxOcc; }
+
+    /** Append at the tail (Analyze insertion, program order). */
+    void push(const core::DynInstPtr &inst);
+
+    /** Oldest entry. */
+    const core::DynInstPtr &front() const { return q.front(); }
+
+    /** Remove the oldest entry (extraction into the MP). */
+    core::DynInstPtr popFront() { return q.popFront(); }
+
+    /** @p inst was squashed; it must be the youngest entry. */
+    void notifySquashed(const core::DynInstPtr &inst);
+
+    /**
+     * True when the head must keep waiting: it depends directly on a
+     * long-latency load that has not yet delivered its value.
+     */
+    bool headBlocked() const;
+
+  private:
+    std::string label;
+    CircularBuffer<core::DynInstPtr> q;
+    uint64_t maxOcc = 0;
+};
+
+} // namespace kilo::dkip
+
+#endif // KILO_DKIP_LLIB_HH

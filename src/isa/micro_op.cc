@@ -1,0 +1,159 @@
+#include "src/isa/micro_op.hh"
+
+#include <cstdio>
+
+#include "src/util/logging.hh"
+
+namespace kilo::isa
+{
+
+int
+opLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 3;
+      case OpClass::FpAdd:  return 2;
+      case OpClass::FpMul:  return 4;
+      case OpClass::FpDiv:  return 12;
+      case OpClass::Load:   return 0;   // determined by the hierarchy
+      case OpClass::Store:  return 1;
+      case OpClass::Branch: return 1;
+      case OpClass::Nop:    return 1;
+    }
+    KILO_PANIC("unknown OpClass");
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "alu";
+      case OpClass::IntMul: return "mul";
+      case OpClass::FpAdd:  return "fadd";
+      case OpClass::FpMul:  return "fmul";
+      case OpClass::FpDiv:  return "fdiv";
+      case OpClass::Load:   return "load";
+      case OpClass::Store:  return "store";
+      case OpClass::Branch: return "br";
+      case OpClass::Nop:    return "nop";
+    }
+    KILO_PANIC("unknown OpClass");
+}
+
+bool
+isFpClass(OpClass cls)
+{
+    return cls == OpClass::FpAdd || cls == OpClass::FpMul ||
+           cls == OpClass::FpDiv;
+}
+
+std::string
+MicroOp::toString() const
+{
+    char buf[128];
+    if (isMem()) {
+        std::snprintf(buf, sizeof(buf), "%s r%d <- [r%d] @%#lx",
+                      opClassName(cls), dst, src1,
+                      (unsigned long)effAddr);
+    } else if (isBranch()) {
+        std::snprintf(buf, sizeof(buf), "br r%d %s -> %#lx", src1,
+                      taken ? "T" : "N", (unsigned long)target);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s r%d <- r%d, r%d",
+                      opClassName(cls), dst, src1, src2);
+    }
+    return buf;
+}
+
+MicroOp
+makeAlu(int16_t dst, int16_t src1, int16_t src2, uint64_t pc)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::IntAlu;
+    op.dst = dst;
+    op.src1 = src1;
+    op.src2 = src2;
+    return op;
+}
+
+MicroOp
+makeMul(int16_t dst, int16_t src1, int16_t src2, uint64_t pc)
+{
+    MicroOp op = makeAlu(dst, src1, src2, pc);
+    op.cls = OpClass::IntMul;
+    return op;
+}
+
+MicroOp
+makeFpAdd(int16_t dst, int16_t src1, int16_t src2, uint64_t pc)
+{
+    MicroOp op = makeAlu(dst, src1, src2, pc);
+    op.cls = OpClass::FpAdd;
+    return op;
+}
+
+MicroOp
+makeFpMul(int16_t dst, int16_t src1, int16_t src2, uint64_t pc)
+{
+    MicroOp op = makeAlu(dst, src1, src2, pc);
+    op.cls = OpClass::FpMul;
+    return op;
+}
+
+MicroOp
+makeFpDiv(int16_t dst, int16_t src1, int16_t src2, uint64_t pc)
+{
+    MicroOp op = makeAlu(dst, src1, src2, pc);
+    op.cls = OpClass::FpDiv;
+    return op;
+}
+
+MicroOp
+makeLoad(int16_t dst, int16_t addr_reg, uint64_t eff_addr, uint64_t pc)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Load;
+    op.dst = dst;
+    op.src1 = addr_reg;
+    op.effAddr = eff_addr;
+    return op;
+}
+
+MicroOp
+makeStore(int16_t addr_reg, int16_t data_reg, uint64_t eff_addr,
+          uint64_t pc)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Store;
+    op.src1 = addr_reg;
+    op.src2 = data_reg;
+    op.effAddr = eff_addr;
+    return op;
+}
+
+MicroOp
+makeBranch(int16_t src1, bool taken, uint64_t target, uint64_t pc)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Branch;
+    op.src1 = src1;
+    op.taken = taken;
+    op.target = target;
+    return op;
+}
+
+MicroOp
+makeNop(uint64_t pc)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Nop;
+    return op;
+}
+
+} // namespace kilo::isa

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The synthetic micro-op ISA consumed by every core model.
+ *
+ * The paper evaluates Alpha binaries under SimpleScalar; this library
+ * substitutes a compact trace-level ISA that carries everything the
+ * timing models need: register dataflow, operation latency class,
+ * effective addresses for memory operations and resolved outcomes for
+ * branches. Like Alpha, an instruction reads at most two registers and
+ * writes at most one, which is the property the LLRF's
+ * one-READY-operand-per-instruction pre-allocation relies on.
+ */
+
+#ifndef KILO_ISA_MICRO_OP_HH
+#define KILO_ISA_MICRO_OP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace kilo::isa
+{
+
+/** Number of integer logical registers (r0..r31). */
+constexpr int NumIntRegs = 32;
+
+/** Number of floating-point logical registers (f0..f31). */
+constexpr int NumFpRegs = 32;
+
+/** Total logical register namespace; FP registers follow integer. */
+constexpr int NumRegs = NumIntRegs + NumFpRegs;
+
+/** Sentinel meaning "no register". */
+constexpr int16_t NoReg = -1;
+
+/** First FP register id in the unified namespace. */
+constexpr int16_t FirstFpReg = NumIntRegs;
+
+/** True when @p reg names a floating-point register. */
+inline bool
+isFpReg(int16_t reg)
+{
+    return reg >= FirstFpReg;
+}
+
+/** Operation classes; each maps to a functional unit type. */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< single-cycle integer ALU op
+    IntMul,     ///< pipelined integer multiply
+    FpAdd,      ///< FP add/sub/compare
+    FpMul,      ///< FP multiply
+    FpDiv,      ///< FP divide / sqrt (unpipelined)
+    Load,       ///< memory read
+    Store,      ///< memory write
+    Branch,     ///< conditional or unconditional control transfer
+    Nop,        ///< no-op (padding)
+};
+
+/** Number of OpClass values. */
+constexpr int NumOpClasses = 9;
+
+/** Execution latency in cycles of each op class, excluding memory. */
+int opLatency(OpClass cls);
+
+/** Human-readable mnemonic of an op class. */
+const char *opClassName(OpClass cls);
+
+/** True for op classes handled by floating-point pipelines. */
+bool isFpClass(OpClass cls);
+
+/**
+ * One dynamic instruction in a trace.
+ *
+ * Micro-ops are produced by workload generators (src/wload) and carry
+ * the *resolved* execution facts: the effective address a memory op
+ * touches and the direction a branch actually goes. The timing models
+ * never see values, only dataflow and these facts.
+ */
+struct MicroOp
+{
+    uint64_t pc = 0;          ///< instruction address
+    OpClass cls = OpClass::Nop;
+    int16_t src1 = NoReg;     ///< first source register or NoReg
+    int16_t src2 = NoReg;     ///< second source register or NoReg
+    int16_t dst = NoReg;      ///< destination register or NoReg
+    uint64_t effAddr = 0;     ///< effective address (Load/Store)
+    uint8_t memSize = 8;      ///< access size in bytes (Load/Store)
+    bool taken = false;       ///< resolved direction (Branch)
+    uint64_t target = 0;      ///< resolved target (Branch)
+
+    /** True for loads and stores. */
+    bool isMem() const
+    {
+        return cls == OpClass::Load || cls == OpClass::Store;
+    }
+
+    /** True for loads. */
+    bool isLoad() const { return cls == OpClass::Load; }
+
+    /** True for stores. */
+    bool isStore() const { return cls == OpClass::Store; }
+
+    /** True for branches. */
+    bool isBranch() const { return cls == OpClass::Branch; }
+
+    /** True when routed to FP structures (FP LLIB / FP MP). */
+    bool
+    isFp() const
+    {
+        if (cls == OpClass::Load || cls == OpClass::Store)
+            return dst != NoReg ? isFpReg(dst)
+                                : (src2 != NoReg && isFpReg(src2));
+        return isFpClass(cls);
+    }
+
+    /** Number of register sources. */
+    int
+    numSrcs() const
+    {
+        return (src1 != NoReg ? 1 : 0) + (src2 != NoReg ? 1 : 0);
+    }
+
+    /** Debug rendering, e.g. "load r3 <- [r1] @0x1000". */
+    std::string toString() const;
+};
+
+/** Convenience builders used by generators and unit tests. @{ */
+MicroOp makeAlu(int16_t dst, int16_t src1, int16_t src2, uint64_t pc = 0);
+MicroOp makeMul(int16_t dst, int16_t src1, int16_t src2, uint64_t pc = 0);
+MicroOp makeFpAdd(int16_t dst, int16_t src1, int16_t src2,
+                  uint64_t pc = 0);
+MicroOp makeFpMul(int16_t dst, int16_t src1, int16_t src2,
+                  uint64_t pc = 0);
+MicroOp makeFpDiv(int16_t dst, int16_t src1, int16_t src2,
+                  uint64_t pc = 0);
+MicroOp makeLoad(int16_t dst, int16_t addr_reg, uint64_t eff_addr,
+                 uint64_t pc = 0);
+MicroOp makeStore(int16_t addr_reg, int16_t data_reg, uint64_t eff_addr,
+                  uint64_t pc = 0);
+MicroOp makeBranch(int16_t src1, bool taken, uint64_t target,
+                   uint64_t pc = 0);
+MicroOp makeNop(uint64_t pc = 0);
+/** @} */
+
+} // namespace kilo::isa
+
+#endif // KILO_ISA_MICRO_OP_HH

@@ -1,0 +1,216 @@
+#include "src/kilo_proc/kilo_core.hh"
+
+#include <algorithm>
+
+#include "src/util/logging.hh"
+
+namespace kilo::kilo_proc
+{
+
+KiloParams
+KiloParams::kilo1024()
+{
+    KiloParams p;
+    p.cp.name = "kilo-1024";
+    p.cp.robSize = 64;          // pseudo-ROB
+    p.cp.intIqSize = 72;
+    p.cp.fpIqSize = 72;
+    p.cp.commitWidth = 8;       // checkpointed bulk retirement
+    return p;
+}
+
+KiloCore::KiloCore(const KiloParams &params, wload::Workload &workload,
+                   const mem::MemConfig &mem_config)
+    : core::OooCore(params.cp, workload, mem_config),
+      kprm(params),
+      llbv(isa::NumRegs),
+      sliq("sliq", params.sliqCapacity,
+           core::SchedPolicy::OutOfOrder),
+      chkpt(params.checkpointCapacity)
+{}
+
+void
+KiloCore::beginCycleQueues()
+{
+    core::OooCore::beginCycleQueues();
+    sliq.beginCycle();
+}
+
+size_t
+KiloCore::totalReady() const
+{
+    return core::OooCore::totalReady() + sliq.numReady();
+}
+
+uint64_t
+KiloCore::nextTimedWake() const
+{
+    uint64_t wake = core::OooCore::nextTimedWake();
+    if (!rob.empty()) {
+        wake = std::min(wake, rob.front()->dispatchCycle +
+                                  uint64_t(kprm.robTimer));
+    }
+    return wake;
+}
+
+bool
+KiloCore::sourcesLongLatency(const DynInstPtr &inst) const
+{
+    int16_t s1 = inst->op.src1;
+    int16_t s2 = inst->op.src2;
+    return (s1 != isa::NoReg && llbv.test(size_t(s1))) ||
+           (s2 != isa::NoReg && llbv.test(size_t(s2)));
+}
+
+bool
+KiloCore::moveToSliq(const DynInstPtr &inst)
+{
+    if (sliq.full()) {
+        ++st.llibFullStalls;
+        return false;
+    }
+    if (inst->op.isBranch()) {
+        if (chkpt.full()) {
+            ++st.checkpointSkips;
+        } else {
+            chkpt.push(inst->seq, llbv);
+            ++st.checkpointsTaken;
+        }
+    }
+    if (inst->iq)
+        inst->iq->erase(inst);
+    if (inst->op.dst != isa::NoReg)
+        llbv.set(size_t(inst->op.dst));
+    inst->longLatency = true;
+    inst->execInMp = true;       // "slow lane" execution
+    sliq.insert(inst);
+    if (inst->op.isFp())
+        ++st.llibInsertedFp;
+    else
+        ++st.llibInsertedInt;
+    return true;
+}
+
+void
+KiloCore::stageAnalyze()
+{
+    int budget = kprm.analyzeWidth;
+    while (budget > 0 && !rob.empty()) {
+        DynInstPtr head = rob.front();
+        if (now < head->dispatchCycle + uint64_t(kprm.robTimer))
+            break;
+
+        if (head->completed) {
+            if (head->op.dst != isa::NoReg)
+                llbv.clear(size_t(head->op.dst));
+            rob.popFront();
+            --budget;
+            ++activity;
+            continue;
+        }
+
+        if (head->op.isLoad() && head->issued) {
+            if (head->longLatency) {
+                if (head->op.dst != isa::NoReg)
+                    llbv.set(size_t(head->op.dst));
+                rob.popFront();
+                --budget;
+                ++activity;
+                continue;
+            }
+            ++st.analyzeStallCycles;
+            break;
+        }
+
+        if (head->issued) {
+            // Already executing: short latency; wait for writeback.
+            ++st.analyzeStallCycles;
+            break;
+        }
+
+        bool low = sourcesLongLatency(head);
+        if (!low && head->op.isLoad() && !head->issued) {
+            auto check = lsq.checkLoad(head);
+            if (check.kind == core::LoadCheck::Kind::Blocked &&
+                (check.store->execInMp || check.store->longLatency)) {
+                low = true;
+            }
+        }
+
+        if (low) {
+            if (!moveToSliq(head))
+                break;
+            rob.popFront();
+            --budget;
+            ++activity;
+            continue;
+        }
+
+        ++st.analyzeStallCycles;
+        break;
+    }
+
+    st.maxLlibInstrsInt =
+        std::max(st.maxLlibInstrsInt, uint64_t(sliq.size()));
+}
+
+void
+KiloCore::onCommitInst(const DynInstPtr &inst)
+{
+    (void)inst; // entries left the pseudo-ROB at Analyze
+}
+
+void
+KiloCore::onSquashInst(const DynInstPtr &inst)
+{
+    if (!rob.empty() && rob.back() == inst)
+        rob.popBack();
+    // SLIQ residency is handled through inst->iq by the base.
+}
+
+void
+KiloCore::onBranchResolved(const DynInstPtr &inst)
+{
+    if (inst->execInMp)
+        chkpt.resolve(inst->seq);
+}
+
+int
+KiloCore::recoveryExtraPenalty(const DynInstPtr &branch) const
+{
+    if (!branch->execInMp)
+        return 0;
+    bool covered = chkpt.findFor(branch->seq) != nullptr;
+    return covered ? kprm.recoveryExtraPenalty
+                   : 3 * kprm.recoveryExtraPenalty;
+}
+
+void
+KiloCore::onRecovered(const DynInstPtr &branch)
+{
+    if (branch->execInMp) {
+        const dkip::Checkpoint *cp = chkpt.findFor(branch->seq);
+        if (cp)
+            llbv = cp->llbv;
+        else
+            llbv.clearAll();
+    }
+    chkpt.squashFrom(branch->seq);
+}
+
+void
+KiloCore::tick()
+{
+    beginCycle();
+    stageCommit();
+    stageComplete();
+    stageAnalyze();
+    issueFromQueue(intIq, fus, prm.issueWidthInt);
+    issueFromQueue(fpIq, fus, prm.issueWidthFp);
+    issueFromQueue(sliq, fus, kprm.sliqIssueWidth);
+    stageDispatch();
+    stageFetch();
+    endCycle();
+}
+
+} // namespace kilo::kilo_proc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Traditional KILO-instruction processor baseline (Cristal et al.,
+ * HPCA 2004 — reference [9] of the paper).
+ *
+ * A centralised machine with a pseudo-ROB: instructions drain past
+ * the head a fixed timer after decode, exactly like the D-KIP's
+ * Aging-ROB, but long-latency slices move to the Slow Lane
+ * Instruction Queue (SLIQ) — a large *out-of-order* secondary queue
+ * with global wakeup that issues to the same functional units. This
+ * is the KILO-1024 configuration of the paper's Figure 9: better on
+ * pointer chasing than the FIFO LLIB, but paying for a 1024-entry
+ * CAM and the ephemeral-register machinery.
+ */
+
+#ifndef KILO_KILO_PROC_KILO_CORE_HH
+#define KILO_KILO_PROC_KILO_CORE_HH
+
+#include "src/core/ooo_core.hh"
+#include "src/dkip/checkpoint_stack.hh"
+#include "src/util/bit_vector.hh"
+
+namespace kilo::kilo_proc
+{
+
+/** Parameters of the KILO baseline. */
+struct KiloParams
+{
+    /** Front core (pseudo-ROB 64, 72-entry issue queues). */
+    core::CoreParams cp;
+
+    int robTimer = 16;          ///< pseudo-ROB drain timer
+    int analyzeWidth = 4;
+    size_t sliqCapacity = 1024;
+    int sliqIssueWidth = 4;
+    size_t checkpointCapacity = 16;
+    int recoveryExtraPenalty = 8;
+
+    /** The KILO-1024 configuration of Figure 9. */
+    static KiloParams kilo1024();
+};
+
+/** Checkpointed out-of-order-commit processor with a SLIQ. */
+class KiloCore : public core::OooCore
+{
+  public:
+    using DynInstPtr = core::DynInstPtr;
+
+    KiloCore(const KiloParams &params, wload::Workload &workload,
+             const mem::MemConfig &mem_config);
+
+    /** SLIQ occupancy (tests). */
+    size_t sliqOccupancy() const { return sliq.size(); }
+
+    /** Checkpoint stack (tests). */
+    const dkip::CheckpointStack &checkpoints() const { return chkpt; }
+
+  protected:
+    void tick() override;
+    void onCommitInst(const DynInstPtr &inst) override;
+    void onSquashInst(const DynInstPtr &inst) override;
+    void onBranchResolved(const DynInstPtr &inst) override;
+    void onRecovered(const DynInstPtr &branch) override;
+    int recoveryExtraPenalty(const DynInstPtr &branch) const override;
+    size_t totalReady() const override;
+    void beginCycleQueues() override;
+    uint64_t nextTimedWake() const override;
+
+    void stageAnalyze();
+
+  private:
+    bool sourcesLongLatency(const DynInstPtr &inst) const;
+    bool moveToSliq(const DynInstPtr &inst);
+
+    KiloParams kprm;
+    BitVector llbv;
+    core::IssueQueue sliq;
+    dkip::CheckpointStack chkpt;
+};
+
+} // namespace kilo::kilo_proc
+
+#endif // KILO_KILO_PROC_KILO_CORE_HH

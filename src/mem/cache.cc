@@ -1,0 +1,88 @@
+#include "src/mem/cache.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::mem
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t v)
+{
+    return v && !(v & (v - 1));
+}
+
+} // anonymous namespace
+
+SetAssocCache::SetAssocCache(const CacheGeometry &geom)
+    : ways(geom.assoc), line(geom.lineBytes)
+{
+    KILO_ASSERT(isPow2(geom.lineBytes), "line size must be power of 2");
+    KILO_ASSERT(geom.assoc > 0, "associativity must be positive");
+    uint64_t lines = geom.sizeBytes / geom.lineBytes;
+    KILO_ASSERT(lines >= geom.assoc, "cache smaller than one set");
+    sets = uint32_t(lines / geom.assoc);
+    KILO_ASSERT(isPow2(sets), "number of sets must be power of 2");
+    store.resize(size_t(sets) * ways);
+}
+
+bool
+SetAssocCache::access(uint64_t addr)
+{
+    ++nAccesses;
+    ++stamp;
+    uint32_t set = setOf(addr);
+    uint64_t tag = tagOf(addr);
+    Way *base = &store[size_t(set) * ways];
+
+    Way *victim = base;
+    for (uint32_t w = 0; w < ways; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lruStamp = stamp;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lruStamp < victim->lruStamp) {
+            victim = &way;
+        }
+    }
+
+    ++nMisses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = stamp;
+    return false;
+}
+
+bool
+SetAssocCache::probe(uint64_t addr) const
+{
+    uint32_t set = setOf(addr);
+    uint64_t tag = tagOf(addr);
+    const Way *base = &store[size_t(set) * ways];
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::invalidateAll()
+{
+    for (auto &way : store)
+        way.valid = false;
+}
+
+void
+SetAssocCache::resetStats()
+{
+    nAccesses = 0;
+    nMisses = 0;
+}
+
+} // namespace kilo::mem

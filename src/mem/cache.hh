@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Set-associative cache tag model with LRU replacement.
+ *
+ * Only tags are modelled — the simulator is trace driven and never
+ * needs data. One instance each models the L1D and the (size-swept)
+ * L2 of the paper's memory subsystems.
+ */
+
+#ifndef KILO_MEM_CACHE_HH
+#define KILO_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace kilo::mem
+{
+
+/** Geometry of a cache level. */
+struct CacheGeometry
+{
+    uint64_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 4;
+    uint32_t lineBytes = 64;
+};
+
+/**
+ * Tag array of one cache level.
+ *
+ * access() probes and, on a miss, installs the line (fetch-on-miss,
+ * write-allocate); LRU state is a per-way generation stamp.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geom);
+
+    /**
+     * Probe for @p addr, updating LRU state and installing the line
+     * on a miss.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /** Probe without modifying any state. */
+    bool probe(uint64_t addr) const;
+
+    /** Drop every line. */
+    void invalidateAll();
+
+    /** Number of sets. */
+    uint32_t numSets() const { return sets; }
+
+    /** Associativity. */
+    uint32_t numWays() const { return ways; }
+
+    /** Line size in bytes. */
+    uint32_t lineSize() const { return line; }
+
+    /** Total accesses observed. */
+    uint64_t accesses() const { return nAccesses; }
+
+    /** Total misses observed. */
+    uint64_t misses() const { return nMisses; }
+
+    /** Miss ratio in [0, 1]. */
+    double
+    missRatio() const
+    {
+        return nAccesses ? double(nMisses) / double(nAccesses) : 0.0;
+    }
+
+    /** Zero the statistics (end of warm-up). */
+    void resetStats();
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lruStamp = 0;
+        bool valid = false;
+    };
+
+    uint64_t lineOf(uint64_t addr) const { return addr / line; }
+    uint32_t setOf(uint64_t addr) const { return lineOf(addr) % sets; }
+    uint64_t tagOf(uint64_t addr) const { return lineOf(addr) / sets; }
+
+    uint32_t sets;
+    uint32_t ways;
+    uint32_t line;
+    std::vector<Way> store;
+    uint64_t stamp = 0;
+    uint64_t nAccesses = 0;
+    uint64_t nMisses = 0;
+};
+
+} // namespace kilo::mem
+
+#endif // KILO_MEM_CACHE_HH

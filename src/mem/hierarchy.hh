@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Two-level data-memory hierarchy with fixed service latencies.
+ *
+ * This models the memory subsystems of Table 1 of the paper: an L1
+ * (possibly perfect), an optional L2 (possibly infinite) and main
+ * memory with a flat access time. Misses to a line that is already
+ * in flight merge MSHR-style and complete together, which is what
+ * gives streaming FP codes their memory-level parallelism.
+ */
+
+#ifndef KILO_MEM_HIERARCHY_HH
+#define KILO_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/mem/cache.hh"
+
+namespace kilo::mem
+{
+
+/** Where an access was serviced. */
+enum class ServiceLevel : uint8_t
+{
+    L1,      ///< L1 hit
+    L2,      ///< L1 miss, L2 hit
+    Memory,  ///< L2 miss (or merged into an in-flight line fill)
+};
+
+/** Name of a service level for stat output. */
+const char *serviceLevelName(ServiceLevel lvl);
+
+/** Outcome of one data access. */
+struct AccessResult
+{
+    uint32_t latency = 0;        ///< total cycles from issue to data
+    ServiceLevel level = ServiceLevel::L1;
+
+    /** True when the Analyze stage must classify this long-latency. */
+    bool offChip() const { return level == ServiceLevel::Memory; }
+};
+
+/**
+ * Configuration of a memory subsystem (one row of Table 1, or the
+ * default evaluation hierarchy of Table 2).
+ *
+ * Latencies are *total* from issue: an L2 hit costs l2Latency cycles,
+ * not l1Latency + l2Latency; this matches the paper's "L2 access time
+ * 11 (1+10)" notation.
+ */
+struct MemConfig
+{
+    std::string name = "MEM-400";
+    uint32_t lineBytes = 64;
+
+    bool perfectL1 = false;      ///< every access hits L1
+    uint64_t l1Size = 32 * 1024;
+    uint32_t l1Assoc = 4;
+    uint32_t l1Latency = 2;
+
+    bool hasL2 = true;
+    bool perfectL2 = false;      ///< every L1 miss hits L2
+    uint64_t l2Size = 512 * 1024;
+    uint32_t l2Assoc = 8;
+    uint32_t l2Latency = 11;
+
+    uint32_t memLatency = 400;
+
+    /** Table 1 presets. @{ */
+    static MemConfig l1Only();             ///< L1-2
+    static MemConfig l2Perfect11();        ///< L2-11
+    static MemConfig l2Perfect21();        ///< L2-21
+    static MemConfig mem100();             ///< MEM-100
+    static MemConfig mem400();             ///< MEM-400 (default)
+    static MemConfig mem1000();            ///< MEM-1000
+    /** @} */
+
+    /** MEM-400 with an explicit L2 capacity (Figures 11/12 sweep). */
+    static MemConfig withL2Size(uint64_t bytes);
+};
+
+/**
+ * The data-memory hierarchy.
+ *
+ * access() returns the total service latency of a read or write and
+ * updates tag state. In-flight off-chip line fills are tracked so
+ * that a second miss to the same line completes when the first fill
+ * arrives instead of paying a full memory round trip.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemConfig &cfg);
+
+    /**
+     * Perform one data access.
+     *
+     * @param addr     effective byte address
+     * @param is_write true for stores
+     * @param now      current cycle (for miss merging)
+     */
+    AccessResult access(uint64_t addr, bool is_write, uint64_t now);
+
+    /** Configuration used to build this hierarchy. */
+    const MemConfig &config() const { return cfg; }
+
+    /** Statistics. @{ */
+    uint64_t accesses() const { return nAccesses; }
+    uint64_t l1Misses() const { return nL1Misses; }
+    uint64_t l2Misses() const { return nL2Misses; }
+    uint64_t mshrMerges() const { return nMerges; }
+    double
+    l2MissRatio() const
+    {
+        return nAccesses ? double(nL2Misses) / double(nAccesses) : 0.0;
+    }
+    /** @} */
+
+    /** Zero statistics (end of warm-up); tag state is preserved. */
+    void resetStats();
+
+    /**
+     * Install the lines of [base, base+bytes) into the tag arrays in
+     * address order (functional warm-up; no latency, no statistics
+     * beyond LRU state).
+     */
+    void prewarm(uint64_t base, uint64_t bytes);
+
+  private:
+    uint64_t lineOf(uint64_t addr) const { return addr / cfg.lineBytes; }
+
+    MemConfig cfg;
+    std::unique_ptr<SetAssocCache> l1;
+    std::unique_ptr<SetAssocCache> l2;
+
+    /** line -> absolute cycle its off-chip fill completes. */
+    std::unordered_map<uint64_t, uint64_t> inflightFills;
+
+    uint64_t nAccesses = 0;
+    uint64_t nL1Misses = 0;
+    uint64_t nL2Misses = 0;
+    uint64_t nMerges = 0;
+};
+
+} // namespace kilo::mem
+
+#endif // KILO_MEM_HIERARCHY_HH

@@ -1,0 +1,74 @@
+#include "src/pred/perceptron.hh"
+
+#include <cmath>
+
+#include "src/util/logging.hh"
+
+namespace kilo::pred
+{
+
+PerceptronPredictor::PerceptronPredictor(uint32_t num_entries,
+                                         uint32_t history_length)
+    : entries(num_entries), histLen(history_length)
+{
+    KILO_ASSERT(histLen >= 1 && histLen <= 64,
+                "perceptron history length must be 1..64");
+    KILO_ASSERT(entries && !(entries & (entries - 1)),
+                "perceptron table size must be a power of two");
+    theta = int32_t(std::floor(1.93 * histLen + 14));
+    // 8-bit signed weights as in the original hardware proposal.
+    weightMax = 127;
+    weightMin = -128;
+    weights.assign(size_t(entries) * (histLen + 1), 0);
+}
+
+uint32_t
+PerceptronPredictor::index(uint64_t pc) const
+{
+    // Drop the byte offset; mix upper bits in for large codes.
+    uint64_t v = (pc >> 2) ^ (pc >> 13);
+    return uint32_t(v & (entries - 1));
+}
+
+int32_t
+PerceptronPredictor::output(uint64_t pc, uint64_t history) const
+{
+    const int16_t *w = &weights[size_t(index(pc)) * (histLen + 1)];
+    int32_t y = w[0];
+    for (uint32_t i = 0; i < histLen; ++i) {
+        bool bit = (history >> i) & 1;
+        y += bit ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+bool
+PerceptronPredictor::lookup(uint64_t pc, uint64_t history)
+{
+    return output(pc, history) >= 0;
+}
+
+void
+PerceptronPredictor::train(uint64_t pc, uint64_t history, bool taken)
+{
+    int32_t y = output(pc, history);
+    bool pred = y >= 0;
+    if (pred == taken && std::abs(y) > theta)
+        return;
+
+    int16_t *w = &weights[size_t(index(pc)) * (histLen + 1)];
+    int t = taken ? 1 : -1;
+
+    int32_t b = w[0] + t;
+    w[0] = int16_t(b > weightMax ? weightMax
+                                 : (b < weightMin ? weightMin : b));
+    for (uint32_t i = 0; i < histLen; ++i) {
+        int h = ((history >> i) & 1) ? 1 : -1;
+        int32_t v = w[i + 1] + t * h;
+        w[i + 1] = int16_t(v > weightMax ? weightMax
+                                         : (v < weightMin ? weightMin
+                                                          : v));
+    }
+}
+
+} // namespace kilo::pred

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Perceptron branch predictor (Jimenez & Lin, HPCA 2001) — the
+ * predictor the paper's Cache Processor uses (Table 2).
+ */
+
+#ifndef KILO_PRED_PERCEPTRON_HH
+#define KILO_PRED_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pred/predictor.hh"
+
+namespace kilo::pred
+{
+
+/**
+ * Table of perceptrons over global branch history.
+ *
+ * Each table entry holds historyLength weights plus a bias. The
+ * prediction is the sign of the dot product of the weights with the
+ * (+1/-1 encoded) history; training bumps weights when the prediction
+ * was wrong or the output magnitude is under the threshold
+ * theta = floor(1.93 * h + 14), the value derived in the original
+ * paper.
+ */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param num_entries    number of perceptrons (power of two)
+     * @param history_length global history bits used (<= 64)
+     */
+    PerceptronPredictor(uint32_t num_entries = 1024,
+                        uint32_t history_length = 28);
+
+    bool lookup(uint64_t pc, uint64_t history) override;
+    void train(uint64_t pc, uint64_t history, bool taken) override;
+    BpKind kind() const override { return BpKind::Perceptron; }
+
+    /** History length in use. */
+    uint32_t historyLength() const { return histLen; }
+
+    /** Training threshold theta. */
+    int32_t threshold() const { return theta; }
+
+  private:
+    int32_t output(uint64_t pc, uint64_t history) const;
+    uint32_t index(uint64_t pc) const;
+
+    uint32_t entries;
+    uint32_t histLen;
+    int32_t theta;
+    int32_t weightMax;
+    int32_t weightMin;
+    /** entries x (histLen + 1) weights; column 0 is the bias. */
+    std::vector<int16_t> weights;
+};
+
+} // namespace kilo::pred
+
+#endif // KILO_PRED_PERCEPTRON_HH

@@ -1,0 +1,42 @@
+#include "src/pred/predictor.hh"
+
+#include "src/pred/perceptron.hh"
+#include "src/pred/table_predictors.hh"
+#include "src/util/logging.hh"
+
+namespace kilo::pred
+{
+
+const char *
+bpKindName(BpKind kind)
+{
+    switch (kind) {
+      case BpKind::Perceptron: return "perceptron";
+      case BpKind::Gshare: return "gshare";
+      case BpKind::Bimodal: return "bimodal";
+      case BpKind::AlwaysTaken: return "always-taken";
+      case BpKind::Perfect: return "perfect";
+    }
+    KILO_PANIC("unknown BpKind");
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(BpKind kind, uint64_t seed)
+{
+    (void)seed;
+    switch (kind) {
+      case BpKind::Perceptron:
+        return std::make_unique<PerceptronPredictor>();
+      case BpKind::Gshare:
+        return std::make_unique<GsharePredictor>();
+      case BpKind::Bimodal:
+        return std::make_unique<BimodalPredictor>();
+      case BpKind::AlwaysTaken:
+        return std::make_unique<AlwaysTakenPredictor>();
+      case BpKind::Perfect:
+        return std::make_unique<PerfectPredictor>();
+    }
+    KILO_PANIC("unknown BpKind");
+}
+
+} // namespace kilo::pred

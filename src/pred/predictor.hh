@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Branch-direction predictor interface and factory.
+ *
+ * Predictors are stateless with respect to global history: the fetch
+ * engine owns the speculative history register and passes it to
+ * lookup()/train(), which lets recovery snapshot and restore history
+ * per in-flight branch.
+ */
+
+#ifndef KILO_PRED_PREDICTOR_HH
+#define KILO_PRED_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace kilo::pred
+{
+
+/** Selectable predictor families. */
+enum class BpKind : uint8_t
+{
+    Perceptron,   ///< Jimenez & Lin perceptron (the paper's default)
+    Gshare,       ///< 2-bit counters indexed by pc ^ history
+    Bimodal,      ///< 2-bit counters indexed by pc
+    AlwaysTaken,  ///< static taken
+    Perfect,      ///< oracle; handled by the fetch engine
+};
+
+/** Name of a predictor kind. */
+const char *bpKindName(BpKind kind);
+
+/** Direction predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool lookup(uint64_t pc, uint64_t history) = 0;
+
+    /**
+     * Train with the resolved outcome.
+     *
+     * @param history the global history *at prediction time*
+     * @param taken   the actual direction
+     */
+    virtual void train(uint64_t pc, uint64_t history, bool taken) = 0;
+
+    /** True when the fetch engine should bypass with the oracle. */
+    virtual bool isPerfect() const { return false; }
+
+    /** Kind tag for stat output. */
+    virtual BpKind kind() const = 0;
+};
+
+/** Build a predictor of the given kind with its default geometry. */
+std::unique_ptr<BranchPredictor> makePredictor(BpKind kind,
+                                               uint64_t seed = 1);
+
+} // namespace kilo::pred
+
+#endif // KILO_PRED_PREDICTOR_HH

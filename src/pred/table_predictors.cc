@@ -1,0 +1,51 @@
+#include "src/pred/table_predictors.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::pred
+{
+
+BimodalPredictor::BimodalPredictor(uint32_t num_entries)
+    : entries(num_entries), histBits(0),
+      counters(num_entries, 2) // weakly taken
+{
+    KILO_ASSERT(entries && !(entries & (entries - 1)),
+                "predictor table size must be a power of two");
+}
+
+uint32_t
+BimodalPredictor::index(uint64_t pc, uint64_t history) const
+{
+    uint64_t v = pc >> 2;
+    if (histBits)
+        v ^= history & ((uint64_t(1) << histBits) - 1);
+    return uint32_t(v & (entries - 1));
+}
+
+bool
+BimodalPredictor::lookup(uint64_t pc, uint64_t history)
+{
+    return counters[index(pc, history)] >= 2;
+}
+
+void
+BimodalPredictor::train(uint64_t pc, uint64_t history, bool taken)
+{
+    uint8_t &ctr = counters[index(pc, history)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+GsharePredictor::GsharePredictor(uint32_t num_entries,
+                                 uint32_t history_bits)
+    : BimodalPredictor(num_entries)
+{
+    histBits = history_bits;
+}
+
+} // namespace kilo::pred

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Classic saturating-counter predictors (bimodal, gshare) plus the
+ * static always-taken and oracle predictors. These serve as ablation
+ * baselines against the perceptron default.
+ */
+
+#ifndef KILO_PRED_TABLE_PREDICTORS_HH
+#define KILO_PRED_TABLE_PREDICTORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pred/predictor.hh"
+
+namespace kilo::pred
+{
+
+/** Two-bit saturating counters indexed by PC. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(uint32_t num_entries = 4096);
+
+    bool lookup(uint64_t pc, uint64_t history) override;
+    void train(uint64_t pc, uint64_t history, bool taken) override;
+    BpKind kind() const override { return BpKind::Bimodal; }
+
+  protected:
+    uint32_t index(uint64_t pc, uint64_t history) const;
+
+    uint32_t entries;
+    uint32_t histBits;
+    std::vector<uint8_t> counters;
+};
+
+/** Two-bit counters indexed by pc XOR global history. */
+class GsharePredictor : public BimodalPredictor
+{
+  public:
+    explicit GsharePredictor(uint32_t num_entries = 4096,
+                             uint32_t history_bits = 12);
+
+    BpKind kind() const override { return BpKind::Gshare; }
+};
+
+/** Statically predicts taken. */
+class AlwaysTakenPredictor : public BranchPredictor
+{
+  public:
+    bool lookup(uint64_t, uint64_t) override { return true; }
+    void train(uint64_t, uint64_t, bool) override {}
+    BpKind kind() const override { return BpKind::AlwaysTaken; }
+};
+
+/** Oracle marker; the fetch engine substitutes the actual outcome. */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    bool lookup(uint64_t, uint64_t) override { return true; }
+    void train(uint64_t, uint64_t, bool) override {}
+    bool isPerfect() const override { return true; }
+    BpKind kind() const override { return BpKind::Perfect; }
+};
+
+} // namespace kilo::pred
+
+#endif // KILO_PRED_TABLE_PREDICTORS_HH

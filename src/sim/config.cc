@@ -1,0 +1,108 @@
+#include "src/sim/config.hh"
+
+#include <cstdio>
+
+namespace kilo::sim
+{
+
+MachineConfig
+MachineConfig::r10_64()
+{
+    MachineConfig m;
+    m.kind = MachineKind::Ooo;
+    m.name = "R10-64";
+    m.cp.name = m.name;
+    m.cp.robSize = 64;
+    m.cp.intIqSize = 40;
+    m.cp.fpIqSize = 40;
+    return m;
+}
+
+MachineConfig
+MachineConfig::r10_256()
+{
+    MachineConfig m = r10_64();
+    m.name = "R10-256";
+    m.cp.name = m.name;
+    m.cp.robSize = 256;
+    m.cp.intIqSize = 160;
+    m.cp.fpIqSize = 160;
+    return m;
+}
+
+MachineConfig
+MachineConfig::r10_768()
+{
+    MachineConfig m = r10_64();
+    m.name = "R10-768";
+    m.cp.name = m.name;
+    m.cp.robSize = 768;
+    m.cp.intIqSize = 256;
+    m.cp.fpIqSize = 256;
+    return m;
+}
+
+MachineConfig
+MachineConfig::kilo1024()
+{
+    MachineConfig m;
+    m.kind = MachineKind::Kilo;
+    m.name = "KILO-1024";
+    m.kilo = kilo_proc::KiloParams::kilo1024();
+    return m;
+}
+
+MachineConfig
+MachineConfig::dkip2048()
+{
+    MachineConfig m;
+    m.kind = MachineKind::Dkip;
+    m.name = "DKIP-2048";
+    m.dkip = dkip::DkipParams::dkip2048();
+    return m;
+}
+
+MachineConfig
+MachineConfig::windowLimit(size_t window)
+{
+    MachineConfig m;
+    m.kind = MachineKind::Ooo;
+    m.name = "WIN-" + std::to_string(window);
+    m.cp.name = m.name;
+    m.cp.robSize = window;
+    m.cp.intIqSize = window;
+    m.cp.fpIqSize = window;
+    m.cp.lsqSize = window > 512 ? window : 512;
+    m.cp.fetchBufferSize = 64;
+    return m;
+}
+
+MachineConfig
+MachineConfig::dkipSched(core::SchedPolicy cp_policy, size_t cp_queue,
+                         core::SchedPolicy mp_policy, size_t mp_queue)
+{
+    MachineConfig m = dkip2048();
+    m.name = schedLabel(cp_policy, cp_queue, mp_policy, mp_queue);
+    m.dkip.cp.name = m.name;
+    m.dkip.cp.intPolicy = cp_policy;
+    m.dkip.cp.fpPolicy = cp_policy;
+    m.dkip.cp.intIqSize = cp_queue;
+    m.dkip.cp.fpIqSize = cp_queue;
+    m.dkip.mpPolicy = mp_policy;
+    m.dkip.mpIqSize = mp_queue;
+    return m;
+}
+
+std::string
+MachineConfig::schedLabel(core::SchedPolicy cp_policy, size_t cp_queue,
+                          core::SchedPolicy mp_policy, size_t mp_queue)
+{
+    auto part = [](core::SchedPolicy p, size_t q) {
+        if (p == core::SchedPolicy::InOrder)
+            return std::string("INO");
+        return "OOO" + std::to_string(q);
+    };
+    return part(cp_policy, cp_queue) + "-" + part(mp_policy, mp_queue);
+}
+
+} // namespace kilo::sim

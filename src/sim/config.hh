@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Machine configuration presets.
+ *
+ * Builders for every processor evaluated in the paper: the R10000
+ * baselines (section 4.2), the window-scaling limit cores (section
+ * 2), the KILO-1024 baseline and the D-KIP variants of sections
+ * 4.2-4.4.
+ */
+
+#ifndef KILO_SIM_CONFIG_HH
+#define KILO_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/params.hh"
+#include "src/dkip/dkip_core.hh"
+#include "src/kilo_proc/kilo_core.hh"
+
+namespace kilo::sim
+{
+
+/** Which core model a configuration instantiates. */
+enum class MachineKind : uint8_t
+{
+    Ooo,   ///< core::OooCore
+    Kilo,  ///< kilo_proc::KiloCore
+    Dkip,  ///< dkip::DkipCore
+};
+
+/** A fully-specified machine. */
+struct MachineConfig
+{
+    MachineKind kind = MachineKind::Ooo;
+    std::string name = "machine";
+
+    core::CoreParams cp;           ///< used when kind == Ooo
+    kilo_proc::KiloParams kilo;    ///< used when kind == Kilo
+    dkip::DkipParams dkip;         ///< used when kind == Dkip
+
+    /** R10000 with a 64-entry ROB and 40-entry queues (Fig. 9). */
+    static MachineConfig r10_64();
+
+    /** Futuristic R10000: 256-entry ROB, 160-entry queues (Fig. 9). */
+    static MachineConfig r10_256();
+
+    /** The R10-768 reference of section 4.2. */
+    static MachineConfig r10_768();
+
+    /** KILO-1024: pseudo-ROB 64 + 1024-entry SLIQ (Fig. 9). */
+    static MachineConfig kilo1024();
+
+    /** D-KIP-2048: the paper's default decoupled machine (Fig. 9). */
+    static MachineConfig dkip2048();
+
+    /**
+     * Idealised ROB-limited core for the limit study of Figures 1-3:
+     * every queue is sized to the window so "stalls can only occur
+     * due to shortage of entries in the ROB".
+     */
+    static MachineConfig windowLimit(size_t window);
+
+    /**
+     * D-KIP with explicit CP/MP scheduler configurations, the axes
+     * of Figures 10-12 (e.g. INO/INO, OOO-80/OOO-40).
+     */
+    static MachineConfig dkipSched(core::SchedPolicy cp_policy,
+                                   size_t cp_queue,
+                                   core::SchedPolicy mp_policy,
+                                   size_t mp_queue);
+
+    /** Human-readable CP-MP label, e.g. "OOO80-INO" (Figs. 11/12). */
+    static std::string schedLabel(core::SchedPolicy cp_policy,
+                                  size_t cp_queue,
+                                  core::SchedPolicy mp_policy,
+                                  size_t mp_queue);
+};
+
+} // namespace kilo::sim
+
+#endif // KILO_SIM_CONFIG_HH

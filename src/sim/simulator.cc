@@ -1,0 +1,71 @@
+#include "src/sim/simulator.hh"
+
+#include "src/core/ooo_core.hh"
+#include "src/dkip/dkip_core.hh"
+#include "src/kilo_proc/kilo_core.hh"
+#include "src/util/logging.hh"
+#include "src/wload/synthetic.hh"
+
+namespace kilo::sim
+{
+
+std::unique_ptr<core::PipelineBase>
+Simulator::makeCore(const MachineConfig &machine,
+                    wload::Workload &workload,
+                    const mem::MemConfig &mem_config)
+{
+    switch (machine.kind) {
+      case MachineKind::Ooo:
+        return std::make_unique<core::OooCore>(machine.cp, workload,
+                                               mem_config);
+      case MachineKind::Kilo:
+        return std::make_unique<kilo_proc::KiloCore>(
+            machine.kilo, workload, mem_config);
+      case MachineKind::Dkip:
+        return std::make_unique<dkip::DkipCore>(machine.dkip, workload,
+                                                mem_config);
+    }
+    KILO_PANIC("unknown MachineKind");
+}
+
+RunResult
+Simulator::run(const MachineConfig &machine,
+               const std::string &workload_name,
+               const mem::MemConfig &mem_config,
+               const RunConfig &run_config)
+{
+    auto workload = wload::makeWorkload(workload_name);
+    return run(machine, *workload, mem_config, run_config);
+}
+
+RunResult
+Simulator::run(const MachineConfig &machine, wload::Workload &workload,
+               const mem::MemConfig &mem_config,
+               const RunConfig &run_config)
+{
+    auto core = makeCore(machine, workload, mem_config);
+
+    // Functional cache warm-up: install the workload's working set so
+    // the short timed region sees the steady-state hit rates a 200M-
+    // instruction SimPoint run would.
+    for (const auto &region : workload.regions())
+        core->memory().prewarm(region.base, region.bytes);
+
+    if (run_config.warmupInsts) {
+        core->run(run_config.warmupInsts);
+        core->resetStats();
+    }
+    core->run(run_config.measureInsts);
+
+    RunResult res;
+    res.machine = machine.name;
+    res.workload = workload.name();
+    res.stats = core->stats();
+    res.ipc = core->stats().ipc();
+    res.memAccesses = core->memory().accesses();
+    res.l2Misses = core->memory().l2Misses();
+    res.l2MissRatio = core->memory().l2MissRatio();
+    return res;
+}
+
+} // namespace kilo::sim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Top-level simulation driver: one (machine, workload, memory) run.
+ *
+ * This is the primary public entry point of the library:
+ *
+ *     auto result = sim::Simulator::run(
+ *         sim::MachineConfig::dkip2048(), "swim",
+ *         mem::MemConfig::mem400(), sim::RunConfig());
+ *     std::printf("IPC %.2f\n", result.ipc);
+ */
+
+#ifndef KILO_SIM_SIMULATOR_HH
+#define KILO_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "src/core/core_stats.hh"
+#include "src/core/pipeline_base.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/sim/config.hh"
+#include "src/wload/workload.hh"
+
+namespace kilo::sim
+{
+
+/** Length of a simulation. */
+struct RunConfig
+{
+    uint64_t warmupInsts = 20000;   ///< committed, stats then reset
+    uint64_t measureInsts = 100000; ///< committed, measured region
+
+    /** Short preset for wide parameter sweeps. */
+    static RunConfig
+    sweep()
+    {
+        RunConfig r;
+        r.warmupInsts = 10000;
+        r.measureInsts = 40000;
+        return r;
+    }
+};
+
+/** Outcome of one run. */
+struct RunResult
+{
+    std::string machine;
+    std::string workload;
+    double ipc = 0.0;
+    core::CoreStats stats;
+
+    /** Memory-side statistics. @{ */
+    uint64_t memAccesses = 0;
+    uint64_t l2Misses = 0;
+    double l2MissRatio = 0.0;
+    /** @} */
+};
+
+/** Builds cores and executes runs. */
+class Simulator
+{
+  public:
+    /** Instantiate the core described by @p machine. */
+    static std::unique_ptr<core::PipelineBase>
+    makeCore(const MachineConfig &machine, wload::Workload &workload,
+             const mem::MemConfig &mem_config);
+
+    /** Run @p workload_name on @p machine and collect statistics. */
+    static RunResult run(const MachineConfig &machine,
+                         const std::string &workload_name,
+                         const mem::MemConfig &mem_config,
+                         const RunConfig &run_config = RunConfig());
+
+    /** Same, with a caller-provided workload instance. */
+    static RunResult run(const MachineConfig &machine,
+                         wload::Workload &workload,
+                         const mem::MemConfig &mem_config,
+                         const RunConfig &run_config = RunConfig());
+};
+
+} // namespace kilo::sim
+
+#endif // KILO_SIM_SIMULATOR_HH

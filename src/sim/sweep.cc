@@ -1,0 +1,62 @@
+#include "src/sim/sweep.hh"
+
+#include "src/wload/profile.hh"
+
+namespace kilo::sim
+{
+
+std::vector<std::string>
+intSuite()
+{
+    std::vector<std::string> names;
+    for (const auto &p : wload::intProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+std::vector<std::string>
+fpSuite()
+{
+    std::vector<std::string> names;
+    for (const auto &p : wload::fpProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+std::vector<RunResult>
+runSuite(const MachineConfig &machine,
+         const std::vector<std::string> &suite,
+         const mem::MemConfig &mem_config, const RunConfig &run_config)
+{
+    std::vector<RunResult> results;
+    results.reserve(suite.size());
+    for (const auto &name : suite) {
+        results.push_back(
+            Simulator::run(machine, name, mem_config, run_config));
+    }
+    return results;
+}
+
+double
+meanIpc(const std::vector<RunResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : results)
+        sum += r.ipc;
+    return sum / double(results.size());
+}
+
+double
+meanMpFraction(const std::vector<RunResult> &results)
+{
+    if (results.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &r : results)
+        sum += r.stats.mpFraction();
+    return sum / double(results.size());
+}
+
+} // namespace kilo::sim

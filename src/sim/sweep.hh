@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Suite-level sweep helpers.
+ *
+ * The paper reports arithmetic-mean IPC over the SpecINT and SpecFP
+ * suites; these helpers run a machine over a whole suite and reduce
+ * the results the same way.
+ */
+
+#ifndef KILO_SIM_SWEEP_HH
+#define KILO_SIM_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+
+namespace kilo::sim
+{
+
+/** Names of the SpecINT-like suite, Figure 13 order. */
+std::vector<std::string> intSuite();
+
+/** Names of the SpecFP-like suite, Figure 14 order. */
+std::vector<std::string> fpSuite();
+
+/** Run @p machine over every workload in @p suite. */
+std::vector<RunResult> runSuite(const MachineConfig &machine,
+                                const std::vector<std::string> &suite,
+                                const mem::MemConfig &mem_config,
+                                const RunConfig &run_config);
+
+/** Arithmetic mean of IPC over @p results (the paper's reduction). */
+double meanIpc(const std::vector<RunResult> &results);
+
+/** Mean fraction of committed instructions executed in the MP. */
+double meanMpFraction(const std::vector<RunResult> &results);
+
+} // namespace kilo::sim
+
+#endif // KILO_SIM_SWEEP_HH

@@ -1,0 +1,61 @@
+#include "src/sim/table.hh"
+
+#include <cstdio>
+
+namespace kilo::sim
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < headers.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            out += cell;
+            out.append(widths[c] - cell.size() + 2, ' ');
+        }
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out += '\n';
+    };
+
+    emit(headers);
+    std::vector<std::string> rule;
+    for (size_t c = 0; c < headers.size(); ++c)
+        rule.push_back(std::string(widths[c], '-'));
+    emit(rule);
+    for (const auto &row : rows)
+        emit(row);
+    return out;
+}
+
+} // namespace kilo::sim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by the benchmark harnesses to
+ * emit paper-style rows.
+ */
+
+#ifndef KILO_SIM_TABLE_HH
+#define KILO_SIM_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace kilo::sim
+{
+
+/** Column-aligned table builder. */
+class Table
+{
+  public:
+    /** Start a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row (cells beyond the header count are dropped). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace kilo::sim
+
+#endif // KILO_SIM_TABLE_HH

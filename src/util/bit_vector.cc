@@ -1,0 +1,51 @@
+#include "src/util/bit_vector.hh"
+
+#include <bit>
+
+#include "src/util/logging.hh"
+
+namespace kilo
+{
+
+BitVector::BitVector(size_t n)
+    : bits(n), words((n + 63) / 64, 0)
+{}
+
+void
+BitVector::set(size_t idx)
+{
+    KILO_ASSERT(idx < bits, "BitVector::set out of range");
+    words[idx / 64] |= (uint64_t(1) << (idx % 64));
+}
+
+void
+BitVector::clear(size_t idx)
+{
+    KILO_ASSERT(idx < bits, "BitVector::clear out of range");
+    words[idx / 64] &= ~(uint64_t(1) << (idx % 64));
+}
+
+bool
+BitVector::test(size_t idx) const
+{
+    KILO_ASSERT(idx < bits, "BitVector::test out of range");
+    return (words[idx / 64] >> (idx % 64)) & 1;
+}
+
+void
+BitVector::clearAll()
+{
+    for (auto &w : words)
+        w = 0;
+}
+
+size_t
+BitVector::popcount() const
+{
+    size_t n = 0;
+    for (auto w : words)
+        n += std::popcount(w);
+    return n;
+}
+
+} // namespace kilo

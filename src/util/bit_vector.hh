@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Dense bit vector used for the Low-Locality Bit Vector (LLBV).
+ *
+ * The D-KIP keeps one bit per logical register recording whether the
+ * most recent definition of that register is a long-latency value.
+ * This class models that structure plus the bulk-clear operation that
+ * checkpoint recovery performs.
+ */
+
+#ifndef KILO_UTIL_BIT_VECTOR_HH
+#define KILO_UTIL_BIT_VECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kilo
+{
+
+/** Fixed-width bit vector with popcount support. */
+class BitVector
+{
+  public:
+    /** Create a vector of @p n bits, all clear. */
+    explicit BitVector(size_t n = 0);
+
+    /** Number of bits. */
+    size_t size() const { return bits; }
+
+    /** Set bit @p idx. */
+    void set(size_t idx);
+
+    /** Clear bit @p idx. */
+    void clear(size_t idx);
+
+    /** Read bit @p idx. */
+    bool test(size_t idx) const;
+
+    /** Clear every bit (checkpoint-recovery semantics). */
+    void clearAll();
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** True when no bit is set. */
+    bool none() const { return popcount() == 0; }
+
+  private:
+    size_t bits;
+    std::vector<uint64_t> words;
+};
+
+} // namespace kilo
+
+#endif // KILO_UTIL_BIT_VECTOR_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fixed-capacity circular FIFO used for ROBs, LLIBs and value queues.
+ *
+ * The hardware structures modelled by the simulator are all circular
+ * buffers with head and tail pointers; this template mirrors that
+ * organisation so that capacity limits and head-of-queue blocking are
+ * modelled naturally.
+ */
+
+#ifndef KILO_UTIL_CIRCULAR_BUFFER_HH
+#define KILO_UTIL_CIRCULAR_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/logging.hh"
+
+namespace kilo
+{
+
+/**
+ * Bounded circular FIFO with stable logical indexing.
+ *
+ * Elements are addressed both positionally (0 == head) and can be
+ * popped from the back to support squashing the youngest entries,
+ * which is exactly the operation a ROB walk performs on recovery.
+ */
+template <typename T>
+class CircularBuffer
+{
+  public:
+    /** Create a buffer holding at most @p capacity elements. */
+    explicit CircularBuffer(size_t capacity)
+        : store(capacity ? capacity : 1), cap(capacity ? capacity : 1)
+    {}
+
+    /** Number of valid elements. */
+    size_t size() const { return count; }
+
+    /** Maximum number of elements. */
+    size_t capacity() const { return cap; }
+
+    /** True when no elements are present. */
+    bool empty() const { return count == 0; }
+
+    /** True when no further push is possible. */
+    bool full() const { return count == cap; }
+
+    /** Free slots remaining. */
+    size_t space() const { return cap - count; }
+
+    /** Append at the tail. The buffer must not be full. */
+    void
+    pushBack(const T &value)
+    {
+        KILO_ASSERT(!full(), "pushBack on full CircularBuffer");
+        store[(head + count) % cap] = value;
+        ++count;
+    }
+
+    /** Remove and return the head element. */
+    T
+    popFront()
+    {
+        KILO_ASSERT(!empty(), "popFront on empty CircularBuffer");
+        T value = store[head];
+        store[head] = T();
+        head = (head + 1) % cap;
+        --count;
+        return value;
+    }
+
+    /** Remove and return the tail element (squash path). */
+    T
+    popBack()
+    {
+        KILO_ASSERT(!empty(), "popBack on empty CircularBuffer");
+        size_t idx = (head + count - 1) % cap;
+        T value = store[idx];
+        store[idx] = T();
+        --count;
+        return value;
+    }
+
+    /** Head element (oldest). */
+    T &
+    front()
+    {
+        KILO_ASSERT(!empty(), "front on empty CircularBuffer");
+        return store[head];
+    }
+
+    const T &
+    front() const
+    {
+        KILO_ASSERT(!empty(), "front on empty CircularBuffer");
+        return store[head];
+    }
+
+    /** Tail element (youngest). */
+    T &
+    back()
+    {
+        KILO_ASSERT(!empty(), "back on empty CircularBuffer");
+        return store[(head + count - 1) % cap];
+    }
+
+    /** Positional access; index 0 is the head. */
+    T &
+    at(size_t pos)
+    {
+        KILO_ASSERT(pos < count, "CircularBuffer index out of range");
+        return store[(head + pos) % cap];
+    }
+
+    const T &
+    at(size_t pos) const
+    {
+        KILO_ASSERT(pos < count, "CircularBuffer index out of range");
+        return store[(head + pos) % cap];
+    }
+
+    /** Drop every element. */
+    void
+    clear()
+    {
+        while (!empty())
+            popFront();
+    }
+
+  private:
+    std::vector<T> store;
+    size_t cap;
+    size_t head = 0;
+    size_t count = 0;
+};
+
+} // namespace kilo
+
+#endif // KILO_UTIL_CIRCULAR_BUFFER_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Timing wheel that schedules instruction-completion events.
+ *
+ * The cores schedule "this micro-op finishes at cycle T" events; the
+ * wheel pops everything due at the current cycle in O(1) amortised and
+ * can report the next non-empty slot so idle periods can be skipped.
+ */
+
+#ifndef KILO_UTIL_EVENT_WHEEL_HH
+#define KILO_UTIL_EVENT_WHEEL_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/util/logging.hh"
+
+namespace kilo
+{
+
+/**
+ * Calendar queue keyed by absolute cycle.
+ *
+ * Implemented as an ordered map of cycle -> payload vector; the number
+ * of distinct in-flight completion cycles is small (bounded by the
+ * number of in-flight instructions) so the tree is shallow.
+ */
+template <typename T>
+class EventWheel
+{
+  public:
+    /** Schedule @p payload to pop at absolute @p cycle. */
+    void
+    schedule(uint64_t cycle, const T &payload)
+    {
+        slots[cycle].push_back(payload);
+        ++count;
+    }
+
+    /** Number of pending events. */
+    size_t size() const { return count; }
+
+    /** True when nothing is scheduled. */
+    bool empty() const { return count == 0; }
+
+    /**
+     * Earliest cycle with a pending event.
+     * @pre !empty()
+     */
+    uint64_t
+    nextCycle() const
+    {
+        KILO_ASSERT(!empty(), "nextCycle on empty EventWheel");
+        return slots.begin()->first;
+    }
+
+    /**
+     * Pop every event due at or before @p cycle into @p out.
+     * Returns the number of events popped.
+     */
+    size_t
+    popDue(uint64_t cycle, std::vector<T> &out)
+    {
+        size_t popped = 0;
+        while (!slots.empty() && slots.begin()->first <= cycle) {
+            auto &vec = slots.begin()->second;
+            popped += vec.size();
+            for (auto &e : vec)
+                out.push_back(e);
+            count -= vec.size();
+            slots.erase(slots.begin());
+        }
+        return popped;
+    }
+
+    /** Drop all pending events (full-pipeline squash). */
+    void
+    clear()
+    {
+        slots.clear();
+        count = 0;
+    }
+
+  private:
+    std::map<uint64_t, std::vector<T>> slots;
+    size_t count = 0;
+};
+
+} // namespace kilo
+
+#endif // KILO_UTIL_EVENT_WHEEL_HH

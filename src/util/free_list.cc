@@ -1,0 +1,46 @@
+#include "src/util/free_list.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo
+{
+
+FreeList::FreeList(uint32_t num_slots)
+    : total(num_slots), allocated(num_slots, false)
+{
+    free.reserve(num_slots);
+    // Hand out low indices first for reproducibility.
+    for (uint32_t i = num_slots; i > 0; --i)
+        free.push_back(i - 1);
+}
+
+uint32_t
+FreeList::alloc()
+{
+    KILO_ASSERT(hasFree(), "FreeList::alloc with no free slots");
+    uint32_t idx = free.back();
+    free.pop_back();
+    allocated[idx] = true;
+    return idx;
+}
+
+void
+FreeList::release(uint32_t idx)
+{
+    KILO_ASSERT(idx < total, "FreeList::release out of range");
+    KILO_ASSERT(allocated[idx], "FreeList::release of free slot");
+    allocated[idx] = false;
+    free.push_back(idx);
+}
+
+void
+FreeList::reset()
+{
+    free.clear();
+    for (uint32_t i = total; i > 0; --i)
+        free.push_back(i - 1);
+    for (size_t i = 0; i < allocated.size(); ++i)
+        allocated[i] = false;
+}
+
+} // namespace kilo

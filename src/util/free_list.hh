@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-bank register free list used by the LLRF.
+ *
+ * Each LLRF bank owns an independent free list (paper, section 3.2:
+ * "Each bank has a free list that works independently of the other
+ * banks"). The list hands out physical slot indices.
+ */
+
+#ifndef KILO_UTIL_FREE_LIST_HH
+#define KILO_UTIL_FREE_LIST_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace kilo
+{
+
+/** LIFO free list over a fixed pool of slot indices. */
+class FreeList
+{
+  public:
+    /** Create a list managing slots [0, num_slots). */
+    explicit FreeList(uint32_t num_slots = 0);
+
+    /** True when at least one slot is free. */
+    bool hasFree() const { return !free.empty(); }
+
+    /** Number of free slots. */
+    uint32_t numFree() const { return uint32_t(free.size()); }
+
+    /** Total number of slots managed. */
+    uint32_t numSlots() const { return total; }
+
+    /** Number of slots currently allocated. */
+    uint32_t numAllocated() const { return total - numFree(); }
+
+    /** Allocate a slot. @pre hasFree() */
+    uint32_t alloc();
+
+    /** Return slot @p idx to the pool. */
+    void release(uint32_t idx);
+
+    /** Reset to the fully-free state (checkpoint recovery). */
+    void reset();
+
+  private:
+    uint32_t total;
+    std::vector<uint32_t> free;
+    std::vector<bool> allocated;
+};
+
+} // namespace kilo
+
+#endif // KILO_UTIL_FREE_LIST_HH

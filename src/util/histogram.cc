@@ -1,0 +1,99 @@
+#include "src/util/histogram.hh"
+
+#include <cstdio>
+
+#include "src/util/logging.hh"
+
+namespace kilo
+{
+
+Histogram::Histogram(uint64_t bucket_width, size_t num_buckets)
+    : width(bucket_width ? bucket_width : 1), counts(num_buckets, 0)
+{}
+
+void
+Histogram::sample(uint64_t value)
+{
+    size_t idx = value / width;
+    if (idx < counts.size())
+        ++counts[idx];
+    else
+        ++overflow;
+    ++total;
+    sum += double(value);
+}
+
+uint64_t
+Histogram::bucketCount(size_t idx) const
+{
+    KILO_ASSERT(idx < counts.size(), "Histogram bucket out of range");
+    return counts[idx];
+}
+
+double
+Histogram::bucketFraction(size_t idx) const
+{
+    if (total == 0)
+        return 0.0;
+    return double(bucketCount(idx)) / double(total);
+}
+
+double
+Histogram::fractionBelow(uint64_t value) const
+{
+    if (total == 0)
+        return 0.0;
+    uint64_t below = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        uint64_t bucket_lo = i * width;
+        if (bucket_lo + width <= value) {
+            below += counts[i];
+        } else if (bucket_lo < value) {
+            // Partial bucket: assume uniform distribution inside it.
+            below += counts[i] * (value - bucket_lo) / width;
+        }
+    }
+    return double(below) / double(total);
+}
+
+double
+Histogram::mean() const
+{
+    return total ? sum / double(total) : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    overflow = 0;
+    total = 0;
+    sum = 0.0;
+}
+
+std::string
+Histogram::render(size_t max_rows) const
+{
+    std::string out;
+    char line[128];
+    size_t rows = counts.size() < max_rows ? counts.size() : max_rows;
+    for (size_t i = 0; i < rows; ++i) {
+        std::snprintf(line, sizeof(line), "%6lu-%-6lu %10lu %6.2f%%\n",
+                      (unsigned long)(i * width),
+                      (unsigned long)((i + 1) * width - 1),
+                      (unsigned long)counts[i],
+                      100.0 * bucketFraction(i));
+        out += line;
+    }
+    if (overflow) {
+        std::snprintf(line, sizeof(line), "%6s %10lu %6.2f%%\n",
+                      "over", (unsigned long)overflow,
+                      total ? 100.0 * double(overflow) / double(total)
+                            : 0.0);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace kilo

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bucketed histogram used for the decode->issue distance analysis
+ * (Figure 3 of the paper) and general latency distributions.
+ */
+
+#ifndef KILO_UTIL_HISTOGRAM_HH
+#define KILO_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kilo
+{
+
+/**
+ * Fixed-bucket-width histogram over [0, max); samples beyond the last
+ * bucket accumulate in an overflow bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width  width of each bucket in sample units
+     * @param num_buckets   number of regular buckets
+     */
+    Histogram(uint64_t bucket_width, size_t num_buckets);
+
+    /** Record one sample. */
+    void sample(uint64_t value);
+
+    /** Total number of samples recorded. */
+    uint64_t samples() const { return total; }
+
+    /** Count in regular bucket @p idx. */
+    uint64_t bucketCount(size_t idx) const;
+
+    /** Count of samples past the last regular bucket. */
+    uint64_t overflowCount() const { return overflow; }
+
+    /** Number of regular buckets. */
+    size_t numBuckets() const { return counts.size(); }
+
+    /** Width of each bucket. */
+    uint64_t bucketWidth() const { return width; }
+
+    /** Fraction (0..1) of samples in bucket @p idx. */
+    double bucketFraction(size_t idx) const;
+
+    /** Fraction of samples strictly below @p value. */
+    double fractionBelow(uint64_t value) const;
+
+    /** Arithmetic mean of all samples. */
+    double mean() const;
+
+    /** Reset all state. */
+    void reset();
+
+    /** Render an ASCII table: one "lo-hi count pct" row per bucket. */
+    std::string render(size_t max_rows = 64) const;
+
+  private:
+    uint64_t width;
+    std::vector<uint64_t> counts;
+    uint64_t overflow = 0;
+    uint64_t total = 0;
+    double sum = 0.0;
+};
+
+} // namespace kilo
+
+#endif // KILO_UTIL_HISTOGRAM_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  — an internal simulator invariant was violated; aborts.
+ * fatal()  — the user supplied an impossible configuration; exits(1).
+ * warn()   — something is modelled approximately; execution continues.
+ */
+
+#ifndef KILO_UTIL_LOGGING_HH
+#define KILO_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kilo
+{
+
+/** Abort with a message: simulator bug, never the user's fault. */
+#define KILO_PANIC(...)                                                  \
+    do {                                                                 \
+        std::fprintf(stderr, "panic: %s:%d: ", __FILE__, __LINE__);      \
+        std::fprintf(stderr, __VA_ARGS__);                               \
+        std::fprintf(stderr, "\n");                                      \
+        std::abort();                                                    \
+    } while (0)
+
+/** Exit with a message: invalid configuration or arguments. */
+#define KILO_FATAL(...)                                                  \
+    do {                                                                 \
+        std::fprintf(stderr, "fatal: ");                                 \
+        std::fprintf(stderr, __VA_ARGS__);                               \
+        std::fprintf(stderr, "\n");                                      \
+        std::exit(1);                                                    \
+    } while (0)
+
+/** Non-fatal diagnostic. */
+#define KILO_WARN(...)                                                   \
+    do {                                                                 \
+        std::fprintf(stderr, "warn: ");                                  \
+        std::fprintf(stderr, __VA_ARGS__);                               \
+        std::fprintf(stderr, "\n");                                      \
+    } while (0)
+
+/** Cheap always-on assertion used for structural invariants. */
+#define KILO_ASSERT(cond, ...)                                           \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            KILO_PANIC(__VA_ARGS__);                                     \
+        }                                                                \
+    } while (0)
+
+} // namespace kilo
+
+#endif // KILO_UTIL_LOGGING_HH

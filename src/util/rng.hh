@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * The simulator must be bit-exactly reproducible across runs and
+ * platforms, so we use a self-contained xorshift64* generator rather
+ * than the implementation-defined std:: distributions.
+ */
+
+#ifndef KILO_UTIL_RNG_HH
+#define KILO_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace kilo
+{
+
+/**
+ * xorshift64* pseudo-random generator.
+ *
+ * Deterministic, seedable and fast; all workload generators draw from
+ * an instance of this class so traces are reproducible.
+ */
+class Rng
+{
+  public:
+    /** Construct with a non-zero seed (zero is remapped internally). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). Returns 0 when bound == 0. */
+    uint64_t
+    range(uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Re-seed the generator. */
+    void
+    seed(uint64_t s)
+    {
+        state = s ? s : 0x9e3779b97f4a7c15ull;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace kilo
+
+#endif // KILO_UTIL_RNG_HH

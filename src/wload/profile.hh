@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parameter block describing one synthetic benchmark.
+ *
+ * A profile fixes everything that determines a benchmark's execution
+ * locality: footprint and access pattern of each memory region, the
+ * amount of computation hung off each load, and how branches couple to
+ * loaded data. The 26 presets in profiles.cc model the SPEC CPU2000
+ * suite the paper evaluates.
+ */
+
+#ifndef KILO_WLOAD_PROFILE_HH
+#define KILO_WLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kilo::wload
+{
+
+/** Knobs of the synthetic kernel generator. */
+struct WorkloadProfile
+{
+    std::string name = "synthetic";
+    bool fp = false;            ///< FP suite member (FP compute/regs)
+    uint64_t seed = 1;
+
+    /**
+     * Streaming region: numStreams arrays of streamBytes each, walked
+     * sequentially with streamStride; streamLoads loads per iteration
+     * are issued round-robin over the streams. Independent misses —
+     * this is the paper's "many independent instructions under the
+     * shadow of a miss" source of MLP.
+     * @{
+     */
+    int streamLoads = 0;
+    int numStreams = 1;
+    uint64_t streamBytes = 1 << 20;
+    uint32_t streamStride = 64;
+    /** @} */
+
+    /**
+     * Pointer-chase region: a random cyclic permutation of
+     * chaseBytes/64 nodes; each chase load's address depends on the
+     * previous chase load's value. Serial misses — nothing hides
+     * them, the SpecINT pathology.
+     * @{
+     */
+    int chaseLoads = 0;
+    uint64_t chaseBytes = 0;
+    int chaseEvery = 1;         ///< perform the chase every N iters
+    /**
+     * Chase steps before the chain restarts at an independent node
+     * (a new list traversal). Finite chains bound the serial-miss
+     * depth and let independent traversals overlap in a large
+     * window, as real list-walking codes do.
+     */
+    int chaseChainLen = 4;
+    /** @} */
+
+    /** Random-access region (hash/table lookups). @{ */
+    int randLoads = 0;
+    uint64_t randBytes = 0;
+    /**
+     * Indirect gathers a[b[i]]: pairs of dependent random loads.
+     * Each pair is a two-miss chain (the paper's ~800-cycle issue
+     * group), but pairs are independent of each other, so a large
+     * window still overlaps them.
+     */
+    int indirectLoads = 0;
+    /** @} */
+
+    /**
+     * Sparse far misses: one load from a region far larger than any
+     * L2 every farEvery iterations. This dials the benchmark's
+     * off-chip MPKI directly (most SPECint members sit at a few
+     * misses per kilo-instruction with a 512KB L2).
+     * @{
+     */
+    int farEvery = 0;           ///< 0 = no far misses
+    uint64_t farBytes = 32 * 1024 * 1024;
+    /** @} */
+
+    /** Computation. @{ */
+    int depComputePerLoad = 1;  ///< ops chained on each loaded value
+    int indepCompute = 2;       ///< independent ALU/FP ops per iter
+    int fpDivEvery = 0;         ///< 1 FP divide every N iters (0=off)
+    int storeEvery = 4;         ///< 1 store every N iters (0=never)
+    /** @} */
+
+    /**
+     * Branch behaviour. Each iteration emits condBranches conditional
+     * branches plus one loop-back branch. A conditional branch's
+     * outcome is random (Bernoulli takenBias) with probability
+     * branchRandFrac and otherwise follows a short learnable pattern.
+     * When branchOnLoad is set, conditional branches source the
+     * newest loaded register — a mispredicted one that consumed
+     * uncached data resolves only when memory returns, the paper's
+     * worst case.
+     * @{
+     */
+    int condBranches = 1;
+    double branchRandFrac = 0.10;
+    double takenBias = 0.5;
+    bool branchOnLoad = true;
+    /**
+     * Fraction of conditional branches that source the newest loaded
+     * value (the rest source high-locality compute registers and
+     * resolve quickly in the CP). Only meaningful with branchOnLoad.
+     */
+    double branchOnLoadFrac = 0.5;
+    uint32_t innerLoopLen = 64;
+    /** @} */
+};
+
+/** The 12 SpecINT-like profiles, in the paper's Figure 13 order. */
+std::vector<WorkloadProfile> intProfiles();
+
+/** The 14 SpecFP-like profiles, in the paper's Figure 14 order. */
+std::vector<WorkloadProfile> fpProfiles();
+
+/** Profile by benchmark name; fatal on unknown names. */
+WorkloadProfile profileByName(const std::string &name);
+
+/** All 26 profiles (INT then FP). */
+std::vector<WorkloadProfile> allProfiles();
+
+} // namespace kilo::wload
+
+#endif // KILO_WLOAD_PROFILE_HH

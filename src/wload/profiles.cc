@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Per-benchmark parameterisations of the synthetic generator.
+ *
+ * Each profile models the execution-locality-relevant behaviour of its
+ * SPEC CPU2000 namesake:
+ *   - footprint vs. the 512KB default L2 fixes the L2 hit rate, and
+ *     farEvery dials the residual off-chip MPKI;
+ *   - streaming regions give independent misses (MLP), chase regions
+ *     give serial miss chains, random regions sit in between;
+ *   - branchRandFrac / branchOnLoadFrac fix how often a
+ *     hard-to-predict branch consumes uncached data (the SpecINT
+ *     pathology of section 2 of the paper).
+ *
+ * The parameters are calibrated so the suite-level IPC relations of
+ * the paper's figures reproduce; see EXPERIMENTS.md for the
+ * calibration results.
+ */
+
+#include "src/wload/profile.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::wload
+{
+
+namespace
+{
+
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * 1024;
+
+WorkloadProfile
+baseInt(const std::string &name, uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.fp = false;
+    p.seed = seed;
+    p.depComputePerLoad = 1;
+    p.indepCompute = 3;
+    p.innerLoopLen = 64;
+    p.branchOnLoad = true;
+    p.branchOnLoadFrac = 0.5;
+    return p;
+}
+
+WorkloadProfile
+baseFp(const std::string &name, uint64_t seed)
+{
+    WorkloadProfile p;
+    p.name = name;
+    p.fp = true;
+    p.seed = seed;
+    p.depComputePerLoad = 1;
+    p.indepCompute = 5;
+    p.innerLoopLen = 128;
+    p.branchOnLoad = false;
+    p.branchRandFrac = 0.02;
+    p.storeEvery = 4;
+    return p;
+}
+
+} // anonymous namespace
+
+std::vector<WorkloadProfile>
+intProfiles()
+{
+    std::vector<WorkloadProfile> v;
+
+    { // bzip2: block-sorting compressor; resident streams plus
+      // moderate far misses, data-dependent branches on bytes.
+        auto p = baseInt("bzip2", 101);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 160 * KiB; p.streamStride = 8;
+        p.farEvery = 36;
+        p.condBranches = 1; p.branchRandFrac = 0.14; p.takenBias = 0.6;
+        p.branchOnLoadFrac = 0.55;
+        p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // crafty: chess; resident hash probes, compute heavy, rare
+      // misses, fairly predictable.
+        auto p = baseInt("crafty", 102);
+        p.streamLoads = 1; p.numStreams = 1;
+        p.streamBytes = 96 * KiB; p.streamStride = 8;
+        p.randLoads = 2; p.randBytes = 256 * KiB;
+        p.farEvery = 64;
+        p.condBranches = 2; p.branchRandFrac = 0.08;
+        p.branchOnLoadFrac = 0.3;
+        p.indepCompute = 4; p.storeEvery = 6;
+        v.push_back(p);
+    }
+    { // eon: C++ ray tracer; small footprint, high ILP, almost no
+      // off-chip traffic.
+        auto p = baseInt("eon", 103);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 96 * KiB; p.streamStride = 8;
+        p.randLoads = 1; p.randBytes = 64 * KiB;
+        p.farEvery = 150;
+        p.condBranches = 1; p.branchRandFrac = 0.04;
+        p.branchOnLoadFrac = 0.2;
+        p.depComputePerLoad = 2; p.indepCompute = 5; p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // gap: group theory; workspace scans with periodic far misses.
+        auto p = baseInt("gap", 104);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 256 * KiB; p.streamStride = 16;
+        p.farEvery = 64;
+        p.condBranches = 1; p.branchRandFrac = 0.05;
+        p.branchOnLoadFrac = 0.35;
+        p.storeEvery = 4;
+        v.push_back(p);
+    }
+    { // gcc: compiler; resident IR tables plus pointer-heavy misses
+      // and moderately hard branches.
+        auto p = baseInt("gcc", 105);
+        p.randLoads = 2; p.randBytes = 352 * KiB;
+        p.farEvery = 32;
+        p.condBranches = 2; p.branchRandFrac = 0.10;
+        p.branchOnLoadFrac = 0.5;
+        p.storeEvery = 4;
+        v.push_back(p);
+    }
+    { // gzip: LZ77; resident window, data-dependent match branches,
+      // few misses.
+        auto p = baseInt("gzip", 106);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 192 * KiB; p.streamStride = 8;
+        p.farEvery = 40;
+        p.condBranches = 1; p.branchRandFrac = 0.13; p.takenBias = 0.55;
+        p.branchOnLoadFrac = 0.5;
+        p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // mcf: network simplex; the pointer-chasing pathology with
+      // mispredictions that consume uncached data.
+        auto p = baseInt("mcf", 107);
+        p.chaseLoads = 1; p.chaseBytes = 2 * MiB; p.chaseEvery = 2;
+        p.chaseChainLen = 48;
+        p.randLoads = 1; p.randBytes = 256 * KiB;
+        p.condBranches = 1; p.branchRandFrac = 0.22;
+        p.branchOnLoadFrac = 0.7;
+        p.indepCompute = 3; p.storeEvery = 8;
+        v.push_back(p);
+    }
+    { // parser: dictionary lookups + short linked-list walks.
+        auto p = baseInt("parser", 108);
+        p.chaseLoads = 1; p.chaseBytes = 512 * KiB; p.chaseEvery = 4;
+        p.chaseChainLen = 24;
+        p.randLoads = 1; p.randBytes = 192 * KiB;
+        p.indepCompute = 4;
+        p.condBranches = 2; p.branchRandFrac = 0.08;
+        p.branchOnLoadFrac = 0.4;
+        v.push_back(p);
+    }
+    { // perlbmk: interpreter; resident hashes, rare misses, mildly
+      // hard indirect-style branches.
+        auto p = baseInt("perlbmk", 109);
+        p.randLoads = 2; p.randBytes = 320 * KiB;
+        p.farEvery = 48;
+        p.condBranches = 2; p.branchRandFrac = 0.05;
+        p.branchOnLoadFrac = 0.3;
+        p.indepCompute = 4; p.storeEvery = 5;
+        v.push_back(p);
+    }
+    { // twolf: place&route; linked structures + random probes.
+        auto p = baseInt("twolf", 110);
+        p.chaseLoads = 1; p.chaseBytes = 448 * KiB; p.chaseEvery = 4;
+        p.chaseChainLen = 24;
+        p.randLoads = 1; p.randBytes = 192 * KiB;
+        p.indepCompute = 4;
+        p.condBranches = 1; p.branchRandFrac = 0.09;
+        p.branchOnLoadFrac = 0.45;
+        v.push_back(p);
+    }
+    { // vortex: OO database; resident object heap with sparse cold
+      // misses, predictable control.
+        auto p = baseInt("vortex", 111);
+        p.randLoads = 2; p.randBytes = 384 * KiB;
+        p.farEvery = 64;
+        p.condBranches = 1; p.branchRandFrac = 0.05;
+        p.branchOnLoadFrac = 0.3;
+        p.indepCompute = 4; p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // vpr: FPGA place&route; netlist chasing + RNG-driven moves.
+        auto p = baseInt("vpr", 112);
+        p.chaseLoads = 1; p.chaseBytes = 448 * KiB; p.chaseEvery = 4;
+        p.chaseChainLen = 24;
+        p.randLoads = 1; p.randBytes = 160 * KiB;
+        p.indepCompute = 4;
+        p.condBranches = 1; p.branchRandFrac = 0.08;
+        p.branchOnLoadFrac = 0.45;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+std::vector<WorkloadProfile>
+fpProfiles()
+{
+    std::vector<WorkloadProfile> v;
+
+    { // ammp: molecular dynamics with pointer-linked atom lists —
+      // the FP benchmark with chase behaviour.
+        auto p = baseFp("ammp", 201);
+        p.chaseLoads = 1; p.chaseBytes = 1 * MiB; p.chaseEvery = 8;
+        p.chaseChainLen = 2;
+        p.streamLoads = 1; p.numStreams = 1;
+        p.streamBytes = 256 * KiB; p.streamStride = 8;
+        p.indepCompute = 5;
+        v.push_back(p);
+    }
+    { // applu: SSOR solver; several big streams, deeper FP chains.
+        auto p = baseFp("applu", 202);
+        p.streamLoads = 3; p.numStreams = 3;
+        p.streamBytes = 6 * MiB; p.streamStride = 16;
+        p.depComputePerLoad = 2; p.indepCompute = 4; p.storeEvery = 2;
+        v.push_back(p);
+    }
+    { // apsi: pollution model; mid-size streams, partly resident.
+        auto p = baseFp("apsi", 203);
+        p.streamLoads = 3; p.numStreams = 3;
+        p.streamBytes = 144 * KiB; p.streamStride = 8;
+        p.farEvery = 20;
+        p.depComputePerLoad = 2;
+        p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // art: neural net scans; every access off-chip.
+        auto p = baseFp("art", 204);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 3 * MiB; p.streamStride = 64;
+        p.indepCompute = 3;
+        p.branchRandFrac = 0.03; p.storeEvery = 6;
+        v.push_back(p);
+    }
+    { // equake: sparse matrix-vector; indexed gathers over a region
+      // bigger than the L2.
+        auto p = baseFp("equake", 205);
+        p.randLoads = 1; p.randBytes = 768 * KiB;
+        p.indirectLoads = 1;
+        p.depComputePerLoad = 2;
+        p.streamLoads = 1; p.numStreams = 1;
+        p.streamBytes = 512 * KiB; p.streamStride = 8;
+        p.indepCompute = 4;
+        v.push_back(p);
+    }
+    { // facerec: image correlation; two big streams.
+        auto p = baseFp("facerec", 206);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 192 * KiB; p.streamStride = 8;
+        p.farEvery = 28;
+        p.depComputePerLoad = 2;
+        v.push_back(p);
+    }
+    { // fma3d: crash simulation; element streams.
+        auto p = baseFp("fma3d", 207);
+        p.streamLoads = 3; p.numStreams = 3;
+        p.streamBytes = 144 * KiB; p.streamStride = 8;
+        p.farEvery = 24;
+        p.depComputePerLoad = 2;
+        p.indepCompute = 4; p.branchRandFrac = 0.03; p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // galgel: fluid dynamics; blocked — mostly cache resident.
+        auto p = baseFp("galgel", 208);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 160 * KiB; p.streamStride = 8;
+        p.farEvery = 80;
+        p.depComputePerLoad = 2; p.indepCompute = 5;
+        p.branchRandFrac = 0.01;
+        v.push_back(p);
+    }
+    { // lucas: FFT-based primality; huge power-of-two strides.
+        auto p = baseFp("lucas", 209);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 6 * MiB; p.streamStride = 64;
+        p.indepCompute = 4; p.branchRandFrac = 0.01;
+        v.push_back(p);
+    }
+    { // mesa: software GL; small footprint, high ILP.
+        auto p = baseFp("mesa", 210);
+        p.streamLoads = 1; p.numStreams = 1;
+        p.streamBytes = 224 * KiB; p.streamStride = 8;
+        p.farEvery = 120;
+        p.indepCompute = 6; p.branchRandFrac = 0.015; p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // mgrid: multigrid; 3 streams over big grids.
+        auto p = baseFp("mgrid", 211);
+        p.streamLoads = 3; p.numStreams = 3;
+        p.streamBytes = 4 * MiB; p.streamStride = 16;
+        p.depComputePerLoad = 2; p.indepCompute = 4;
+        p.branchRandFrac = 0.005; p.storeEvery = 3;
+        v.push_back(p);
+    }
+    { // sixtrack: particle tracking; tiny footprint, divides.
+        auto p = baseFp("sixtrack", 212);
+        p.streamLoads = 1; p.numStreams = 1;
+        p.streamBytes = 160 * KiB; p.streamStride = 8;
+        p.depComputePerLoad = 2; p.indepCompute = 6;
+        p.branchRandFrac = 0.01; p.fpDivEvery = 24;
+        v.push_back(p);
+    }
+    { // swim: shallow water; the classic streaming memory hog.
+        auto p = baseFp("swim", 213);
+        p.streamLoads = 4; p.numStreams = 4;
+        p.streamBytes = 6 * MiB; p.streamStride = 64;
+        p.indepCompute = 3; p.branchRandFrac = 0.005; p.storeEvery = 2;
+        v.push_back(p);
+    }
+    { // wupwise: lattice QCD; streams + dense FP compute.
+        auto p = baseFp("wupwise", 214);
+        p.streamLoads = 2; p.numStreams = 2;
+        p.streamBytes = 192 * KiB; p.streamStride = 8;
+        p.farEvery = 30;
+        p.depComputePerLoad = 2;
+        p.fpDivEvery = 32;
+        v.push_back(p);
+    }
+
+    return v;
+}
+
+WorkloadProfile
+profileByName(const std::string &name)
+{
+    for (const auto &p : intProfiles())
+        if (p.name == name)
+            return p;
+    for (const auto &p : fpProfiles())
+        if (p.name == name)
+            return p;
+    KILO_FATAL("unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<WorkloadProfile>
+allProfiles()
+{
+    auto v = intProfiles();
+    auto f = fpProfiles();
+    v.insert(v.end(), f.begin(), f.end());
+    return v;
+}
+
+} // namespace kilo::wload

@@ -1,0 +1,32 @@
+#include "src/wload/trace_window.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::wload
+{
+
+TraceWindow::TraceWindow(Workload &workload)
+    : workload(workload)
+{}
+
+const isa::MicroOp &
+TraceWindow::op(uint64_t seq)
+{
+    KILO_ASSERT(seq >= baseSeq,
+                "TraceWindow: sequence %lu already released (base %lu)",
+                (unsigned long)seq, (unsigned long)baseSeq);
+    while (seq >= frontier())
+        buf.push_back(workload.next());
+    return buf[size_t(seq - baseSeq)];
+}
+
+void
+TraceWindow::release(uint64_t seq)
+{
+    while (baseSeq < seq && !buf.empty()) {
+        buf.pop_front();
+        ++baseSeq;
+    }
+}
+
+} // namespace kilo::wload

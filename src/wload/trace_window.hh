@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Rewindable window over a workload's instruction stream.
+ *
+ * The cores model branch misprediction as squash-and-replay: fetch
+ * runs ahead down the (correct-path) trace, and when a branch resolves
+ * wrong everything younger is squashed and re-fetched. The window
+ * therefore buffers every micro-op from the oldest in-flight
+ * instruction to the youngest fetched one so that re-fetch replays
+ * identical micro-ops.
+ */
+
+#ifndef KILO_WLOAD_TRACE_WINDOW_HH
+#define KILO_WLOAD_TRACE_WINDOW_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "src/isa/micro_op.hh"
+#include "src/wload/workload.hh"
+
+namespace kilo::wload
+{
+
+/** Buffered, seekable view of a Workload keyed by dynamic sequence. */
+class TraceWindow
+{
+  public:
+    explicit TraceWindow(Workload &workload);
+
+    /**
+     * Micro-op with dynamic sequence number @p seq.
+     * Generates forward on demand; @p seq must be >= the release
+     * point.
+     */
+    const isa::MicroOp &op(uint64_t seq);
+
+    /** Mark every op with sequence < @p seq as retired/reclaimable. */
+    void release(uint64_t seq);
+
+    /** Oldest sequence number still buffered. */
+    uint64_t base() const { return baseSeq; }
+
+    /** One past the youngest generated sequence number. */
+    uint64_t frontier() const { return baseSeq + buf.size(); }
+
+  private:
+    Workload &workload;
+    std::deque<isa::MicroOp> buf;
+    uint64_t baseSeq = 0;
+};
+
+} // namespace kilo::wload
+
+#endif // KILO_WLOAD_TRACE_WINDOW_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Workload interface: a deterministic producer of micro-op traces.
+ *
+ * The paper evaluates SPEC CPU2000 through SimPoint-selected regions.
+ * We cannot redistribute SPEC, so each benchmark is modelled by a
+ * synthetic kernel generator that reproduces the properties execution
+ * locality depends on: L2 miss rate, miss independence (MLP vs pointer
+ * chasing), branch predictability, and the coupling between branches
+ * and uncached data. See src/wload/profiles.cc for the per-benchmark
+ * parameterisations and DESIGN.md for the substitution rationale.
+ */
+
+#ifndef KILO_WLOAD_WORKLOAD_HH
+#define KILO_WLOAD_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/isa/micro_op.hh"
+
+namespace kilo::wload
+{
+
+/** A contiguous data region a workload touches (cache pre-warming). */
+struct AddressRegion
+{
+    uint64_t base = 0;
+    uint64_t bytes = 0;
+};
+
+/** A deterministic, endless instruction stream. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next micro-op of the dynamic instruction stream. */
+    virtual isa::MicroOp next() = 0;
+
+    /** Benchmark name (e.g. "mcf", "swim"). */
+    virtual const std::string &name() const = 0;
+
+    /** True for the floating-point suite. */
+    virtual bool isFp() const = 0;
+
+    /** Restart the stream from the beginning, deterministically. */
+    virtual void reset() = 0;
+
+    /**
+     * Data regions for functional cache warm-up. The paper measures
+     * 200M-instruction SimPoint regions with warm caches; installing
+     * the working set's tags before the timed region reproduces that
+     * steady state without simulating hundreds of millions of
+     * instructions.
+     */
+    virtual std::vector<AddressRegion> regions() const { return {}; }
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+} // namespace kilo::wload
+
+#endif // KILO_WLOAD_WORKLOAD_HH

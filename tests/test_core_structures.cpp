@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Unit tests for the core building blocks: scoreboard, functional
+ * unit pool, issue queue (both policies) and LSQ.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/fu_pool.hh"
+#include "src/core/issue_queue.hh"
+#include "src/core/lsq.hh"
+#include "src/core/scoreboard.hh"
+
+using namespace kilo;
+using namespace kilo::core;
+
+namespace
+{
+
+DynInstPtr
+inst(uint64_t seq, isa::MicroOp op = isa::makeAlu(1, 2, 3))
+{
+    auto i = std::make_shared<DynInst>();
+    i->op = op;
+    i->seq = seq;
+    return i;
+}
+
+} // anonymous namespace
+
+// ------------------------------------------------------ Scoreboard
+
+TEST(Scoreboard, InitiallyReady)
+{
+    Scoreboard sb;
+    for (int r = 0; r < isa::NumRegs; ++r) {
+        EXPECT_EQ(sb.get(int16_t(r)).producer, nullptr);
+        EXPECT_EQ(sb.get(int16_t(r)).readyCycle, 0u);
+    }
+}
+
+TEST(Scoreboard, DefineInstallsProducer)
+{
+    Scoreboard sb;
+    auto i = inst(1);
+    sb.define(i);
+    EXPECT_EQ(sb.get(1).producer, i);
+}
+
+TEST(Scoreboard, CompleteReplacesWithReadyCycle)
+{
+    Scoreboard sb;
+    auto i = inst(1);
+    sb.define(i);
+    i->completed = true;
+    i->completeCycle = 55;
+    sb.complete(i);
+    EXPECT_EQ(sb.get(1).producer, nullptr);
+    EXPECT_EQ(sb.get(1).readyCycle, 55u);
+}
+
+TEST(Scoreboard, CompleteOfStaleProducerIgnored)
+{
+    Scoreboard sb;
+    auto older = inst(1);
+    auto newer = inst(2);
+    sb.define(older);
+    sb.define(newer);
+    older->completed = true;
+    older->completeCycle = 10;
+    sb.complete(older);
+    EXPECT_EQ(sb.get(1).producer, newer);
+}
+
+TEST(Scoreboard, RestoreUndoesDefine)
+{
+    Scoreboard sb;
+    auto a = inst(1);
+    auto b = inst(2);
+    sb.define(a);
+    sb.define(b);
+    sb.restore(b);
+    EXPECT_EQ(sb.get(1).producer, a);
+    sb.restore(a);
+    EXPECT_EQ(sb.get(1).producer, nullptr);
+}
+
+TEST(Scoreboard, RestoreAfterCompletionUsesDefinerSeq)
+{
+    Scoreboard sb;
+    auto a = inst(1);
+    sb.define(a);
+    a->completed = true;
+    a->completeCycle = 9;
+    sb.complete(a); // producer null, readyCycle 9
+    sb.restore(a);  // still the visible definer -> restored
+    EXPECT_EQ(sb.get(1).readyCycle, 0u);
+}
+
+TEST(Scoreboard, ClearResets)
+{
+    Scoreboard sb;
+    sb.define(inst(1));
+    sb.clear();
+    EXPECT_EQ(sb.get(1).producer, nullptr);
+}
+
+// ---------------------------------------------------------- FuPool
+
+TEST(FuPool, CacheProcessorCounts)
+{
+    FuConfig cfg = FuConfig::cacheProcessor();
+    EXPECT_EQ(cfg.intAlu, 4);
+    EXPECT_EQ(cfg.intMul, 1);
+    EXPECT_EQ(cfg.fpAdd, 4);
+    EXPECT_EQ(cfg.fpMulDiv, 1);
+}
+
+TEST(FuPool, AluBandwidthPerCycle)
+{
+    FuPool pool(FuConfig::cacheProcessor());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(pool.tryAcquire(isa::OpClass::IntAlu, 10, 1));
+    EXPECT_FALSE(pool.tryAcquire(isa::OpClass::IntAlu, 10, 1));
+    // Next cycle the slots are free again (pipelined).
+    EXPECT_TRUE(pool.tryAcquire(isa::OpClass::IntAlu, 11, 1));
+}
+
+TEST(FuPool, BranchesShareAlus)
+{
+    FuPool pool(FuConfig::cacheProcessor());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(pool.tryAcquire(isa::OpClass::Branch, 0, 1));
+    EXPECT_FALSE(pool.tryAcquire(isa::OpClass::IntAlu, 0, 1));
+}
+
+TEST(FuPool, FpDivUnpipelined)
+{
+    FuPool pool(FuConfig::cacheProcessor());
+    EXPECT_TRUE(pool.tryAcquire(isa::OpClass::FpDiv, 0, 12));
+    // The single FP mul/div unit is busy for the whole divide.
+    EXPECT_FALSE(pool.tryAcquire(isa::OpClass::FpMul, 5, 4));
+    EXPECT_TRUE(pool.tryAcquire(isa::OpClass::FpMul, 12, 4));
+}
+
+TEST(FuPool, FpMulPipelined)
+{
+    FuPool pool(FuConfig::cacheProcessor());
+    EXPECT_TRUE(pool.tryAcquire(isa::OpClass::FpMul, 0, 4));
+    EXPECT_TRUE(pool.tryAcquire(isa::OpClass::FpMul, 1, 4));
+}
+
+TEST(FuPool, MemOpsNeedNoUnit)
+{
+    FuPool pool(FuConfig::intMemProcessor());
+    EXPECT_FALSE(FuPool::needsUnit(isa::OpClass::Load));
+    EXPECT_FALSE(FuPool::needsUnit(isa::OpClass::Store));
+    EXPECT_TRUE(pool.tryAcquire(isa::OpClass::Load, 0, 400));
+}
+
+TEST(FuPool, MissingUnitTypeRejects)
+{
+    FuPool pool(FuConfig::intMemProcessor()); // no FP units
+    EXPECT_FALSE(pool.tryAcquire(isa::OpClass::FpAdd, 0, 2));
+}
+
+TEST(FuPool, FpMpHasAddressAlu)
+{
+    FuPool pool(FuConfig::fpMemProcessor());
+    EXPECT_TRUE(pool.tryAcquire(isa::OpClass::IntAlu, 0, 1));
+    EXPECT_FALSE(pool.tryAcquire(isa::OpClass::IntMul, 0, 3));
+}
+
+// ------------------------------------------------------ IssueQueue
+
+TEST(IssueQueue, OooSelectsOldestReady)
+{
+    IssueQueue q("q", 8, SchedPolicy::OutOfOrder);
+    auto a = inst(1);
+    auto b = inst(2);
+    auto c = inst(3);
+    b->readyFlag = true;
+    c->readyFlag = true;
+    q.insert(a); // not ready
+    q.insert(b);
+    q.insert(c);
+    EXPECT_EQ(q.numReady(), 2u);
+    EXPECT_EQ(q.popReady(0), b); // oldest ready, skips a
+}
+
+TEST(IssueQueue, OooWakeupMakesSelectable)
+{
+    IssueQueue q("q", 8, SchedPolicy::OutOfOrder);
+    auto a = inst(1);
+    q.insert(a);
+    EXPECT_EQ(q.popReady(0), nullptr);
+    a->readyFlag = true;
+    q.markReady(a);
+    EXPECT_EQ(q.popReady(0), a);
+}
+
+TEST(IssueQueue, InOrderHeadOnly)
+{
+    IssueQueue q("q", 8, SchedPolicy::InOrder);
+    auto a = inst(1);
+    auto b = inst(2);
+    b->readyFlag = true;
+    q.insert(a); // head, not ready
+    q.insert(b); // ready but behind
+    q.beginCycle();
+    EXPECT_EQ(q.popReady(0), nullptr); // head blocks
+}
+
+TEST(IssueQueue, InOrderIssuesContiguousPrefix)
+{
+    IssueQueue q("q", 8, SchedPolicy::InOrder);
+    auto a = inst(1);
+    auto b = inst(2);
+    a->readyFlag = true;
+    b->readyFlag = true;
+    q.insert(a);
+    q.insert(b);
+    q.beginCycle();
+    auto first = q.popReady(0);
+    EXPECT_EQ(first, a);
+    first->issued = true;
+    q.removeIssued(first);
+    auto second = q.popReady(0);
+    EXPECT_EQ(second, b);
+}
+
+TEST(IssueQueue, InOrderStructuralHazardStallsCycle)
+{
+    IssueQueue q("q", 8, SchedPolicy::InOrder);
+    auto a = inst(1);
+    a->readyFlag = true;
+    q.insert(a);
+    q.beginCycle();
+    EXPECT_EQ(q.popReady(0), a);
+    q.requeue(a); // e.g. no memory port
+    EXPECT_EQ(q.popReady(0), nullptr);
+    q.beginCycle(); // next cycle retries
+    EXPECT_EQ(q.popReady(1), a);
+}
+
+TEST(IssueQueue, OooRequeueRetriesNextCycle)
+{
+    IssueQueue q("q", 8, SchedPolicy::OutOfOrder);
+    auto a = inst(1);
+    a->readyFlag = true;
+    q.insert(a);
+    EXPECT_EQ(q.popReady(0), a);
+    q.requeue(a);
+    EXPECT_EQ(q.popReady(0), nullptr); // deferred this cycle
+    q.beginCycle();
+    EXPECT_EQ(q.popReady(1), a);
+}
+
+TEST(IssueQueue, CapacityAndFull)
+{
+    IssueQueue q("q", 2, SchedPolicy::OutOfOrder);
+    q.insert(inst(1));
+    q.insert(inst(2));
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(IssueQueue, EraseFreesSlotWithoutIssue)
+{
+    IssueQueue q("q", 2, SchedPolicy::OutOfOrder);
+    auto a = inst(1);
+    q.insert(a);
+    q.erase(a);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(a->iq, nullptr);
+}
+
+TEST(IssueQueue, SquashRemovesYoungest)
+{
+    IssueQueue q("q", 4, SchedPolicy::InOrder);
+    auto a = inst(1);
+    auto b = inst(2);
+    q.insert(a);
+    q.insert(b);
+    b->squashed = true;
+    q.notifySquashed(b);
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.debugFront(), a);
+}
+
+TEST(IssueQueue, ReadyCountConsistentThroughLifecycle)
+{
+    IssueQueue q("q", 4, SchedPolicy::OutOfOrder);
+    auto a = inst(1);
+    a->readyFlag = true;
+    q.insert(a);
+    EXPECT_EQ(q.numReady(), 1u);
+    auto got = q.popReady(0);
+    got->issued = true;
+    q.removeIssued(got);
+    EXPECT_EQ(q.numReady(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(IssueQueue, DroppedNotReadyReturnsViaWakeup)
+{
+    IssueQueue q("q", 4, SchedPolicy::OutOfOrder);
+    auto a = inst(1);
+    a->readyFlag = true;
+    q.insert(a);
+    auto got = q.popReady(0);
+    got->readyFlag = false; // LSQ blocked it on a store
+    q.droppedNotReady(got);
+    EXPECT_EQ(q.numReady(), 0u);
+    got->readyFlag = true;
+    q.markReady(got);
+    EXPECT_EQ(q.popReady(0), got);
+}
+
+// ------------------------------------------------------------- LSQ
+
+namespace
+{
+
+DynInstPtr
+loadAt(uint64_t seq, uint64_t addr)
+{
+    return inst(seq, isa::makeLoad(1, 2, addr));
+}
+
+DynInstPtr
+storeAt(uint64_t seq, uint64_t addr)
+{
+    return inst(seq, isa::makeStore(2, 3, addr));
+}
+
+} // anonymous namespace
+
+TEST(Lsq, NoConflictGoesToMemory)
+{
+    Lsq lsq(8);
+    auto ld = loadAt(5, 0x100);
+    lsq.insert(ld);
+    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+}
+
+TEST(Lsq, BlockedOnUnexecutedOlderStore)
+{
+    Lsq lsq(8);
+    auto st = storeAt(1, 0x100);
+    auto ld = loadAt(2, 0x100);
+    lsq.insert(st);
+    lsq.insert(ld);
+    auto check = lsq.checkLoad(ld);
+    EXPECT_EQ(check.kind, LoadCheck::Kind::Blocked);
+    EXPECT_EQ(check.store, st);
+}
+
+TEST(Lsq, ForwardsFromExecutedStore)
+{
+    Lsq lsq(8);
+    auto st = storeAt(1, 0x100);
+    auto ld = loadAt(2, 0x100);
+    lsq.insert(st);
+    lsq.insert(ld);
+    st->issued = true;
+    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Forward);
+}
+
+TEST(Lsq, YoungerStoreDoesNotConflict)
+{
+    Lsq lsq(8);
+    auto ld = loadAt(1, 0x100);
+    auto st = storeAt(2, 0x100);
+    lsq.insert(ld);
+    lsq.insert(st);
+    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+}
+
+TEST(Lsq, YoungestMatchingStoreWins)
+{
+    Lsq lsq(8);
+    auto st1 = storeAt(1, 0x100);
+    auto st2 = storeAt(2, 0x100);
+    auto ld = loadAt(3, 0x100);
+    lsq.insert(st1);
+    lsq.insert(st2);
+    lsq.insert(ld);
+    EXPECT_EQ(lsq.checkLoad(ld).store, st2);
+}
+
+TEST(Lsq, DifferentAddressNoConflict)
+{
+    Lsq lsq(8);
+    auto st = storeAt(1, 0x100);
+    auto ld = loadAt(2, 0x108);
+    lsq.insert(st);
+    lsq.insert(ld);
+    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+}
+
+TEST(Lsq, RetireCompletedFreesHead)
+{
+    Lsq lsq(2);
+    auto a = loadAt(1, 0x10);
+    auto b = loadAt(2, 0x20);
+    lsq.insert(a);
+    lsq.insert(b);
+    EXPECT_TRUE(lsq.full());
+    a->completed = true;
+    lsq.retireCompleted();
+    EXPECT_EQ(lsq.size(), 1u);
+    EXPECT_FALSE(a->inLsq);
+    EXPECT_TRUE(b->inLsq);
+}
+
+TEST(Lsq, HeadBlocksRetirement)
+{
+    Lsq lsq(4);
+    auto a = loadAt(1, 0x10);
+    auto b = loadAt(2, 0x20);
+    lsq.insert(a);
+    lsq.insert(b);
+    b->completed = true;
+    lsq.retireCompleted();
+    EXPECT_EQ(lsq.size(), 2u); // head incomplete keeps both
+}
+
+TEST(Lsq, SquashRemovesStoreFromIndex)
+{
+    Lsq lsq(8);
+    auto st = storeAt(1, 0x100);
+    lsq.insert(st);
+    lsq.notifySquashed(st);
+    auto ld = loadAt(2, 0x100);
+    lsq.insert(ld);
+    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+}
+
+TEST(Lsq, ForwardCounter)
+{
+    Lsq lsq(4);
+    EXPECT_EQ(lsq.forwards(), 0u);
+    lsq.countForward();
+    EXPECT_EQ(lsq.forwards(), 1u);
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * White-box tests of the front end: prediction wiring, fetch-group
+ * breaks, redirect stalls and squash-replay history restoration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/fetch_engine.hh"
+#include "src/pred/table_predictors.hh"
+#include "test_helpers.hh"
+
+using namespace kilo;
+using namespace kilo::core;
+
+namespace
+{
+
+struct FetchFixture
+{
+    FetchFixture(std::vector<isa::MicroOp> ops,
+                 bool stop_on_taken = true)
+        : wl(std::move(ops)), tw(wl)
+    {
+        params.fetchStopOnTaken = stop_on_taken;
+        engine = std::make_unique<FetchEngine>(tw, bp, params);
+    }
+
+    test::VectorWorkload wl;
+    wload::TraceWindow tw;
+    pred::AlwaysTakenPredictor bp;
+    CoreParams params;
+    std::unique_ptr<FetchEngine> engine;
+};
+
+} // anonymous namespace
+
+TEST(FetchEngine, FetchesUpToWidth)
+{
+    FetchFixture f(test::independentOps(8));
+    auto got = f.engine->fetch(0, 4);
+    ASSERT_EQ(got.size(), 4u);
+    EXPECT_EQ(got[0]->seq, 0u);
+    EXPECT_EQ(got[3]->seq, 3u);
+    EXPECT_EQ(f.engine->nextSeq(), 4u);
+}
+
+TEST(FetchEngine, SequenceNumbersMonotone)
+{
+    FetchFixture f(test::independentOps(4));
+    auto a = f.engine->fetch(0, 4);
+    auto b = f.engine->fetch(1, 4);
+    EXPECT_EQ(b[0]->seq, a.back()->seq + 1);
+}
+
+TEST(FetchEngine, TakenBranchEndsGroup)
+{
+    std::vector<isa::MicroOp> ops = test::independentOps(2);
+    ops.push_back(isa::makeBranch(1, true, 0x1000));
+    ops.push_back(isa::makeAlu(5, isa::NoReg, isa::NoReg));
+    FetchFixture f(ops);
+    auto got = f.engine->fetch(0, 4);
+    ASSERT_EQ(got.size(), 3u); // stops after the taken branch
+    EXPECT_TRUE(got.back()->op.isBranch());
+}
+
+TEST(FetchEngine, NotTakenBranchDoesNotBreak)
+{
+    std::vector<isa::MicroOp> ops = test::independentOps(2);
+    ops.push_back(isa::makeBranch(1, false, 0x1000));
+    ops.push_back(isa::makeAlu(5, isa::NoReg, isa::NoReg));
+    FetchFixture f(ops);
+    auto got = f.engine->fetch(0, 4);
+    EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(FetchEngine, StopOnTakenCanBeDisabled)
+{
+    std::vector<isa::MicroOp> ops = test::independentOps(2);
+    ops.push_back(isa::makeBranch(1, true, 0x1000));
+    ops.push_back(isa::makeAlu(5, isa::NoReg, isa::NoReg));
+    FetchFixture f(ops, /*stop_on_taken=*/false);
+    auto got = f.engine->fetch(0, 4);
+    EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(FetchEngine, MispredictFlagAgainstAlwaysTaken)
+{
+    std::vector<isa::MicroOp> ops;
+    ops.push_back(isa::makeBranch(1, false, 0x1000)); // actual NT
+    ops.push_back(isa::makeBranch(1, true, 0x1000));  // actual T
+    FetchFixture f(ops, false);
+    auto got = f.engine->fetch(0, 2);
+    EXPECT_TRUE(got[0]->mispredicted);  // predicted taken, was not
+    EXPECT_FALSE(got[1]->mispredicted);
+}
+
+TEST(FetchEngine, HistoryTracksActualOutcomes)
+{
+    std::vector<isa::MicroOp> ops;
+    ops.push_back(isa::makeBranch(1, true, 0x1000));
+    ops.push_back(isa::makeBranch(1, false, 0x1000));
+    ops.push_back(isa::makeBranch(1, true, 0x1000));
+    FetchFixture f(ops, false);
+    f.engine->fetch(0, 3);
+    EXPECT_EQ(f.engine->history() & 0x7u, 0b101u);
+}
+
+TEST(FetchEngine, RedirectStallsUntilReady)
+{
+    FetchFixture f(test::independentOps(4));
+    f.engine->fetch(0, 4);
+    f.engine->redirect(2, 10, 0);
+    EXPECT_TRUE(f.engine->blocked(9));
+    EXPECT_TRUE(f.engine->fetch(9, 4).empty());
+    EXPECT_FALSE(f.engine->blocked(10));
+    auto got = f.engine->fetch(10, 4);
+    ASSERT_FALSE(got.empty());
+    EXPECT_EQ(got[0]->seq, 2u); // replays from the squash point
+}
+
+TEST(FetchEngine, ReplayProducesIdenticalOps)
+{
+    FetchFixture f(test::independentOps(6));
+    auto first = f.engine->fetch(0, 4);
+    f.engine->redirect(1, 5, 0);
+    auto replay = f.engine->fetch(5, 4);
+    EXPECT_EQ(replay[0]->op.dst, first[1]->op.dst);
+    EXPECT_EQ(replay[0]->op.pc, first[1]->op.pc);
+}
+
+TEST(FetchEngine, RedirectRestoresHistory)
+{
+    std::vector<isa::MicroOp> ops;
+    ops.push_back(isa::makeBranch(1, true, 0x1000));
+    ops.push_back(isa::makeBranch(1, true, 0x1000));
+    FetchFixture f(ops, false);
+    f.engine->fetch(0, 2);
+    uint64_t full = f.engine->history();
+    // Recover at branch 0: history must roll back to just its
+    // outcome.
+    f.engine->redirect(1, 3, 0b1);
+    EXPECT_EQ(f.engine->history(), 0b1u);
+    f.engine->fetch(3, 1);
+    EXPECT_EQ(f.engine->history(), full);
+}
+
+TEST(FetchEngine, PerfectPredictorNeverMispredicts)
+{
+    std::vector<isa::MicroOp> ops;
+    ops.push_back(isa::makeBranch(1, false, 0x1000));
+    test::VectorWorkload wl(ops);
+    wload::TraceWindow tw(wl);
+    pred::PerfectPredictor bp;
+    CoreParams params;
+    FetchEngine engine(tw, bp, params);
+    for (int i = 0; i < 16; ++i) {
+        auto got = engine.fetch(uint64_t(i), 4);
+        for (const auto &inst : got)
+            EXPECT_FALSE(inst->mispredicted);
+    }
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the micro-op ISA definition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/isa/micro_op.hh"
+
+using namespace kilo;
+using namespace kilo::isa;
+
+TEST(Isa, RegisterNamespace)
+{
+    EXPECT_EQ(NumRegs, NumIntRegs + NumFpRegs);
+    EXPECT_FALSE(isFpReg(0));
+    EXPECT_FALSE(isFpReg(31));
+    EXPECT_TRUE(isFpReg(FirstFpReg));
+    EXPECT_TRUE(isFpReg(63));
+}
+
+TEST(Isa, OpLatenciesPositiveExceptLoad)
+{
+    EXPECT_EQ(opLatency(OpClass::Load), 0); // hierarchy decides
+    EXPECT_GE(opLatency(OpClass::IntAlu), 1);
+    EXPECT_GT(opLatency(OpClass::IntMul), opLatency(OpClass::IntAlu));
+    EXPECT_GT(opLatency(OpClass::FpDiv), opLatency(OpClass::FpMul));
+}
+
+TEST(Isa, ClassNames)
+{
+    EXPECT_STREQ(opClassName(OpClass::Load), "load");
+    EXPECT_STREQ(opClassName(OpClass::Branch), "br");
+    EXPECT_STREQ(opClassName(OpClass::FpDiv), "fdiv");
+}
+
+TEST(Isa, FpClassPredicate)
+{
+    EXPECT_TRUE(isFpClass(OpClass::FpAdd));
+    EXPECT_TRUE(isFpClass(OpClass::FpMul));
+    EXPECT_TRUE(isFpClass(OpClass::FpDiv));
+    EXPECT_FALSE(isFpClass(OpClass::IntAlu));
+    EXPECT_FALSE(isFpClass(OpClass::Load));
+}
+
+TEST(Isa, MakeAluShape)
+{
+    MicroOp op = makeAlu(3, 1, 2, 0x100);
+    EXPECT_EQ(op.cls, OpClass::IntAlu);
+    EXPECT_EQ(op.dst, 3);
+    EXPECT_EQ(op.src1, 1);
+    EXPECT_EQ(op.src2, 2);
+    EXPECT_EQ(op.pc, 0x100u);
+    EXPECT_EQ(op.numSrcs(), 2);
+    EXPECT_FALSE(op.isMem());
+    EXPECT_FALSE(op.isBranch());
+}
+
+TEST(Isa, MakeLoadShape)
+{
+    MicroOp op = makeLoad(5, 2, 0xdeadbeef);
+    EXPECT_TRUE(op.isLoad());
+    EXPECT_TRUE(op.isMem());
+    EXPECT_EQ(op.dst, 5);
+    EXPECT_EQ(op.src1, 2);
+    EXPECT_EQ(op.effAddr, 0xdeadbeefu);
+    EXPECT_EQ(op.numSrcs(), 1);
+}
+
+TEST(Isa, MakeStoreShape)
+{
+    MicroOp op = makeStore(2, 7, 0x40);
+    EXPECT_TRUE(op.isStore());
+    EXPECT_TRUE(op.isMem());
+    EXPECT_EQ(op.dst, NoReg);
+    EXPECT_EQ(op.src1, 2);
+    EXPECT_EQ(op.src2, 7);
+}
+
+TEST(Isa, MakeBranchShape)
+{
+    MicroOp op = makeBranch(4, true, 0x2000, 0x1000);
+    EXPECT_TRUE(op.isBranch());
+    EXPECT_TRUE(op.taken);
+    EXPECT_EQ(op.target, 0x2000u);
+    EXPECT_EQ(op.dst, NoReg);
+}
+
+TEST(Isa, FpRoutingOfLoads)
+{
+    MicroOp int_load = makeLoad(5, 2, 0x100);
+    EXPECT_FALSE(int_load.isFp());
+    MicroOp fp_load = makeLoad(FirstFpReg + 5, 2, 0x100);
+    EXPECT_TRUE(fp_load.isFp());
+}
+
+TEST(Isa, FpRoutingOfStores)
+{
+    MicroOp int_store = makeStore(2, 7, 0x40);
+    EXPECT_FALSE(int_store.isFp());
+    MicroOp fp_store = makeStore(2, int16_t(FirstFpReg + 1), 0x40);
+    EXPECT_TRUE(fp_store.isFp());
+}
+
+TEST(Isa, FpRoutingOfCompute)
+{
+    EXPECT_TRUE(makeFpAdd(40, 41, 42).isFp());
+    EXPECT_TRUE(makeFpDiv(40, 41, 42).isFp());
+    EXPECT_FALSE(makeAlu(1, 2, 3).isFp());
+}
+
+TEST(Isa, NopHasNoEffects)
+{
+    MicroOp op = makeNop();
+    EXPECT_EQ(op.dst, NoReg);
+    EXPECT_EQ(op.numSrcs(), 0);
+    EXPECT_FALSE(op.isMem());
+}
+
+TEST(Isa, ToStringMentionsClass)
+{
+    EXPECT_NE(makeLoad(1, 2, 0x8).toString().find("load"),
+              std::string::npos);
+    EXPECT_NE(makeBranch(1, true, 8).toString().find("br"),
+              std::string::npos);
+}

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the cache model and the two-level hierarchy,
+ * including MSHR-style miss merging and functional pre-warming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/cache.hh"
+#include "src/mem/hierarchy.hh"
+
+using namespace kilo;
+using namespace kilo::mem;
+
+namespace
+{
+
+CacheGeometry
+smallGeom()
+{
+    CacheGeometry g;
+    g.sizeBytes = 1024; // 16 lines
+    g.assoc = 2;        // 8 sets
+    g.lineBytes = 64;
+    return g;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------- SetAssocCache
+
+TEST(Cache, GeometryDerivation)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_EQ(c.numSets(), 8u);
+    EXPECT_EQ(c.numWays(), 2u);
+    EXPECT_EQ(c.lineSize(), 64u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same line
+    EXPECT_EQ(c.accesses(), 3u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    SetAssocCache c(smallGeom());
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.access(0x2000));
+    EXPECT_TRUE(c.probe(0x2000));
+    EXPECT_EQ(c.accesses(), 1u); // probe not counted
+}
+
+TEST(Cache, LruEviction)
+{
+    SetAssocCache c(smallGeom());
+    // Three lines mapping to the same set (set stride = 8 lines).
+    uint64_t a = 0;
+    uint64_t b = 8 * 64;
+    uint64_t d = 16 * 64;
+    c.access(a);
+    c.access(b);
+    c.access(a);     // a most recent
+    c.access(d);     // evicts b (LRU)
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    SetAssocCache c(smallGeom());
+    c.access(0x40);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(Cache, MissRatio)
+{
+    SetAssocCache c(smallGeom());
+    c.access(0x0);
+    c.access(0x0);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.5);
+    c.resetStats();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.0);
+}
+
+// ------------------------------------------------- MemoryHierarchy
+
+TEST(Hierarchy, PerfectL1AlwaysFast)
+{
+    MemoryHierarchy m(MemConfig::l1Only());
+    for (uint64_t a = 0; a < 100 * 64; a += 64) {
+        auto r = m.access(a, false, 0);
+        EXPECT_EQ(r.latency, 2u);
+        EXPECT_EQ(r.level, ServiceLevel::L1);
+        EXPECT_FALSE(r.offChip());
+    }
+}
+
+TEST(Hierarchy, PerfectL2ServicesL1Misses)
+{
+    MemoryHierarchy m(MemConfig::l2Perfect11());
+    auto r1 = m.access(0x10000, false, 0);
+    EXPECT_EQ(r1.level, ServiceLevel::L2);
+    EXPECT_EQ(r1.latency, 11u);
+    auto r2 = m.access(0x10000, false, 20);
+    EXPECT_EQ(r2.level, ServiceLevel::L1);
+    EXPECT_EQ(r2.latency, 2u);
+}
+
+TEST(Hierarchy, L2Perfect21Latency)
+{
+    MemoryHierarchy m(MemConfig::l2Perfect21());
+    EXPECT_EQ(m.access(0x10000, false, 0).latency, 21u);
+}
+
+TEST(Hierarchy, ColdMissGoesToMemory)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    auto r = m.access(0x500000, false, 0);
+    EXPECT_EQ(r.level, ServiceLevel::Memory);
+    EXPECT_EQ(r.latency, 400u);
+    EXPECT_TRUE(r.offChip());
+}
+
+TEST(Hierarchy, MemLatencyPresets)
+{
+    EXPECT_EQ(MemoryHierarchy(MemConfig::mem100())
+                  .access(0x0, false, 0).latency, 100u);
+    EXPECT_EQ(MemoryHierarchy(MemConfig::mem1000())
+                  .access(0x0, false, 0).latency, 1000u);
+}
+
+TEST(Hierarchy, MshrMergeCompletesWithPrimary)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    auto first = m.access(0x700000, false, 100);
+    EXPECT_EQ(first.latency, 400u);
+    // Second access to the same line 150 cycles later merges.
+    auto second = m.access(0x700008, false, 250);
+    EXPECT_EQ(second.level, ServiceLevel::Memory);
+    EXPECT_EQ(second.latency, 250u); // completes at cycle 500
+    EXPECT_EQ(m.mshrMerges(), 1u);
+}
+
+TEST(Hierarchy, MergedLatencyFloorsAtL1)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    m.access(0x700000, false, 0);
+    auto late = m.access(0x700000, false, 399);
+    EXPECT_GE(late.latency, 2u);
+}
+
+TEST(Hierarchy, AfterFillLineHitsL1)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    m.access(0x700000, false, 0);
+    auto r = m.access(0x700000, false, 1000);
+    EXPECT_EQ(r.level, ServiceLevel::L1);
+}
+
+TEST(Hierarchy, HitAfterMissInL2)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    m.access(0x700000, false, 0);
+    // Evict from L1 (32KB, 4-way, 128 sets): lines 0x700000 + k*8KB
+    // map to the same L1 set.
+    for (int k = 1; k <= 8; ++k)
+        m.access(0x700000 + uint64_t(k) * 32 * 1024, false, 1000 + k);
+    auto r = m.access(0x700000, false, 5000);
+    EXPECT_EQ(r.level, ServiceLevel::L2);
+    EXPECT_EQ(r.latency, 11u);
+}
+
+TEST(Hierarchy, PrewarmInstallsLines)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    m.prewarm(0x100000, 64 * 1024);
+    m.resetStats();
+    auto r = m.access(0x100040, false, 0);
+    EXPECT_NE(r.level, ServiceLevel::Memory);
+    EXPECT_EQ(m.l2Misses(), 0u);
+}
+
+TEST(Hierarchy, PrewarmRespectsCapacityLru)
+{
+    MemConfig cfg = MemConfig::mem400();
+    cfg.l2Size = 64 * 1024;
+    MemoryHierarchy m(cfg);
+    m.prewarm(0x100000, 1024 * 1024); // 16x the L2
+    // The head of the region was evicted by the tail.
+    auto head = m.access(0x100000, false, 0);
+    EXPECT_EQ(head.level, ServiceLevel::Memory);
+    // The tail survives.
+    auto tail = m.access(0x100000 + 1024 * 1024 - 64, false, 0);
+    EXPECT_NE(tail.level, ServiceLevel::Memory);
+}
+
+TEST(Hierarchy, StoreInstallsLine)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    m.access(0x900000, true, 0);
+    auto r = m.access(0x900000, false, 1000);
+    EXPECT_EQ(r.level, ServiceLevel::L1);
+}
+
+TEST(Hierarchy, StatsAccumulateAndReset)
+{
+    MemoryHierarchy m(MemConfig::mem400());
+    m.access(0x0, false, 0);
+    m.access(0x40000000, false, 0);
+    EXPECT_EQ(m.accesses(), 2u);
+    EXPECT_EQ(m.l2Misses(), 2u);
+    EXPECT_DOUBLE_EQ(m.l2MissRatio(), 1.0);
+    m.resetStats();
+    EXPECT_EQ(m.accesses(), 0u);
+}
+
+TEST(Hierarchy, L2SizeSweepPresetNames)
+{
+    auto cfg = MemConfig::withL2Size(2 * 1024 * 1024);
+    EXPECT_EQ(cfg.l2Size, 2u * 1024 * 1024);
+    EXPECT_NE(cfg.name.find("2048KB"), std::string::npos);
+}
+
+TEST(Hierarchy, SmallerL2MissesMore)
+{
+    MemConfig small = MemConfig::withL2Size(64 * 1024);
+    MemConfig big = MemConfig::withL2Size(4 * 1024 * 1024);
+    MemoryHierarchy ms(small), mb(big);
+    // 1MB working set, two passes; time advances so fills land.
+    uint64_t now = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (uint64_t a = 0; a < (1u << 20); a += 64) {
+            ms.access(a, false, now);
+            mb.access(a, false, now);
+            now += 500;
+        }
+    }
+    EXPECT_GT(ms.l2Misses(), mb.l2Misses());
+}
+
+TEST(Hierarchy, ServiceLevelNames)
+{
+    EXPECT_STREQ(serviceLevelName(ServiceLevel::L1), "L1");
+    EXPECT_STREQ(serviceLevelName(ServiceLevel::L2), "L2");
+    EXPECT_STREQ(serviceLevelName(ServiceLevel::Memory), "MEM");
+}
+
+TEST(Hierarchy, Table1ConfigNames)
+{
+    EXPECT_EQ(MemConfig::l1Only().name, "L1-2");
+    EXPECT_EQ(MemConfig::l2Perfect11().name, "L2-11");
+    EXPECT_EQ(MemConfig::l2Perfect21().name, "L2-21");
+    EXPECT_EQ(MemConfig::mem100().name, "MEM-100");
+    EXPECT_EQ(MemConfig::mem400().name, "MEM-400");
+    EXPECT_EQ(MemConfig::mem1000().name, "MEM-1000");
+}

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the workload layer: trace window replay semantics,
+ * generator determinism, instruction mix and region reporting; plus a
+ * parameterised sweep over all 26 benchmark profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/wload/profile.hh"
+#include "src/wload/synthetic.hh"
+#include "src/wload/trace_window.hh"
+#include "test_helpers.hh"
+
+using namespace kilo;
+using namespace kilo::wload;
+
+// ----------------------------------------------------- TraceWindow
+
+TEST(TraceWindow, SequentialGeneration)
+{
+    test::VectorWorkload wl(test::independentOps(3));
+    TraceWindow tw(wl);
+    EXPECT_EQ(tw.op(0).dst, 1);
+    EXPECT_EQ(tw.op(1).dst, 2);
+    EXPECT_EQ(tw.op(2).dst, 3);
+    EXPECT_EQ(tw.op(3).dst, 1); // loops
+}
+
+TEST(TraceWindow, ReplayReturnsIdenticalOps)
+{
+    auto wl = makeWorkload("swim");
+    TraceWindow tw(*wl);
+    auto pc5 = tw.op(5).pc;
+    auto addr5 = tw.op(5).effAddr;
+    tw.op(100); // run ahead
+    EXPECT_EQ(tw.op(5).pc, pc5);
+    EXPECT_EQ(tw.op(5).effAddr, addr5);
+}
+
+TEST(TraceWindow, ReleaseAdvancesBase)
+{
+    test::VectorWorkload wl(test::independentOps(2));
+    TraceWindow tw(wl);
+    tw.op(10);
+    tw.release(5);
+    EXPECT_EQ(tw.base(), 5u);
+    EXPECT_EQ(tw.op(5).dst, tw.op(5).dst); // still accessible
+}
+
+TEST(TraceWindowDeath, ReleasedSeqPanics)
+{
+    test::VectorWorkload wl(test::independentOps(2));
+    TraceWindow tw(wl);
+    tw.op(10);
+    tw.release(5);
+    EXPECT_DEATH(tw.op(4), "released");
+}
+
+TEST(TraceWindow, FrontierTracksGeneration)
+{
+    test::VectorWorkload wl(test::independentOps(2));
+    TraceWindow tw(wl);
+    EXPECT_EQ(tw.frontier(), 0u);
+    tw.op(7);
+    EXPECT_EQ(tw.frontier(), 8u);
+}
+
+// ---------------------------------------------- SyntheticWorkload
+
+TEST(Synthetic, Deterministic)
+{
+    auto a = makeWorkload("mcf");
+    auto b = makeWorkload("mcf");
+    for (int i = 0; i < 5000; ++i) {
+        auto oa = a->next();
+        auto ob = b->next();
+        ASSERT_EQ(oa.pc, ob.pc);
+        ASSERT_EQ(oa.effAddr, ob.effAddr);
+        ASSERT_EQ(oa.taken, ob.taken);
+        ASSERT_EQ(int(oa.cls), int(ob.cls));
+    }
+}
+
+TEST(Synthetic, ResetRestartsStream)
+{
+    auto wl = makeWorkload("gcc");
+    std::vector<uint64_t> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(wl->next().effAddr);
+    wl->reset();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(wl->next().effAddr, first[size_t(i)]);
+}
+
+TEST(Synthetic, ChaseIsDependentChain)
+{
+    WorkloadProfile p;
+    p.name = "chase-only";
+    p.chaseLoads = 1;
+    p.chaseBytes = 1 << 20;
+    p.chaseChainLen = 1000000; // effectively endless
+    p.indepCompute = 0;
+    p.condBranches = 0;
+    p.storeEvery = 0;
+    p.depComputePerLoad = 0;
+    SyntheticWorkload wl(p);
+    // Each chase load reads and writes the same register.
+    int chase_loads = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto op = wl.next();
+        if (op.isLoad()) {
+            EXPECT_EQ(op.src1, op.dst);
+            ++chase_loads;
+        }
+    }
+    EXPECT_GT(chase_loads, 50);
+}
+
+TEST(Synthetic, ChaseAddressesCoverRegion)
+{
+    WorkloadProfile p;
+    p.name = "chase-cover";
+    p.chaseLoads = 1;
+    p.chaseBytes = 64 * 256; // 256 nodes
+    p.chaseChainLen = 1000000;
+    p.indepCompute = 0;
+    p.condBranches = 0;
+    p.storeEvery = 0;
+    p.depComputePerLoad = 0;
+    SyntheticWorkload wl(p);
+    std::map<uint64_t, int> seen;
+    for (int i = 0; i < 256 * 6; ++i) {
+        auto op = wl.next();
+        if (op.isLoad())
+            seen[op.effAddr]++;
+    }
+    // Sattolo cycle: all nodes visited equally often.
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Synthetic, StreamAdvancesByStride)
+{
+    WorkloadProfile p;
+    p.name = "stream";
+    p.streamLoads = 1;
+    p.numStreams = 1;
+    p.streamBytes = 1 << 20;
+    p.streamStride = 64;
+    p.indepCompute = 0;
+    p.condBranches = 0;
+    p.storeEvery = 0;
+    p.depComputePerLoad = 0;
+    SyntheticWorkload wl(p);
+    uint64_t prev = 0;
+    bool first = true;
+    for (int i = 0; i < 100; ++i) {
+        auto op = wl.next();
+        if (!op.isLoad())
+            continue;
+        if (!first) {
+            EXPECT_EQ(op.effAddr, prev + 64);
+        }
+        prev = op.effAddr;
+        first = false;
+    }
+}
+
+TEST(Synthetic, BranchPcsStableAcrossIterations)
+{
+    auto wl = makeWorkload("bzip2");
+    std::map<uint64_t, int> branch_pcs;
+    for (int i = 0; i < 5000; ++i) {
+        auto op = wl->next();
+        if (op.isBranch())
+            branch_pcs[op.pc]++;
+    }
+    // A small static branch set, each executed many times.
+    EXPECT_LE(branch_pcs.size(), 8u);
+    for (const auto &[pc, n] : branch_pcs)
+        EXPECT_GT(n, 10) << "pc " << pc;
+}
+
+TEST(Synthetic, RegionsReportedForPrewarm)
+{
+    auto wl = makeWorkload("mcf");
+    auto regs = wl->regions();
+    EXPECT_FALSE(regs.empty());
+    uint64_t total = 0;
+    for (const auto &r : regs)
+        total += r.bytes;
+    EXPECT_GT(total, 1024u * 1024u); // mcf's chase region alone is 2MB
+}
+
+TEST(Synthetic, AtMostTwoSourcesOneDest)
+{
+    for (const auto &prof : allProfiles()) {
+        SyntheticWorkload wl(prof);
+        for (int i = 0; i < 500; ++i) {
+            auto op = wl.next();
+            ASSERT_LE(op.numSrcs(), 2);
+            if (op.isStore() || op.isBranch()) {
+                ASSERT_EQ(op.dst, isa::NoReg);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------ profile registry
+
+TEST(Profiles, SuiteSizesMatchSpec2000)
+{
+    EXPECT_EQ(intProfiles().size(), 12u);
+    EXPECT_EQ(fpProfiles().size(), 14u);
+    EXPECT_EQ(allProfiles().size(), 26u);
+}
+
+TEST(Profiles, NamesUniqueAndLookupWorks)
+{
+    std::map<std::string, int> names;
+    for (const auto &p : allProfiles())
+        names[p.name]++;
+    for (const auto &[n, c] : names)
+        EXPECT_EQ(c, 1) << n;
+    EXPECT_EQ(profileByName("swim").name, "swim");
+    EXPECT_TRUE(profileByName("swim").fp);
+    EXPECT_FALSE(profileByName("gzip").fp);
+}
+
+TEST(ProfilesDeath, UnknownNameFatal)
+{
+    EXPECT_DEATH(profileByName("nonexistent"), "unknown benchmark");
+}
+
+// --------------------------------------- parameterised suite sweep
+
+class EveryBenchmark : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryBenchmark, GeneratesValidOps)
+{
+    auto wl = makeWorkload(GetParam());
+    int branches = 0, loads = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto op = wl->next();
+        if (op.isBranch()) {
+            ++branches;
+            EXPECT_NE(op.target, 0u);
+        }
+        if (op.isMem()) {
+            EXPECT_NE(op.effAddr, 0u);
+        }
+        if (op.isLoad())
+            ++loads;
+        if (op.dst != isa::NoReg) {
+            EXPECT_GE(op.dst, 0);
+            EXPECT_LT(op.dst, isa::NumRegs);
+        }
+    }
+    EXPECT_GT(branches, 50);  // every kernel has loop control
+    EXPECT_GT(loads, 20);     // and memory traffic
+}
+
+TEST_P(EveryBenchmark, FpSuiteUsesFpCompute)
+{
+    auto prof = profileByName(GetParam());
+    auto wl = makeWorkload(GetParam());
+    int fp_ops = 0;
+    for (int i = 0; i < 2000; ++i)
+        fp_ops += isa::isFpClass(wl->next().cls);
+    if (prof.fp)
+        EXPECT_GT(fp_ops, 100);
+    else
+        EXPECT_EQ(fp_ops, 0);
+}
+
+namespace
+{
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : allProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // anonymous namespace
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryBenchmark,
+                         ::testing::ValuesIn(allNames()),
+                         [](const auto &info) { return info.param; });
