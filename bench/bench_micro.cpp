@@ -1,13 +1,18 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the simulator's hot paths:
- * cache/hierarchy lookups, perceptron prediction, issue-queue
- * operations, LLIB/LLRF traffic, workload generation, and whole-core
- * simulation throughput (simulated instructions per second).
+ * cache/hierarchy lookups, perceptron prediction, arena recycling,
+ * issue-queue operations, LLIB/LLRF traffic, workload generation,
+ * whole-core simulation throughput (simulated instructions per
+ * second) and suite-level sweep throughput.
+ *
+ * Run with --benchmark_format=json for the machine-readable rows the
+ * CI harness archives.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "src/core/inst_arena.hh"
 #include "src/core/issue_queue.hh"
 #include "src/core/ooo_core.hh"
 #include "src/dkip/dkip_core.hh"
@@ -16,6 +21,8 @@
 #include "src/mem/hierarchy.hh"
 #include "src/pred/perceptron.hh"
 #include "src/sim/simulator.hh"
+#include "src/sim/sweep.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/util/rng.hh"
 #include "src/wload/synthetic.hh"
 
@@ -82,20 +89,39 @@ BM_PerceptronTrain(benchmark::State &state)
 BENCHMARK(BM_PerceptronTrain);
 
 void
-BM_IssueQueueInsertPop(benchmark::State &state)
+BM_InstArenaAllocFree(benchmark::State &state)
 {
-    core::IssueQueue q("bench", 4096,
-                       core::SchedPolicy::OutOfOrder);
+    core::InstArena arena;
     uint64_t seq = 0;
     for (auto _ : state) {
-        auto inst = std::make_shared<core::DynInst>();
-        inst->op = isa::makeAlu(1, 2, 3);
-        inst->seq = ++seq;
-        inst->readyFlag = true;
-        q.insert(inst);
-        auto got = q.popReady(0);
-        got->issued = true;
+        core::InstRef ref = arena.alloc();
+        core::DynInst &inst = arena.get(ref);
+        inst.op = isa::makeAlu(1, 2, 3);
+        inst.seq = ++seq;
+        benchmark::DoNotOptimize(inst.seq);
+        arena.free(ref);
+    }
+}
+BENCHMARK(BM_InstArenaAllocFree);
+
+void
+BM_IssueQueueInsertPop(benchmark::State &state)
+{
+    core::InstArena arena;
+    core::IssueQueue q("bench", 4096, core::SchedPolicy::OutOfOrder,
+                       arena);
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        core::InstRef ref = arena.alloc();
+        core::DynInst &inst = arena.get(ref);
+        inst.op = isa::makeAlu(1, 2, 3);
+        inst.seq = ++seq;
+        inst.readyFlag = true;
+        q.insert(ref);
+        core::InstRef got = q.popReady(0);
+        arena.get(got).issued = true;
         q.removeIssued(got);
+        arena.free(got);
     }
 }
 BENCHMARK(BM_IssueQueueInsertPop);
@@ -103,14 +129,17 @@ BENCHMARK(BM_IssueQueueInsertPop);
 void
 BM_LlibPushPop(benchmark::State &state)
 {
-    dkip::Llib llib("bench", 2048);
+    core::InstArena arena;
+    dkip::Llib llib("bench", 2048, arena);
     uint64_t seq = 0;
     for (auto _ : state) {
-        auto inst = std::make_shared<core::DynInst>();
-        inst->op = isa::makeAlu(1, 2, 3);
-        inst->seq = ++seq;
-        llib.push(inst);
+        core::InstRef ref = arena.alloc();
+        core::DynInst &inst = arena.get(ref);
+        inst.op = isa::makeAlu(1, 2, 3);
+        inst.seq = ++seq;
+        llib.push(ref);
         benchmark::DoNotOptimize(llib.popFront());
+        arena.free(ref);
     }
 }
 BENCHMARK(BM_LlibPushPop);
@@ -118,9 +147,11 @@ BENCHMARK(BM_LlibPushPop);
 void
 BM_LlrfAllocRelease(benchmark::State &state)
 {
+    core::InstArena arena;
     dkip::Llrf llrf;
+    core::InstRef ref = arena.alloc();
+    core::DynInst &inst = arena.get(ref);
     for (auto _ : state) {
-        auto inst = std::make_shared<core::DynInst>();
         llrf.tryAlloc(inst);
         llrf.release(inst);
         llrf.beginCycle();
@@ -160,6 +191,40 @@ BM_DkipCoreSimThroughput(benchmark::State &state)
     state.SetItemsProcessed(int64_t(state.iterations()) * 1000);
 }
 BENCHMARK(BM_DkipCoreSimThroughput)->Unit(benchmark::kMillisecond);
+
+/** The acceptance-gate run: a fresh DkipCore simulating the 100k
+ *  instructions a standard measured region commits. */
+void
+BM_DkipCore100kRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto res = sim::Simulator::run(
+            sim::MachineConfig::dkip2048(), "swim",
+            mem::MemConfig::mem400(), sim::RunConfig());
+        benchmark::DoNotOptimize(res.ipc);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * 120000);
+}
+BENCHMARK(BM_DkipCore100kRun)->Unit(benchmark::kMillisecond);
+
+/** Suite sweep through the SweepEngine at an explicit thread count
+ *  (Arg). Compare Arg=1 against Arg=4 for the parallel speedup. */
+void
+BM_SweepEngineSuite(benchmark::State &state)
+{
+    sim::SweepEngine engine(unsigned(state.range(0)));
+    auto suite = sim::fpSuite();
+    for (auto _ : state) {
+        auto results = engine.runSuite(
+            sim::MachineConfig::dkip2048(), suite,
+            mem::MemConfig::mem400(), sim::RunConfig::sweep());
+        benchmark::DoNotOptimize(results.front().ipc);
+    }
+}
+BENCHMARK(BM_SweepEngineSuite)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 

@@ -5,17 +5,20 @@
  * A DynInst is a micro-op in flight: it carries pipeline timestamps,
  * dataflow links (producers wake dependents on completion), and the
  * D-KIP classification state (execution locality, LLIB/LLRF
- * residency). Ownership discipline: containers (ROB, queues, LLIB)
- * hold shared_ptrs; producers hold shared_ptrs to *dependents* only,
- * and clear that list on completion or squash, so no reference cycles
- * form (a dependent never outlives its producer's completion).
+ * residency). Instructions live in a per-core InstArena
+ * (src/core/inst_arena.hh) and reference each other through
+ * generation-checked 32-bit InstRef handles instead of shared_ptrs:
+ * containers (ROB, queues, LLIB) hold handles, and a slot is recycled
+ * explicitly when its instruction commits or is squashed. A handle
+ * held across its target's recycling goes *stale* — tryGet() returns
+ * null for it — which encodes exactly the "producer is no longer in
+ * flight" answer every dataflow query wants.
  */
 
 #ifndef KILO_CORE_DYN_INST_HH
 #define KILO_CORE_DYN_INST_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "src/isa/micro_op.hh"
@@ -26,14 +29,67 @@ namespace kilo::core
 
 class IssueQueue;
 
-struct DynInst;
-using DynInstPtr = std::shared_ptr<DynInst>;
+/**
+ * Generation-checked handle to a DynInst slot in an InstArena.
+ *
+ * Packs a 20-bit slot index and a 12-bit generation into 32 bits.
+ * A default-constructed handle is null (boolean false); a non-null
+ * handle whose generation no longer matches its slot is *stale* and
+ * is rejected by InstArena::get()/filtered by InstArena::tryGet().
+ */
+class InstRef
+{
+  public:
+    static constexpr uint32_t IndexBits = 20;
+    static constexpr uint32_t GenBits = 32 - IndexBits;
+    static constexpr uint32_t MaxSlots = 1u << IndexBits;
+    static constexpr uint32_t GenMask = (1u << GenBits) - 1;
 
-/** One in-flight instruction. */
+    constexpr InstRef() = default;
+
+    static InstRef
+    make(uint32_t index, uint32_t gen)
+    {
+        InstRef r;
+        r.bits = (gen << IndexBits) | index;
+        return r;
+    }
+
+    bool valid() const { return bits != Invalid; }
+    explicit operator bool() const { return valid(); }
+
+    uint32_t index() const { return bits & (MaxSlots - 1); }
+    uint32_t gen() const { return bits >> IndexBits; }
+    uint32_t raw() const { return bits; }
+
+    friend bool
+    operator==(InstRef a, InstRef b)
+    {
+        return a.bits == b.bits;
+    }
+
+    friend bool
+    operator!=(InstRef a, InstRef b)
+    {
+        return a.bits != b.bits;
+    }
+
+  private:
+    static constexpr uint32_t Invalid = UINT32_MAX;
+
+    uint32_t bits = Invalid;
+};
+
+/** One in-flight instruction (an InstArena slot). */
 struct DynInst
 {
     isa::MicroOp op;
     uint64_t seq = 0;            ///< dynamic sequence number
+
+    /** Arena bookkeeping (owned by InstArena). @{ */
+    InstRef self;                ///< this instruction's own handle
+    uint32_t gen = 0;            ///< slot generation (bumped on free)
+    /** @} */
 
     /** Pipeline timestamps (absolute cycles). @{ */
     uint64_t fetchCycle = 0;
@@ -48,17 +104,19 @@ struct DynInst
     bool issued = false;
     bool completed = false;
     bool squashed = false;
+    bool retired = false;        ///< committed; slot freed once the
+                                 ///< LSQ releases its entry
     /** @} */
 
     /** Dataflow. @{ */
     int srcNotReady = 0;         ///< pending source count
-    std::vector<DynInstPtr> dependents;
+    std::vector<InstRef> dependents;
     /**
      * In-flight producers of src1/src2 at rename time (null when the
-     * source was ready). Used by Analyze (long-latency-load tests)
-     * and released at completion/squash to avoid reference cycles.
+     * source was ready). Used by Analyze (long-latency-load tests);
+     * a stale handle means the producer already left the pipeline.
      */
-    DynInstPtr producers[2];
+    InstRef producers[2];
     uint64_t readyCycle = 0;     ///< cycle the last source arrived
     /** @} */
 
@@ -75,6 +133,12 @@ struct DynInst
     /** True while this op holds an LSQ entry. */
     bool inLsq = false;
 
+    /** True while this op holds a ROB / aging-ROB entry. */
+    bool inRob = false;
+
+    /** Next older store in the same LSQ store-index bucket. */
+    InstRef lsqBucketNext;
+
     /** D-KIP / KILO classification state. @{ */
     bool longLatency = false;    ///< classified low execution locality
     bool inLlib = false;         ///< currently resident in an LLIB
@@ -87,7 +151,7 @@ struct DynInst
     IssueQueue *iq = nullptr;
 
     /** Previous scoreboard mapping of op.dst, for squash restore. @{ */
-    DynInstPtr prevProducer;
+    InstRef prevProducer;
     uint64_t prevReadyCycle = 0;
     uint64_t prevDefinerSeq = 0;
     bool prevDefinerValid = false;
@@ -101,20 +165,40 @@ struct DynInst
                                            : 0;
     }
 
-    /** Release dataflow edges (called on completion and on squash). */
+    /** Release dataflow edges (called on completion and on squash).
+     *  The vector keeps its capacity so the recycled slot's next
+     *  tenant builds its edge list allocation-free. */
     void
     dropDependents()
     {
         dependents.clear();
-        dependents.shrink_to_fit();
     }
 
     /** Release producer links (called on completion and on squash). */
     void
     dropProducers()
     {
-        producers[0] = nullptr;
-        producers[1] = nullptr;
+        producers[0] = InstRef();
+        producers[1] = InstRef();
+    }
+
+    /**
+     * Reinitialise every field for a fresh allocation, preserving the
+     * slot generation and the dependents capacity. Assigning from a
+     * value-initialised instance covers fields added later without a
+     * hand-maintained list (stale state from the previous tenant
+     * would otherwise leak silently).
+     */
+    void
+    reset()
+    {
+        uint32_t keep_gen = gen;
+        std::vector<InstRef> deps = std::move(dependents);
+        deps.clear();
+        this->~DynInst();
+        new (this) DynInst();
+        gen = keep_gen;
+        dependents = std::move(deps);
     }
 };
 

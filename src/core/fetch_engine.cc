@@ -5,39 +5,43 @@ namespace kilo::core
 
 FetchEngine::FetchEngine(wload::TraceWindow &window,
                          pred::BranchPredictor &predictor,
-                         const CoreParams &params)
-    : window(window), predictor(predictor), params(params)
+                         const CoreParams &params, InstArena &arena)
+    : window(window), predictor(predictor), params(params),
+      arena(arena)
 {}
 
-std::vector<DynInstPtr>
-FetchEngine::fetch(uint64_t now, int max_count)
+int
+FetchEngine::fetch(uint64_t now, int max_count,
+                   std::vector<InstRef> &out)
 {
-    std::vector<DynInstPtr> fetched;
     if (blocked(now))
-        return fetched;
+        return 0;
 
+    int fetched = 0;
     for (int i = 0; i < max_count; ++i) {
         const isa::MicroOp &op = window.op(fetchSeq);
 
-        auto inst = std::make_shared<DynInst>();
-        inst->op = op;
-        inst->seq = fetchSeq;
-        inst->fetchCycle = now;
+        InstRef ref = arena.alloc();
+        DynInst &inst = arena.get(ref);
+        inst.op = op;
+        inst.seq = fetchSeq;
+        inst.fetchCycle = now;
         ++fetchSeq;
 
         if (op.isBranch()) {
-            inst->historySnapshot = ghr;
+            inst.historySnapshot = ghr;
             bool pred_taken = predictor.isPerfect()
                 ? op.taken
                 : predictor.lookup(op.pc, ghr);
-            inst->predTaken = pred_taken;
-            inst->mispredicted = pred_taken != op.taken;
+            inst.predTaken = pred_taken;
+            inst.mispredicted = pred_taken != op.taken;
             // Correct-path fetch: speculative history tracks actual
             // outcomes (see DESIGN.md on squash-replay).
             ghr = (ghr << 1) | (op.taken ? 1 : 0);
         }
 
-        fetched.push_back(inst);
+        out.push_back(ref);
+        ++fetched;
 
         // A taken branch ends the fetch group.
         if (op.isBranch() && op.taken && params.fetchStopOnTaken)

@@ -10,6 +10,9 @@
  * replays the same micro-ops, modelling the refill penalty and the
  * wasted work without simulating wrong-path instructions (see
  * DESIGN.md, substitution table).
+ *
+ * Every DynInst in the machine is born here, allocated from the
+ * core's InstArena so that commit/squash recycling is total.
  */
 
 #ifndef KILO_CORE_FETCH_ENGINE_HH
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "src/core/dyn_inst.hh"
+#include "src/core/inst_arena.hh"
 #include "src/core/params.hh"
 #include "src/pred/predictor.hh"
 #include "src/wload/trace_window.hh"
@@ -32,14 +36,15 @@ class FetchEngine
   public:
     FetchEngine(wload::TraceWindow &window,
                 pred::BranchPredictor &predictor,
-                const CoreParams &params);
+                const CoreParams &params, InstArena &arena);
 
     /**
-     * Fetch up to @p max_count micro-ops at cycle @p now, wrapping
-     * them in fresh DynInsts. Honours redirect stalls and the
-     * stop-at-taken-branch fetch break.
+     * Fetch up to @p max_count micro-ops at cycle @p now, allocating
+     * fresh DynInsts from the arena and appending their handles to
+     * @p out. Honours redirect stalls and the stop-at-taken-branch
+     * fetch break. Returns the number fetched.
      */
-    std::vector<DynInstPtr> fetch(uint64_t now, int max_count);
+    int fetch(uint64_t now, int max_count, std::vector<InstRef> &out);
 
     /**
      * Restart fetch after a squash.
@@ -67,6 +72,7 @@ class FetchEngine
     wload::TraceWindow &window;
     pred::BranchPredictor &predictor;
     const CoreParams &params;
+    InstArena &arena;
 
     uint64_t fetchSeq = 0;
     uint64_t redirectCycle = 0;

@@ -1,0 +1,63 @@
+#include "src/core/inst_arena.hh"
+
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+InstArena::InstArena(uint32_t initial_slots)
+{
+    uint32_t slabs_needed =
+        (initial_slots + SlabSize - 1) / SlabSize;
+    if (slabs_needed == 0)
+        slabs_needed = 1;
+    for (uint32_t i = 0; i < slabs_needed; ++i)
+        addSlab();
+}
+
+void
+InstArena::addSlab()
+{
+    KILO_ASSERT(numSlots + SlabSize <= InstRef::MaxSlots,
+                "InstArena exceeds the %u-slot handle space",
+                InstRef::MaxSlots);
+    slabs.push_back(std::make_unique<DynInst[]>(SlabSize));
+    slots.grow(SlabSize);
+    numSlots += SlabSize;
+}
+
+InstRef
+InstArena::alloc()
+{
+    if (!slots.hasFree())
+        addSlab();
+    uint32_t idx = slots.alloc();
+    DynInst &inst = slotAt(idx);
+    inst.reset();
+    inst.self = InstRef::make(idx, inst.gen & InstRef::GenMask);
+    KILO_ASSERT(inst.self.valid(),
+                "live handle collided with the null sentinel");
+    ++nAllocs;
+    return inst.self;
+}
+
+void
+InstArena::free(InstRef ref)
+{
+    DynInst *inst = tryGet(ref);
+    KILO_ASSERT(inst != nullptr, "InstArena::free of stale handle");
+    // Bump the generation: every outstanding handle to this slot is
+    // now stale and dereferences to null. The last slot skips the
+    // generation whose packed encoding would collide with the
+    // all-ones null sentinel.
+    inst->gen = (inst->gen + 1) & InstRef::GenMask;
+    if (ref.index() == InstRef::MaxSlots - 1 &&
+        inst->gen == InstRef::GenMask) {
+        inst->gen = 0;
+    }
+    inst->self = InstRef();
+    slots.release(ref.index());
+    ++nFrees;
+}
+
+} // namespace kilo::core

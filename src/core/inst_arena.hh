@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Slab allocator for in-flight instructions.
+ *
+ * Every core model owns one InstArena; instruction records are
+ * recycled at commit/squash instead of reference-counted, so the
+ * per-cycle loop never touches the heap once the arena has grown to
+ * the window's high-water mark. Slots are addressed by
+ * generation-checked 32-bit InstRef handles: freeing a slot bumps its
+ * generation, so a handle held across recycling dereferences to null
+ * through tryGet() (and trips an assertion through get()), which is
+ * exactly the "producer already left the pipeline" answer the
+ * dataflow queries need.
+ *
+ * Timing simulators with pooled instruction records (mcsim et al.)
+ * use the same structure; the slab layout keeps record addresses
+ * stable across growth so references held by the arena itself never
+ * move.
+ */
+
+#ifndef KILO_CORE_INST_ARENA_HH
+#define KILO_CORE_INST_ARENA_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/dyn_inst.hh"
+#include "src/util/free_list.hh"
+#include "src/util/logging.hh"
+
+namespace kilo::core
+{
+
+/** Growable pool of DynInst slots with generation-checked handles. */
+class InstArena
+{
+  public:
+    /** Slots added per growth step (power of two). */
+    static constexpr uint32_t SlabSize = 1024;
+
+    explicit InstArena(uint32_t initial_slots = SlabSize);
+
+    InstArena(const InstArena &) = delete;
+    InstArena &operator=(const InstArena &) = delete;
+
+    /**
+     * Allocate a slot and reset its instruction to the fetched-fresh
+     * state. Grows by one slab when the pool is exhausted.
+     */
+    InstRef alloc();
+
+    /** Recycle @p ref's slot. The handle (and every copy of it) goes
+     *  stale immediately. @pre isLive(ref) */
+    void free(InstRef ref);
+
+    /** Dereference a live handle. Panics on null or stale handles. */
+    DynInst &
+    get(InstRef ref)
+    {
+        DynInst *inst = tryGet(ref);
+        KILO_ASSERT(inst != nullptr,
+                    "stale or null InstRef (index %u gen %u)",
+                    ref.index(), ref.gen());
+        return *inst;
+    }
+
+    const DynInst &
+    get(InstRef ref) const
+    {
+        return const_cast<InstArena *>(this)->get(ref);
+    }
+
+    /**
+     * Dereference, tolerating staleness: returns null when @p ref is
+     * null or its slot has been recycled since the handle was taken.
+     */
+    DynInst *
+    tryGet(InstRef ref)
+    {
+        if (!ref.valid())
+            return nullptr;
+        uint32_t idx = ref.index();
+        if (idx >= numSlots)
+            return nullptr;
+        DynInst &inst = slotAt(idx);
+        return (inst.gen & InstRef::GenMask) == ref.gen() ? &inst
+                                                          : nullptr;
+    }
+
+    const DynInst *
+    tryGet(InstRef ref) const
+    {
+        return const_cast<InstArena *>(this)->tryGet(ref);
+    }
+
+    /** True when @p ref names a live (allocated, same-gen) slot. */
+    bool isLive(InstRef ref) const { return tryGet(ref) != nullptr; }
+
+    /** Slots currently allocated. */
+    uint32_t live() const { return slots.numAllocated(); }
+
+    /** Total slots (allocated + free). */
+    uint32_t capacity() const { return numSlots; }
+
+    /** Lifetime allocation count (recycled slots count again). */
+    uint64_t totalAllocs() const { return nAllocs; }
+
+    /** Lifetime free count. */
+    uint64_t totalFrees() const { return nFrees; }
+
+  private:
+    DynInst &
+    slotAt(uint32_t idx)
+    {
+        return slabs[idx / SlabSize][idx % SlabSize];
+    }
+
+    void addSlab();
+
+    std::vector<std::unique_ptr<DynInst[]>> slabs;
+    /** FIFO recycling: a freed slot rests behind every other free
+     *  slot, so the generation of any one slot advances as slowly as
+     *  the pool allows (wrap needs ~pool-size x 4096 frees while a
+     *  handle is held). */
+    FreeList slots{0, FreeList::Order::Fifo};
+    uint32_t numSlots = 0;
+    uint64_t nAllocs = 0;
+    uint64_t nFrees = 0;
+};
+
+} // namespace kilo::core
+
+#endif // KILO_CORE_INST_ARENA_HH

@@ -1,7 +1,5 @@
 #include "src/core/issue_queue.hh"
 
-#include <algorithm>
-
 #include "src/util/logging.hh"
 
 namespace kilo::core
@@ -14,58 +12,61 @@ schedPolicyName(SchedPolicy policy)
 }
 
 IssueQueue::IssueQueue(std::string name, size_t capacity,
-                       SchedPolicy policy)
-    : label(std::move(name)), cap(capacity ? capacity : 1),
-      sched(policy)
+                       SchedPolicy policy, InstArena &arena)
+    : arena(arena), label(std::move(name)),
+      cap(capacity ? capacity : 1), sched(policy)
 {}
 
 void
 IssueQueue::beginCycle()
 {
     stalledThisCycle = false;
-    for (auto &inst : deferred)
-        readyHeap.push(inst);
+    for (auto &entry : deferred)
+        readyHeap.push(entry);
     deferred.clear();
 }
 
 void
-IssueQueue::insert(const DynInstPtr &inst)
+IssueQueue::insert(InstRef ref)
 {
+    DynInst &inst = arena.get(ref);
     KILO_ASSERT(!full(), "insert into full issue queue %s",
                 label.c_str());
-    KILO_ASSERT(inst->iq == nullptr, "instruction already in a queue");
-    inst->iq = this;
+    KILO_ASSERT(inst.iq == nullptr, "instruction already in a queue");
+    inst.iq = this;
     ++count;
     if (sched == SchedPolicy::InOrder)
-        fifo.push_back(inst);
-    if (inst->readyFlag && !inst->issued) {
+        fifo.push_back(ref);
+    if (inst.readyFlag && !inst.issued) {
         ++readyCount;
         if (sched == SchedPolicy::OutOfOrder)
-            readyHeap.push(inst);
+            readyHeap.push({inst.seq, ref});
     }
 }
 
 void
-IssueQueue::markReady(const DynInstPtr &inst)
+IssueQueue::markReady(InstRef ref)
 {
-    KILO_ASSERT(inst->iq == this, "markReady on non-resident inst");
-    if (inst->issued)
+    DynInst &inst = arena.get(ref);
+    KILO_ASSERT(inst.iq == this, "markReady on non-resident inst");
+    if (inst.issued)
         return;
     ++readyCount;
     if (sched == SchedPolicy::OutOfOrder)
-        readyHeap.push(inst);
+        readyHeap.push({inst.seq, ref});
 }
 
-DynInstPtr
+InstRef
 IssueQueue::popReady(uint64_t now)
 {
     (void)now;
     if (sched == SchedPolicy::InOrder) {
         if (stalledThisCycle || fifo.empty())
-            return nullptr;
-        DynInstPtr head = fifo.front();
-        if (!head->readyFlag || head->issued)
-            return nullptr;
+            return InstRef();
+        InstRef head = fifo.front();
+        DynInst &inst = arena.get(head);
+        if (!inst.readyFlag || inst.issued)
+            return InstRef();
         // Head-only selection: returning it without removal; the
         // caller resolves via removeIssued/requeue/droppedNotReady.
         // Guard against re-selection within the cycle.
@@ -74,48 +75,50 @@ IssueQueue::popReady(uint64_t now)
     }
 
     while (!readyHeap.empty()) {
-        DynInstPtr inst = readyHeap.top();
+        InstRef ref = readyHeap.top().second;
         readyHeap.pop();
-        // Lazy deletion: skip stale entries.
-        if (inst->iq != this || inst->issued || inst->squashed ||
-            !inst->readyFlag) {
+        // Lazy deletion: skip entries whose instruction issued,
+        // left this queue, or was squashed and recycled (stale).
+        DynInst *inst = arena.tryGet(ref);
+        if (!inst || inst->iq != this || inst->issued ||
+            inst->squashed || !inst->readyFlag) {
             continue;
         }
-        return inst;
+        return ref;
     }
-    return nullptr;
+    return InstRef();
 }
 
 void
-IssueQueue::requeue(const DynInstPtr &inst)
+IssueQueue::requeue(InstRef ref)
 {
     if (sched == SchedPolicy::OutOfOrder) {
-        deferred.push_back(inst);
+        deferred.push_back({arena.get(ref).seq, ref});
     }
     // InOrder: the head stays in place; stalledThisCycle already set.
-    (void)inst;
 }
 
 void
-IssueQueue::droppedNotReady(const DynInstPtr &inst)
+IssueQueue::droppedNotReady(InstRef ref)
 {
     KILO_ASSERT(readyCount > 0, "droppedNotReady underflow in %s",
                 label.c_str());
     --readyCount;
-    (void)inst;
+    (void)ref;
 }
 
 void
-IssueQueue::removeIssued(const DynInstPtr &inst)
+IssueQueue::removeIssued(InstRef ref)
 {
-    KILO_ASSERT(inst->iq == this, "removeIssued on non-resident inst");
+    DynInst &inst = arena.get(ref);
+    KILO_ASSERT(inst.iq == this, "removeIssued on non-resident inst");
     KILO_ASSERT(readyCount > 0, "removeIssued underflow in %s",
                 label.c_str());
     --readyCount;
     --count;
-    inst->iq = nullptr;
+    inst.iq = nullptr;
     if (sched == SchedPolicy::InOrder) {
-        KILO_ASSERT(!fifo.empty() && fifo.front() == inst,
+        KILO_ASSERT(!fifo.empty() && fifo.front() == ref,
                     "in-order queue issued non-head instruction");
         fifo.pop_front();
         // The next head may issue in the same cycle.
@@ -124,48 +127,53 @@ IssueQueue::removeIssued(const DynInstPtr &inst)
 }
 
 void
-IssueQueue::eraseFromFifo(const DynInstPtr &inst)
+IssueQueue::eraseFromFifo(InstRef ref)
 {
-    auto it = std::find(fifo.begin(), fifo.end(), inst);
-    KILO_ASSERT(it != fifo.end(), "instruction missing from fifo %s",
-                label.c_str());
-    fifo.erase(it);
+    for (size_t i = 0; i < fifo.size(); ++i) {
+        if (fifo[i] == ref) {
+            fifo.erase(i);
+            return;
+        }
+    }
+    KILO_PANIC("instruction missing from fifo %s", label.c_str());
 }
 
 void
-IssueQueue::erase(const DynInstPtr &inst)
+IssueQueue::erase(InstRef ref)
 {
-    KILO_ASSERT(inst->iq == this, "erase on non-resident inst");
-    if (inst->readyFlag && !inst->issued) {
+    DynInst &inst = arena.get(ref);
+    KILO_ASSERT(inst.iq == this, "erase on non-resident inst");
+    if (inst.readyFlag && !inst.issued) {
         KILO_ASSERT(readyCount > 0, "erase underflow in %s",
                     label.c_str());
         --readyCount;
     }
     --count;
-    inst->iq = nullptr;
+    inst.iq = nullptr;
     if (sched == SchedPolicy::InOrder)
-        eraseFromFifo(inst);
+        eraseFromFifo(ref);
 }
 
-DynInstPtr
+InstRef
 IssueQueue::debugFront() const
 {
-    return fifo.empty() ? nullptr : fifo.front();
+    return fifo.empty() ? InstRef() : fifo.front();
 }
 
 void
-IssueQueue::notifySquashed(const DynInstPtr &inst)
+IssueQueue::notifySquashed(InstRef ref)
 {
-    KILO_ASSERT(inst->iq == this, "squash notify on non-resident inst");
-    if (inst->readyFlag && !inst->issued) {
+    DynInst &inst = arena.get(ref);
+    KILO_ASSERT(inst.iq == this, "squash notify on non-resident inst");
+    if (inst.readyFlag && !inst.issued) {
         KILO_ASSERT(readyCount > 0, "squash underflow in %s",
                     label.c_str());
         --readyCount;
     }
     --count;
-    inst->iq = nullptr;
+    inst.iq = nullptr;
     if (sched == SchedPolicy::InOrder)
-        eraseFromFifo(inst);
+        eraseFromFifo(ref);
 }
 
 } // namespace kilo::core

@@ -12,18 +12,22 @@
  * core when the last outstanding source completes — so selection cost
  * does not scale with queue capacity, which keeps the 4096-entry
  * limit-study configurations fast.
+ *
+ * Entries are arena handles; the lazy-deletion ready heap tolerates
+ * handles that went stale after a squash recycled their slots.
  */
 
 #ifndef KILO_CORE_ISSUE_QUEUE_HH
 #define KILO_CORE_ISSUE_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "src/core/dyn_inst.hh"
+#include "src/core/inst_arena.hh"
+#include "src/util/ring_deque.hh"
 
 namespace kilo::core
 {
@@ -42,7 +46,8 @@ const char *schedPolicyName(SchedPolicy policy);
 class IssueQueue
 {
   public:
-    IssueQueue(std::string name, size_t capacity, SchedPolicy policy);
+    IssueQueue(std::string name, size_t capacity, SchedPolicy policy,
+               InstArena &arena);
 
     const std::string &name() const { return label; }
     SchedPolicy policy() const { return sched; }
@@ -58,66 +63,70 @@ class IssueQueue
     void beginCycle();
 
     /** Add an instruction; sets inst->iq. @pre !full() */
-    void insert(const DynInstPtr &inst);
+    void insert(InstRef ref);
 
-    /** Wakeup: @p inst (resident here) became ready. */
-    void markReady(const DynInstPtr &inst);
+    /** Wakeup: @p ref (resident here) became ready. */
+    void markReady(InstRef ref);
 
     /**
      * Select the next issue candidate under the policy, removing it
      * from the ready set. Returns null when nothing can issue this
      * cycle.
      */
-    DynInstPtr popReady(uint64_t now);
+    InstRef popReady(uint64_t now);
 
     /** Candidate could not issue (structural hazard); retry later. */
-    void requeue(const DynInstPtr &inst);
+    void requeue(InstRef ref);
 
     /**
      * Candidate turned out not ready after all (e.g. blocked on an
      * older store); it re-enters via markReady() later.
      */
-    void droppedNotReady(const DynInstPtr &inst);
+    void droppedNotReady(InstRef ref);
 
     /** Candidate issued; remove it from the queue. */
-    void removeIssued(const DynInstPtr &inst);
+    void removeIssued(InstRef ref);
 
     /**
-     * Remove @p inst without issuing (Analyze moving it to the LLIB).
+     * Remove @p ref without issuing (Analyze moving it to the LLIB).
      */
-    void erase(const DynInstPtr &inst);
+    void erase(InstRef ref);
 
-    /** @p inst (resident here) was squashed; youngest-first order. */
-    void notifySquashed(const DynInstPtr &inst);
+    /** @p ref (resident here) was squashed; youngest-first order. */
+    void notifySquashed(InstRef ref);
 
     /** Oldest entry of an in-order queue, null otherwise (debug). */
-    DynInstPtr debugFront() const;
+    InstRef debugFront() const;
 
   private:
     struct OlderSeq
     {
         bool
-        operator()(const DynInstPtr &a, const DynInstPtr &b) const
+        operator()(const std::pair<uint64_t, InstRef> &a,
+                   const std::pair<uint64_t, InstRef> &b) const
         {
-            return a->seq > b->seq; // min-heap on sequence number
+            return a.first > b.first; // min-heap on sequence number
         }
     };
 
-    void eraseFromFifo(const DynInstPtr &inst);
+    void eraseFromFifo(InstRef ref);
 
+    InstArena &arena;
     std::string label;
     size_t cap;
     SchedPolicy sched;
     size_t count = 0;
     size_t readyCount = 0;
 
-    /** OutOfOrder: lazy min-heap of ready entries. */
-    std::priority_queue<DynInstPtr, std::vector<DynInstPtr>, OlderSeq>
+    /** OutOfOrder: lazy min-heap of (seq, handle) ready entries. */
+    std::priority_queue<std::pair<uint64_t, InstRef>,
+                        std::vector<std::pair<uint64_t, InstRef>>,
+                        OlderSeq>
         readyHeap;
-    std::vector<DynInstPtr> deferred;
+    std::vector<std::pair<uint64_t, InstRef>> deferred;
 
     /** InOrder: entries in program order; head-only selection. */
-    std::deque<DynInstPtr> fifo;
+    RingDeque<InstRef> fifo;
     bool stalledThisCycle = false;
 };
 

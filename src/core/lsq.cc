@@ -1,47 +1,52 @@
 #include "src/core/lsq.hh"
 
-#include <algorithm>
-
 #include "src/util/logging.hh"
 
 namespace kilo::core
 {
 
-Lsq::Lsq(size_t capacity)
-    : cap(capacity ? capacity : 1)
+Lsq::Lsq(size_t capacity, InstArena &arena)
+    : arena(arena), cap(capacity ? capacity : 1),
+      buckets(NumBuckets)
 {}
 
 void
-Lsq::insert(const DynInstPtr &inst)
+Lsq::insert(InstRef ref)
 {
+    DynInst &inst = arena.get(ref);
     KILO_ASSERT(!full(), "insert into full LSQ");
-    KILO_ASSERT(inst->op.isMem(), "non-memory op inserted in LSQ");
-    KILO_ASSERT(entries.empty() || entries.back()->seq < inst->seq,
+    KILO_ASSERT(inst.op.isMem(), "non-memory op inserted in LSQ");
+    KILO_ASSERT(entries.empty() ||
+                    arena.get(entries.back()).seq < inst.seq,
                 "LSQ insert out of program order");
-    entries.push_back(inst);
-    inst->inLsq = true;
-    if (inst->op.isStore())
-        storeIndex[keyOf(inst->op.effAddr)].push_back(inst);
+    entries.push_back(ref);
+    inst.inLsq = true;
+    if (inst.op.isStore()) {
+        // Chain at the bucket head: program-order inserts keep every
+        // chain in descending sequence order.
+        size_t b = bucketOf(keyOf(inst.op.effAddr));
+        inst.lsqBucketNext = buckets[b];
+        buckets[b] = ref;
+    }
 }
 
 LoadCheck
-Lsq::checkLoad(const DynInstPtr &load) const
+Lsq::checkLoad(const DynInst &load) const
 {
     LoadCheck res;
-    auto it = storeIndex.find(keyOf(load->op.effAddr));
-    if (it == storeIndex.end())
-        return res;
-    // Youngest store older than the load; the per-address vector is
-    // in program order.
-    const auto &stores = it->second;
-    for (auto sit = stores.rbegin(); sit != stores.rend(); ++sit) {
-        const DynInstPtr &st = *sit;
-        if (st->seq < load->seq) {
-            res.store = st;
-            res.kind = st->issued ? LoadCheck::Kind::Forward
-                                  : LoadCheck::Kind::Blocked;
+    uint64_t key = keyOf(load.op.effAddr);
+    InstRef cur = buckets[bucketOf(key)];
+    // The chain is newest-first, so the first same-granule store
+    // older than the load is the youngest such store.
+    while (cur) {
+        const DynInst &st = arena.get(cur);
+        if (st.seq < load.seq && keyOf(st.op.effAddr) == key) {
+            res.store = cur;
+            res.kind = st.issued ? LoadCheck::Kind::Forward
+                                 : LoadCheck::Kind::Blocked;
             return res;
         }
+        cur = st.lsqBucketNext;
     }
     return res;
 }
@@ -49,36 +54,52 @@ Lsq::checkLoad(const DynInstPtr &load) const
 void
 Lsq::retireCompleted()
 {
-    while (!entries.empty() && entries.front()->completed) {
-        DynInstPtr head = entries.front();
+    while (!entries.empty() &&
+           arena.get(entries.front()).completed) {
+        InstRef ref = entries.front();
+        DynInst &head = arena.get(ref);
         entries.pop_front();
-        head->inLsq = false;
-        if (head->op.isStore())
+        head.inLsq = false;
+        if (head.op.isStore())
             removeFromIndex(head);
+        // An instruction that commits while still holding its LSQ
+        // entry defers its recycling to this release point.
+        if (head.retired && !head.inRob)
+            arena.free(ref);
     }
 }
 
 void
-Lsq::removeFromIndex(const DynInstPtr &store)
+Lsq::removeFromIndex(DynInst &store)
 {
-    auto it = storeIndex.find(keyOf(store->op.effAddr));
-    KILO_ASSERT(it != storeIndex.end(), "store missing from index");
-    auto &vec = it->second;
-    auto vit = std::find(vec.begin(), vec.end(), store);
-    KILO_ASSERT(vit != vec.end(), "store missing from index vector");
-    vec.erase(vit);
-    if (vec.empty())
-        storeIndex.erase(it);
+    size_t b = bucketOf(keyOf(store.op.effAddr));
+    InstRef cur = buckets[b];
+    if (cur == store.self) {
+        buckets[b] = store.lsqBucketNext;
+        store.lsqBucketNext = InstRef();
+        return;
+    }
+    while (cur) {
+        DynInst &walk = arena.get(cur);
+        if (walk.lsqBucketNext == store.self) {
+            walk.lsqBucketNext = store.lsqBucketNext;
+            store.lsqBucketNext = InstRef();
+            return;
+        }
+        cur = walk.lsqBucketNext;
+    }
+    KILO_PANIC("store missing from LSQ index");
 }
 
 void
-Lsq::notifySquashed(const DynInstPtr &inst)
+Lsq::notifySquashed(InstRef ref)
 {
-    KILO_ASSERT(!entries.empty() && entries.back() == inst,
+    DynInst &inst = arena.get(ref);
+    KILO_ASSERT(!entries.empty() && entries.back() == ref,
                 "LSQ squash of non-youngest entry");
     entries.pop_back();
-    inst->inLsq = false;
-    if (inst->op.isStore())
+    inst.inLsq = false;
+    if (inst.op.isStore())
         removeFromIndex(inst);
 }
 

@@ -10,17 +10,23 @@
  * exists, in which case the load blocks on that store and forwards
  * from it when it executes. This is the behaviour the paper assumes
  * from the scalable LSQ proposals it cites ([12]-[14]).
+ *
+ * The store index is an open hash over fixed buckets with intrusive
+ * chains through DynInst::lsqBucketNext (newest first, i.e. in
+ * descending sequence order), so steady-state store traffic touches
+ * no allocator. The LSQ also performs the deferred recycling of
+ * instructions that commit while still holding an entry.
  */
 
 #ifndef KILO_CORE_LSQ_HH
 #define KILO_CORE_LSQ_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/dyn_inst.hh"
+#include "src/core/inst_arena.hh"
+#include "src/util/ring_deque.hh"
 
 namespace kilo::core
 {
@@ -36,30 +42,33 @@ struct LoadCheck
     };
 
     Kind kind = Kind::Memory;
-    DynInstPtr store;  ///< conflicting store for Forward/Blocked
+    InstRef store;  ///< conflicting store for Forward/Blocked
 };
 
 /** Unified LSQ model. */
 class Lsq
 {
   public:
-    explicit Lsq(size_t capacity);
+    Lsq(size_t capacity, InstArena &arena);
 
     size_t capacity() const { return cap; }
     size_t size() const { return entries.size(); }
     bool full() const { return entries.size() >= cap; }
 
     /** Allocate an entry at dispatch (program order). */
-    void insert(const DynInstPtr &inst);
+    void insert(InstRef ref);
 
     /** Disambiguate @p load against older stores. */
-    LoadCheck checkLoad(const DynInstPtr &load) const;
+    LoadCheck checkLoad(const DynInst &load) const;
 
-    /** Release completed entries from the head. */
+    /**
+     * Release completed entries from the head, recycling any that
+     * already committed (their slot free was deferred to here).
+     */
     void retireCompleted();
 
-    /** @p inst was squashed; must be the youngest entry. */
-    void notifySquashed(const DynInstPtr &inst);
+    /** @p ref was squashed; must be the youngest entry. */
+    void notifySquashed(InstRef ref);
 
     /** Total store-to-load forwards observed. */
     uint64_t forwards() const { return nForwards; }
@@ -68,14 +77,25 @@ class Lsq
     void countForward() { ++nForwards; }
 
   private:
+    static constexpr size_t NumBuckets = 1024; // power of two
+
     static uint64_t keyOf(uint64_t addr) { return addr >> 3; }
 
-    void removeFromIndex(const DynInstPtr &store);
+    static size_t
+    bucketOf(uint64_t key)
+    {
+        // Fibonacci hash spreads the granule key over the buckets.
+        return size_t((key * 0x9E3779B97F4A7C15ull) >> 32) &
+               (NumBuckets - 1);
+    }
 
+    void removeFromIndex(DynInst &store);
+
+    InstArena &arena;
     size_t cap;
-    std::deque<DynInstPtr> entries;
-    /** 8-byte-granule address -> stores in program order. */
-    std::unordered_map<uint64_t, std::vector<DynInstPtr>> storeIndex;
+    RingDeque<InstRef> entries;
+    /** Bucket heads: newest store in the bucket's intrusive chain. */
+    std::vector<InstRef> buckets;
     uint64_t nForwards = 0;
 };
 

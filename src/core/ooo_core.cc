@@ -9,15 +9,15 @@ OooCore::OooCore(const CoreParams &params, wload::Workload &workload,
                  const mem::MemConfig &mem_config)
     : PipelineBase(params, workload, mem_config),
       rob(params.robSize),
-      intIq("intIQ", params.intIqSize, params.intPolicy),
-      fpIq("fpIQ", params.fpIqSize, params.fpPolicy),
+      intIq("intIQ", params.intIqSize, params.intPolicy, arena),
+      fpIq("fpIQ", params.fpIqSize, params.fpPolicy, arena),
       fus(params.fus)
 {}
 
 IssueQueue &
-OooCore::queueFor(const DynInstPtr &inst)
+OooCore::queueFor(const DynInst &inst)
 {
-    return isa::isFpClass(inst->op.cls) ? fpIq : intIq;
+    return isa::isFpClass(inst.op.cls) ? fpIq : intIq;
 }
 
 void
@@ -45,47 +45,51 @@ OooCore::stageDispatch()
 {
     int budget = prm.dispatchWidth;
     while (budget > 0 && !fetchBuffer.empty()) {
-        DynInstPtr inst = fetchBuffer.front();
-        if (now < inst->fetchCycle + uint64_t(prm.frontEndDepth))
+        InstRef ref = fetchBuffer.front();
+        DynInst &inst = arena.get(ref);
+        if (now < inst.fetchCycle + uint64_t(prm.frontEndDepth))
             break;
         if (rob.full())
             break;
-        if (inst->op.isMem() && lsq.full())
+        if (inst.op.isMem() && lsq.full())
             break;
         IssueQueue &iq = queueFor(inst);
-        bool needs_iq = inst->op.cls != isa::OpClass::Nop;
+        bool needs_iq = inst.op.cls != isa::OpClass::Nop;
         if (needs_iq && iq.full())
             break;
 
         fetchBuffer.pop_front();
-        dispatchCommon(inst);
-        rob.pushBack(inst);
+        dispatchCommon(ref);
+        rob.pushBack(ref);
+        inst.inRob = true;
         if (needs_iq) {
-            iq.insert(inst);
+            iq.insert(ref);
         } else {
             // Nops complete without occupying any queue.
-            inst->issued = true;
-            inst->issueCycle = now;
-            scheduleCompletion(inst, 1);
+            inst.issued = true;
+            inst.issueCycle = now;
+            scheduleCompletion(ref, 1);
         }
         --budget;
     }
 }
 
 void
-OooCore::onCommitInst(const DynInstPtr &inst)
+OooCore::onCommitInst(InstRef inst)
 {
     KILO_ASSERT(!rob.empty() && rob.front() == inst,
                 "ROB head does not match committing instruction");
     rob.popFront();
+    arena.get(inst).inRob = false;
 }
 
 void
-OooCore::onSquashInst(const DynInstPtr &inst)
+OooCore::onSquashInst(InstRef inst)
 {
     KILO_ASSERT(!rob.empty() && rob.back() == inst,
                 "ROB tail does not match squashed instruction");
     rob.popBack();
+    arena.get(inst).inRob = false;
 }
 
 void

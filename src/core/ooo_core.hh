@@ -34,8 +34,8 @@ class OooCore : public PipelineBase
 
   protected:
     void tick() override;
-    void onCommitInst(const DynInstPtr &inst) override;
-    void onSquashInst(const DynInstPtr &inst) override;
+    void onCommitInst(InstRef inst) override;
+    void onSquashInst(InstRef inst) override;
     size_t totalReady() const override;
     void beginCycleQueues() override;
 
@@ -44,9 +44,9 @@ class OooCore : public PipelineBase
 
     /** Queue an instruction belongs to (loads/stores/branches are
      *  integer-side; FP arithmetic is FP-side). */
-    IssueQueue &queueFor(const DynInstPtr &inst);
+    IssueQueue &queueFor(const DynInst &inst);
 
-    CircularBuffer<DynInstPtr> rob;
+    CircularBuffer<InstRef> rob;
     IssueQueue intIq;
     IssueQueue fpIq;
     FuPool fus;

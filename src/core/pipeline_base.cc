@@ -12,8 +12,8 @@ PipelineBase::PipelineBase(const CoreParams &params,
                            const mem::MemConfig &mem_config)
     : prm(params), workload(workload), trace(workload),
       bp(pred::makePredictor(params.predictor)),
-      fetchEngine(trace, *bp, prm), mem_(mem_config),
-      lsq(params.lsqSize)
+      fetchEngine(trace, *bp, prm, arena), mem_(mem_config),
+      lsq(params.lsqSize, arena)
 {}
 
 void
@@ -40,45 +40,56 @@ void
 PipelineBase::stageCommit()
 {
     int budget = prm.commitWidth;
-    while (budget > 0 && !globalOrder.empty() &&
-           globalOrder.front()->completed) {
-        DynInstPtr inst = globalOrder.front();
+    while (budget > 0 && !globalOrder.empty()) {
+        InstRef ref = globalOrder.front();
+        DynInst &inst = arena.get(ref);
+        if (!inst.completed)
+            break;
         globalOrder.pop_front();
         --budget;
         ++activity;
 
         ++st.committed;
         lastCommitCycle = now;
-        if (inst->op.isBranch()) {
+        if (inst.op.isBranch()) {
             ++st.branches;
-            if (inst->mispredicted)
+            if (inst.mispredicted)
                 ++st.mispredicts;
-        } else if (inst->op.isLoad()) {
+        } else if (inst.op.isLoad()) {
             ++st.loads;
-            switch (inst->serviceLevel) {
+            switch (inst.serviceLevel) {
               case mem::ServiceLevel::L1: ++st.loadL1; break;
               case mem::ServiceLevel::L2: ++st.loadL2; break;
               case mem::ServiceLevel::Memory: ++st.loadMem; break;
             }
-        } else if (inst->op.isStore()) {
+        } else if (inst.op.isStore()) {
             ++st.stores;
         }
-        if (inst->execInMp)
+        if (inst.execInMp)
             ++st.mpExecuted;
         else
             ++st.cpExecuted;
-        st.issueLatency.sample(inst->issueLatency());
+        st.issueLatency.sample(inst.issueLatency());
 
-        onCommitInst(inst);
+        onCommitInst(ref);
+
+        // Recycle the slot unless a structure still holds the entry:
+        // an LSQ resident defers to Lsq::retireCompleted, an
+        // aging-ROB resident (D-KIP/KILO commit does not drain the
+        // pseudo-ROB) defers to the Analyze-stage pop. The last
+        // releaser recycles.
+        inst.retired = true;
+        if (!inst.inLsq && !inst.inRob)
+            arena.free(ref);
     }
     // Ops may only be reclaimed once nothing can replay them: they
     // must be older than every in-flight instruction, everything in
     // the fetch buffer, and the (possibly rewound) fetch point.
     uint64_t keep = fetchEngine.nextSeq();
     if (!fetchBuffer.empty())
-        keep = std::min(keep, fetchBuffer.front()->seq);
+        keep = std::min(keep, arena.get(fetchBuffer.front()).seq);
     if (!globalOrder.empty())
-        keep = std::min(keep, globalOrder.front()->seq);
+        keep = std::min(keep, arena.get(globalOrder.front()).seq);
     trace.release(keep);
 }
 
@@ -87,17 +98,19 @@ PipelineBase::stageCommit()
 // ---------------------------------------------------------------------
 
 void
-PipelineBase::scheduleCompletion(const DynInstPtr &inst,
-                                 uint32_t latency)
+PipelineBase::scheduleCompletion(InstRef inst, uint32_t latency)
 {
     wheel.schedule(now + (latency ? latency : 1), inst);
 }
 
 void
-PipelineBase::wakeDependents(const DynInstPtr &inst)
+PipelineBase::wakeDependents(DynInst &inst)
 {
-    for (auto &dep : inst->dependents) {
-        if (dep->squashed)
+    for (InstRef depRef : inst.dependents) {
+        // A stale handle is a dependent that was squashed and
+        // recycled after the edge was recorded.
+        DynInst *dep = arena.tryGet(depRef);
+        if (!dep || dep->squashed)
             continue;
         KILO_ASSERT(dep->srcNotReady > 0,
                     "wakeup underflow on seq %lu",
@@ -106,32 +119,33 @@ PipelineBase::wakeDependents(const DynInstPtr &inst)
             dep->readyFlag = true;
             dep->readyCycle = now;
             if (dep->iq)
-                dep->iq->markReady(dep);
+                dep->iq->markReady(depRef);
         }
     }
-    inst->dropDependents();
+    inst.dropDependents();
 }
 
 void
-PipelineBase::completeInst(const DynInstPtr &inst)
+PipelineBase::completeInst(InstRef ref)
 {
-    KILO_ASSERT(!inst->completed, "double completion of seq %lu",
-                (unsigned long)inst->seq);
-    inst->completed = true;
-    inst->completeCycle = now;
+    DynInst &inst = arena.get(ref);
+    KILO_ASSERT(!inst.completed, "double completion of seq %lu",
+                (unsigned long)inst.seq);
+    inst.completed = true;
+    inst.completeCycle = now;
     scoreboard.complete(inst);
     wakeDependents(inst);
-    inst->dropProducers();
+    inst.dropProducers();
     ++activity;
 
-    if (inst->op.isBranch()) {
+    if (inst.op.isBranch()) {
         if (!bp->isPerfect())
-            bp->train(inst->op.pc, inst->historySnapshot,
-                      inst->op.taken);
-        if (inst->mispredicted)
-            resolvedMispredicts.push_back(inst);
+            bp->train(inst.op.pc, inst.historySnapshot,
+                      inst.op.taken);
+        if (inst.mispredicted)
+            resolvedMispredicts.push_back(ref);
         else
-            onBranchResolved(inst);
+            onBranchResolved(ref);
     }
 }
 
@@ -141,10 +155,13 @@ PipelineBase::stageComplete()
     dueBuf.clear();
     resolvedMispredicts.clear();
     wheel.popDue(now, dueBuf);
-    for (auto &inst : dueBuf) {
-        if (inst->squashed)
+    for (InstRef ref : dueBuf) {
+        // Squash recycles slots, so events for squashed instructions
+        // surface here as stale handles.
+        DynInst *inst = arena.tryGet(ref);
+        if (!inst || inst->squashed)
             continue;
-        completeInst(inst);
+        completeInst(ref);
     }
 
     if (!resolvedMispredicts.empty()) {
@@ -152,8 +169,8 @@ PipelineBase::stageComplete()
         // sit in its shadow and are squashed by the recovery.
         auto oldest = *std::min_element(
             resolvedMispredicts.begin(), resolvedMispredicts.end(),
-            [](const DynInstPtr &a, const DynInstPtr &b) {
-                return a->seq < b->seq;
+            [this](InstRef a, InstRef b) {
+                return arena.get(a).seq < arena.get(b).seq;
             });
         recoverFromBranch(oldest);
         resolvedMispredicts.clear();
@@ -163,39 +180,53 @@ PipelineBase::stageComplete()
 void
 PipelineBase::squashYoungerThan(uint64_t seq)
 {
-    while (!globalOrder.empty() && globalOrder.back()->seq > seq) {
-        DynInstPtr inst = globalOrder.back();
+    while (!globalOrder.empty() &&
+           arena.get(globalOrder.back()).seq > seq) {
+        InstRef ref = globalOrder.back();
+        DynInst &inst = arena.get(ref);
         globalOrder.pop_back();
-        inst->squashed = true;
+        inst.squashed = true;
         ++st.squashed;
-        if (inst->iq)
-            inst->iq->notifySquashed(inst);
-        if (inst->inLsq)
-            lsq.notifySquashed(inst);
+        if (inst.iq)
+            inst.iq->notifySquashed(ref);
+        if (inst.inLsq)
+            lsq.notifySquashed(ref);
+        // A stale saved producer means it already committed; restore
+        // null rather than parking a dead handle in the scoreboard
+        // indefinitely (a register may go unredefined for arbitrarily
+        // long, outliving any generation-wrap guarantee).
+        if (inst.prevProducer && !arena.isLive(inst.prevProducer))
+            inst.prevProducer = InstRef();
         scoreboard.restore(inst);
-        onSquashInst(inst);
-        inst->dropDependents();
-        inst->dropProducers();
+        onSquashInst(ref);
+        inst.dropDependents();
+        inst.dropProducers();
+        // Recycle immediately: every reference that survives (wheel
+        // events, ready-heap entries, dependence edges) goes stale
+        // and is filtered at its consumer.
+        arena.free(ref);
     }
 }
 
 void
-PipelineBase::recoverFromBranch(const DynInstPtr &branch)
+PipelineBase::recoverFromBranch(InstRef branchRef)
 {
-    squashYoungerThan(branch->seq);
+    DynInst &branch = arena.get(branchRef);
+    squashYoungerThan(branch.seq);
 
-    // Everything in the fetch buffer is younger than the branch.
-    for (auto &inst : fetchBuffer)
-        inst->squashed = true;
+    // Everything in the fetch buffer is younger than the branch and
+    // owns no pipeline state yet; recycle the records directly.
+    for (size_t i = 0; i < fetchBuffer.size(); ++i)
+        arena.free(fetchBuffer[i]);
     fetchBuffer.clear();
 
     uint64_t history =
-        (branch->historySnapshot << 1) | (branch->op.taken ? 1 : 0);
+        (branch.historySnapshot << 1) | (branch.op.taken ? 1 : 0);
     uint64_t penalty = uint64_t(prm.mispredictPenalty) +
-        uint64_t(recoveryExtraPenalty(branch));
-    fetchEngine.redirect(branch->seq + 1, now + penalty, history);
+        uint64_t(recoveryExtraPenalty(branchRef));
+    fetchEngine.redirect(branch.seq + 1, now + penalty, history);
 
-    onRecovered(branch);
+    onRecovered(branchRef);
 }
 
 // ---------------------------------------------------------------------
@@ -203,73 +234,74 @@ PipelineBase::recoverFromBranch(const DynInstPtr &branch)
 // ---------------------------------------------------------------------
 
 void
-PipelineBase::issueCommon(const DynInstPtr &inst, IssueQueue &iq,
+PipelineBase::issueCommon(InstRef ref, IssueQueue &iq,
                           uint32_t latency)
 {
-    inst->issued = true;
-    inst->issueCycle = now;
-    iq.removeIssued(inst);
-    scheduleCompletion(inst, latency);
+    DynInst &inst = arena.get(ref);
+    inst.issued = true;
+    inst.issueCycle = now;
+    iq.removeIssued(ref);
+    scheduleCompletion(ref, latency);
     ++st.issued;
     ++activity;
 }
 
 bool
-PipelineBase::tryIssueInst(const DynInstPtr &inst, IssueQueue &iq,
-                           FuPool &fus)
+PipelineBase::tryIssueInst(InstRef ref, IssueQueue &iq, FuPool &fus)
 {
-    const isa::MicroOp &op = inst->op;
+    DynInst &inst = arena.get(ref);
+    const isa::MicroOp &op = inst.op;
 
     if (op.isMem()) {
         if (!memPortAvailable()) {
-            iq.requeue(inst);
+            iq.requeue(ref);
             return false;
         }
         if (op.isLoad()) {
             LoadCheck check = lsq.checkLoad(inst);
             if (check.kind == LoadCheck::Kind::Blocked) {
                 // Wait for the conflicting older store to execute.
-                inst->readyFlag = false;
-                iq.droppedNotReady(inst);
-                addDependence(inst, check.store);
+                inst.readyFlag = false;
+                iq.droppedNotReady(ref);
+                addDependence(ref, check.store);
                 return false;
             }
             uint32_t latency;
             if (check.kind == LoadCheck::Kind::Forward) {
                 latency = 1;
-                inst->serviceLevel = mem::ServiceLevel::L1;
+                inst.serviceLevel = mem::ServiceLevel::L1;
                 lsq.countForward();
                 ++st.storeForwards;
             } else {
                 auto res = mem_.access(op.effAddr, false, now);
                 latency = res.latency;
-                inst->serviceLevel = res.level;
-                inst->longLatency = res.offChip();
+                inst.serviceLevel = res.level;
+                inst.longLatency = res.offChip();
             }
             ++portsUsed;
-            issueCommon(inst, iq, latency);
+            issueCommon(ref, iq, latency);
         } else {
             // Stores drain through the write buffer: the line is
             // installed now, dependents (via forwarding) see the data
             // next cycle, and commit is never blocked on the miss.
             mem_.access(op.effAddr, true, now);
             ++portsUsed;
-            issueCommon(inst, iq, 1);
+            issueCommon(ref, iq, 1);
         }
         return true;
     }
 
     if (op.cls == isa::OpClass::Nop) {
-        issueCommon(inst, iq, 1);
+        issueCommon(ref, iq, 1);
         return true;
     }
 
     uint32_t latency = uint32_t(isa::opLatency(op.cls));
     if (!fus.tryAcquire(op.cls, now, latency)) {
-        iq.requeue(inst);
+        iq.requeue(ref);
         return false;
     }
-    issueCommon(inst, iq, latency);
+    issueCommon(ref, iq, latency);
     return true;
 }
 
@@ -278,23 +310,22 @@ PipelineBase::issueFromQueue(IssueQueue &iq, FuPool &fus, int width)
 {
     int issued = 0;
     while (issued < width) {
-        DynInstPtr inst = iq.popReady(now);
-        if (!inst)
+        InstRef ref = iq.popReady(now);
+        if (!ref)
             break;
-        if (tryIssueInst(inst, iq, fus))
+        if (tryIssueInst(ref, iq, fus))
             ++issued;
     }
     return issued;
 }
 
 void
-PipelineBase::addDependence(const DynInstPtr &inst,
-                            const DynInstPtr &producer)
+PipelineBase::addDependence(InstRef inst, InstRef producer)
 {
-    KILO_ASSERT(!producer->completed,
-                "dependence on completed producer");
-    producer->dependents.push_back(inst);
-    ++inst->srcNotReady;
+    DynInst &prod = arena.get(producer);
+    KILO_ASSERT(!prod.completed, "dependence on completed producer");
+    prod.dependents.push_back(inst);
+    ++arena.get(inst).srcNotReady;
 }
 
 // ---------------------------------------------------------------------
@@ -302,33 +333,37 @@ PipelineBase::addDependence(const DynInstPtr &inst,
 // ---------------------------------------------------------------------
 
 void
-PipelineBase::dispatchCommon(const DynInstPtr &inst)
+PipelineBase::dispatchCommon(InstRef ref)
 {
-    inst->dispatched = true;
-    inst->dispatchCycle = now;
+    DynInst &inst = arena.get(ref);
+    inst.dispatched = true;
+    inst.dispatchCycle = now;
 
     auto wire = [&](int16_t reg, int slot) {
         if (reg == isa::NoReg)
             return;
         const RegState &rs = scoreboard.get(reg);
-        if (rs.producer && !rs.producer->completed) {
-            rs.producer->dependents.push_back(inst);
-            inst->producers[slot] = rs.producer;
-            ++inst->srcNotReady;
+        // A stale producer handle means the producer already
+        // committed: the value is architecturally available.
+        DynInst *prod = arena.tryGet(rs.producer);
+        if (prod && !prod->completed) {
+            prod->dependents.push_back(ref);
+            inst.producers[slot] = rs.producer;
+            ++inst.srcNotReady;
         }
     };
-    wire(inst->op.src1, 0);
-    wire(inst->op.src2, 1);
+    wire(inst.op.src1, 0);
+    wire(inst.op.src2, 1);
 
-    if (inst->srcNotReady == 0) {
-        inst->readyFlag = true;
-        inst->readyCycle = now;
+    if (inst.srcNotReady == 0) {
+        inst.readyFlag = true;
+        inst.readyCycle = now;
     }
 
     scoreboard.define(inst);
-    globalOrder.push_back(inst);
-    if (inst->op.isMem())
-        lsq.insert(inst);
+    globalOrder.push_back(ref);
+    if (inst.op.isMem())
+        lsq.insert(ref);
     ++st.dispatched;
     ++activity;
 }
@@ -342,9 +377,10 @@ PipelineBase::stageFetch()
         return;
     int space = int(prm.fetchBufferSize - fetchBuffer.size());
     int count = std::min(prm.fetchWidth, space);
-    auto fetched = fetchEngine.fetch(now, count);
-    for (auto &inst : fetched) {
-        fetchBuffer.push_back(inst);
+    fetchScratch.clear();
+    fetchEngine.fetch(now, count, fetchScratch);
+    for (InstRef ref : fetchScratch) {
+        fetchBuffer.push_back(ref);
         ++st.fetched;
         ++activity;
     }
@@ -358,7 +394,7 @@ uint64_t
 PipelineBase::nextTimedWake() const
 {
     if (!fetchBuffer.empty()) {
-        return fetchBuffer.front()->fetchCycle +
+        return arena.get(fetchBuffer.front()).fetchCycle +
                uint64_t(prm.frontEndDepth);
     }
     return UINT64_MAX;
@@ -403,26 +439,27 @@ PipelineBase::run(uint64_t num_insts)
         idleSkip();
         if (now - lastCommitCycle >= 4000000) {
             if (!globalOrder.empty()) {
-                const auto &h = globalOrder.front();
+                const DynInst &h = arena.get(globalOrder.front());
                 std::fprintf(stderr,
                              "stuck head: seq %lu %s ready=%d "
                              "issued=%d completed=%d srcNotReady=%d "
                              "inLlib=%d inLsq=%d iq=%s\n",
-                             (unsigned long)h->seq,
-                             h->op.toString().c_str(), h->readyFlag,
-                             h->issued, h->completed, h->srcNotReady,
-                             h->inLlib, h->inLsq,
-                             h->iq ? h->iq->name().c_str() : "-");
-                if (h->iq) {
-                    auto qh = h->iq->debugFront();
+                             (unsigned long)h.seq,
+                             h.op.toString().c_str(), h.readyFlag,
+                             h.issued, h.completed, h.srcNotReady,
+                             h.inLlib, h.inLsq,
+                             h.iq ? h.iq->name().c_str() : "-");
+                if (h.iq) {
+                    InstRef qh = h.iq->debugFront();
                     if (qh) {
+                        const DynInst &q = arena.get(qh);
                         std::fprintf(
                             stderr,
                             "queue head: seq %lu %s ready=%d "
                             "issued=%d srcNotReady=%d\n",
-                            (unsigned long)qh->seq,
-                            qh->op.toString().c_str(), qh->readyFlag,
-                            qh->issued, qh->srcNotReady);
+                            (unsigned long)q.seq,
+                            q.op.toString().c_str(), q.readyFlag,
+                            q.issued, q.srcNotReady);
                     }
                 }
             }

@@ -3,24 +3,30 @@
  * Shared cycle-level pipeline engine.
  *
  * All three machines (OooCore baseline, KiloCore, DkipCore) are built
- * on this base, which owns the front end, register scoreboard, LSQ,
- * memory hierarchy, completion event wheel, and the squash-replay
- * recovery machinery. Subclasses own the instruction window policy:
- * what gates dispatch, which queues issue, and what happens when an
- * instruction reaches the head of the (aging) ROB.
+ * on this base, which owns the instruction arena, the front end,
+ * register scoreboard, LSQ, memory hierarchy, completion event wheel,
+ * and the squash-replay recovery machinery. Subclasses own the
+ * instruction window policy: what gates dispatch, which queues issue,
+ * and what happens when an instruction reaches the head of the
+ * (aging) ROB.
  *
  * The engine is event assisted: wakeup is push-based (producers wake
  * dependents), and when a cycle performs no work and no instruction
  * is ready, simulation jumps to the next completion event, redirect
  * point or subclass deadline. This keeps 400-1000 cycle memory
  * stalls cheap to simulate.
+ *
+ * Instruction lifetime: every DynInst is allocated from the per-core
+ * InstArena at fetch and recycled at commit (or at LSQ release for
+ * entries that commit while still resident) or at squash. Steady
+ * state runs allocation-free; all cross-references are
+ * generation-checked handles.
  */
 
 #ifndef KILO_CORE_PIPELINE_BASE_HH
 #define KILO_CORE_PIPELINE_BASE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -28,12 +34,14 @@
 #include "src/core/dyn_inst.hh"
 #include "src/core/fetch_engine.hh"
 #include "src/core/fu_pool.hh"
+#include "src/core/inst_arena.hh"
 #include "src/core/issue_queue.hh"
 #include "src/core/lsq.hh"
 #include "src/core/params.hh"
 #include "src/core/scoreboard.hh"
 #include "src/mem/hierarchy.hh"
 #include "src/util/event_wheel.hh"
+#include "src/util/ring_deque.hh"
 #include "src/wload/trace_window.hh"
 #include "src/wload/workload.hh"
 
@@ -78,6 +86,9 @@ class PipelineBase
     /** Number of instructions currently in flight. */
     size_t inFlight() const { return globalOrder.size(); }
 
+    /** Instruction arena (occupancy and recycling inspection). */
+    const InstArena &instArena() const { return arena; }
+
   protected:
     /** One simulated cycle; subclasses order their stages here. */
     virtual void tick() = 0;
@@ -95,15 +106,12 @@ class PipelineBase
     void endCycle();
 
     /** Subclass hooks. @{ */
-    virtual void onCommitInst(const DynInstPtr &inst) { (void)inst; }
-    virtual void onSquashInst(const DynInstPtr &inst) { (void)inst; }
-    virtual void onBranchResolved(const DynInstPtr &inst)
-    {
-        (void)inst;
-    }
-    virtual void onRecovered(const DynInstPtr &branch) { (void)branch; }
+    virtual void onCommitInst(InstRef inst) { (void)inst; }
+    virtual void onSquashInst(InstRef inst) { (void)inst; }
+    virtual void onBranchResolved(InstRef inst) { (void)inst; }
+    virtual void onRecovered(InstRef branch) { (void)branch; }
     /** Extra redirect penalty for @p branch (checkpoint recovery). */
-    virtual int recoveryExtraPenalty(const DynInstPtr &branch) const
+    virtual int recoveryExtraPenalty(InstRef branch) const
     {
         (void)branch;
         return 0;
@@ -122,10 +130,10 @@ class PipelineBase
      * Rename @p inst (wire producers), define its destination, append
      * it to the in-flight order and allocate its LSQ entry.
      */
-    void dispatchCommon(const DynInstPtr &inst);
+    void dispatchCommon(InstRef inst);
 
     /** Schedule completion at now + @p latency. */
-    void scheduleCompletion(const DynInstPtr &inst, uint32_t latency);
+    void scheduleCompletion(InstRef inst, uint32_t latency);
 
     /**
      * Issue up to @p width instructions from @p iq using cluster
@@ -134,8 +142,20 @@ class PipelineBase
     int issueFromQueue(IssueQueue &iq, FuPool &fus, int width);
 
     /** Make @p inst wait for @p producer (LSQ store dependence). */
-    void addDependence(const DynInstPtr &inst,
-                       const DynInstPtr &producer);
+    void addDependence(InstRef inst, InstRef producer);
+
+    /**
+     * The aging ROB drained @p inst (D-KIP/KILO Analyze pop).
+     * Recycles the slot when commit already passed and no other
+     * structure holds the entry.
+     */
+    void
+    releaseAgingRobEntry(DynInst &inst)
+    {
+        inst.inRob = false;
+        if (inst.retired && !inst.inLsq)
+            arena.free(inst.self);
+    }
 
     /** True when a global memory port is free this cycle. */
     bool memPortAvailable() const
@@ -149,35 +169,35 @@ class PipelineBase
     wload::Workload &workload;
     wload::TraceWindow trace;
     std::unique_ptr<pred::BranchPredictor> bp;
+    InstArena arena;
     FetchEngine fetchEngine;
     mem::MemoryHierarchy mem_;
     Scoreboard scoreboard;
     Lsq lsq;
-    EventWheel<DynInstPtr> wheel;
+    EventWheel<InstRef> wheel;
 
     /** Every in-flight instruction in program order. */
-    std::deque<DynInstPtr> globalOrder;
+    RingDeque<InstRef> globalOrder;
 
     /** Fetched, not yet dispatched. */
-    std::deque<DynInstPtr> fetchBuffer;
+    RingDeque<InstRef> fetchBuffer;
 
     uint64_t now = 0;
     int portsUsed = 0;
     uint64_t activity = 0;     ///< work units this cycle
 
   private:
-    void completeInst(const DynInstPtr &inst);
-    void wakeDependents(const DynInstPtr &inst);
-    void recoverFromBranch(const DynInstPtr &branch);
+    void completeInst(InstRef ref);
+    void wakeDependents(DynInst &inst);
+    void recoverFromBranch(InstRef branch);
     void squashYoungerThan(uint64_t seq);
-    bool tryIssueInst(const DynInstPtr &inst, IssueQueue &iq,
-                      FuPool &fus);
-    void issueCommon(const DynInstPtr &inst, IssueQueue &iq,
-                     uint32_t latency);
+    bool tryIssueInst(InstRef ref, IssueQueue &iq, FuPool &fus);
+    void issueCommon(InstRef ref, IssueQueue &iq, uint32_t latency);
     void idleSkip();
 
-    std::vector<DynInstPtr> dueBuf;
-    std::vector<DynInstPtr> resolvedMispredicts;
+    std::vector<InstRef> dueBuf;
+    std::vector<InstRef> resolvedMispredicts;
+    std::vector<InstRef> fetchScratch;
     uint64_t lastCommitCycle = 0;
 };
 

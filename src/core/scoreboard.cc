@@ -19,51 +19,51 @@ Scoreboard::get(int16_t reg) const
 }
 
 void
-Scoreboard::define(const DynInstPtr &inst)
+Scoreboard::define(DynInst &inst)
 {
-    int16_t dst = inst->op.dst;
+    int16_t dst = inst.op.dst;
     if (dst == isa::NoReg)
         return;
     RegState &rs = regs[size_t(dst)];
-    inst->prevProducer = rs.producer;
-    inst->prevReadyCycle = rs.readyCycle;
-    inst->prevDefinerSeq = rs.definerSeq;
-    inst->prevDefinerValid = rs.definerValid;
-    rs.producer = inst;
+    inst.prevProducer = rs.producer;
+    inst.prevReadyCycle = rs.readyCycle;
+    inst.prevDefinerSeq = rs.definerSeq;
+    inst.prevDefinerValid = rs.definerValid;
+    rs.producer = inst.self;
     rs.readyCycle = 0;
-    rs.definerSeq = inst->seq;
+    rs.definerSeq = inst.seq;
     rs.definerValid = true;
 }
 
 void
-Scoreboard::restore(const DynInstPtr &inst)
+Scoreboard::restore(DynInst &inst)
 {
-    int16_t dst = inst->op.dst;
+    int16_t dst = inst.op.dst;
     if (dst == isa::NoReg)
         return;
     RegState &rs = regs[size_t(dst)];
     // Only restore if this instruction is still the visible mapping;
     // when squashing youngest-first the definer-sequence check also
     // covers producers that already completed (producer == null).
-    if (rs.definerValid && rs.definerSeq == inst->seq) {
-        rs.producer = inst->prevProducer;
-        rs.readyCycle = inst->prevReadyCycle;
-        rs.definerSeq = inst->prevDefinerSeq;
-        rs.definerValid = inst->prevDefinerValid;
+    if (rs.definerValid && rs.definerSeq == inst.seq) {
+        rs.producer = inst.prevProducer;
+        rs.readyCycle = inst.prevReadyCycle;
+        rs.definerSeq = inst.prevDefinerSeq;
+        rs.definerValid = inst.prevDefinerValid;
     }
-    inst->prevProducer = nullptr;
+    inst.prevProducer = InstRef();
 }
 
 void
-Scoreboard::complete(const DynInstPtr &inst)
+Scoreboard::complete(DynInst &inst)
 {
-    int16_t dst = inst->op.dst;
+    int16_t dst = inst.op.dst;
     if (dst == isa::NoReg)
         return;
     RegState &rs = regs[size_t(dst)];
-    if (rs.producer == inst) {
-        rs.producer = nullptr;
-        rs.readyCycle = inst->completeCycle;
+    if (rs.producer == inst.self) {
+        rs.producer = InstRef();
+        rs.readyCycle = inst.completeCycle;
     }
 }
 
@@ -71,7 +71,7 @@ void
 Scoreboard::clear()
 {
     for (auto &rs : regs) {
-        rs.producer = nullptr;
+        rs.producer = InstRef();
         rs.readyCycle = 0;
         rs.definerSeq = 0;
         rs.definerValid = false;

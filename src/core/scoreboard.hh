@@ -9,6 +9,10 @@
  * management proposals are modelled as capacity constraints on the
  * structures that actually bind registers (the LLRF banks and the MP
  * reservation stations).
+ *
+ * Producer links are arena handles; a link that goes stale (its
+ * instruction committed and was recycled) reads as "no in-flight
+ * producer" at the consumer, which is exactly the rename answer.
  */
 
 #ifndef KILO_CORE_SCOREBOARD_HH
@@ -26,7 +30,7 @@ namespace kilo::core
 /** Rename-time state of one logical register. */
 struct RegState
 {
-    DynInstPtr producer;      ///< youngest in-flight producer, or null
+    InstRef producer;         ///< youngest in-flight producer, or null
     uint64_t readyCycle = 0;  ///< valid when producer is null/complete
     uint64_t definerSeq = 0;  ///< sequence of the defining instruction
     bool definerValid = false;
@@ -46,17 +50,17 @@ class Scoreboard
      * saving the previous mapping into the instruction for squash
      * restore.
      */
-    void define(const DynInstPtr &inst);
+    void define(DynInst &inst);
 
     /** Undo define() using the saved previous mapping. */
-    void restore(const DynInstPtr &inst);
+    void restore(DynInst &inst);
 
     /**
      * Note the completion of a producer: if @p inst is still the
      * current mapping of its destination, replace the producer link
      * with its ready cycle.
      */
-    void complete(const DynInstPtr &inst);
+    void complete(DynInst &inst);
 
     /** Reset every register to ready-at-cycle-0. */
     void clear();

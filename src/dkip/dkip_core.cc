@@ -29,13 +29,14 @@ DkipCore::DkipCore(const DkipParams &params, wload::Workload &workload,
     : core::OooCore(params.cp, workload, mem_config),
       dprm(params),
       llbv(isa::NumRegs),
-      llibInt("llibInt", params.llibCapacity),
-      llibFp("llibFp", params.llibCapacity),
+      llibInt("llibInt", params.llibCapacity, arena),
+      llibFp("llibFp", params.llibCapacity, arena),
       llrfInt(params.llrfBanks, params.llrfRegsPerBank),
       llrfFp(params.llrfBanks, params.llrfRegsPerBank),
-      mpIntQ("mpIntQ", params.mpIqSize, params.mpPolicy),
-      mpFpQ("mpFpQ", params.mpIqSize, params.mpPolicy),
-      apQ("apQ", params.cp.lsqSize, core::SchedPolicy::OutOfOrder),
+      mpIntQ("mpIntQ", params.mpIqSize, params.mpPolicy, arena),
+      mpFpQ("mpFpQ", params.mpIqSize, params.mpPolicy, arena),
+      apQ("apQ", params.cp.lsqSize, core::SchedPolicy::OutOfOrder,
+          arena),
       mpIntFus(params.mpIntFus),
       mpFpFus(params.mpFpFus),
       chkpt(params.checkpointCapacity)
@@ -64,7 +65,7 @@ DkipCore::nextTimedWake() const
 {
     uint64_t wake = core::OooCore::nextTimedWake();
     if (!rob.empty()) {
-        wake = std::min(wake, rob.front()->dispatchCycle +
+        wake = std::min(wake, arena.get(rob.front()).dispatchCycle +
                                   uint64_t(dprm.robTimer));
     }
     return wake;
@@ -75,36 +76,40 @@ DkipCore::nextTimedWake() const
 // ---------------------------------------------------------------------
 
 bool
-DkipCore::sourcesLongLatency(const DynInstPtr &inst) const
+DkipCore::sourcesLongLatency(const core::DynInst &inst) const
 {
     // The paper's rule: classify by the LLBV bits of the source
     // registers; Analyze is in order, so at this point the LLBV
     // reflects exactly the definitions older than inst.
-    int16_t s1 = inst->op.src1;
-    int16_t s2 = inst->op.src2;
+    int16_t s1 = inst.op.src1;
+    int16_t s2 = inst.op.src2;
     return (s1 != isa::NoReg && llbv.test(size_t(s1))) ||
            (s2 != isa::NoReg && llbv.test(size_t(s2)));
 }
 
 bool
-DkipCore::hasReadyOperand(const DynInstPtr &inst) const
+DkipCore::hasReadyOperand(const core::DynInst &inst) const
 {
     auto slot_ready = [&](int16_t reg, int slot) {
         if (reg == isa::NoReg)
             return false;
-        const auto &prod = inst->producers[slot];
+        // Stale handle == producer already left the pipeline, so the
+        // operand value is available.
+        const core::DynInst *prod =
+            arena.tryGet(inst.producers[slot]);
         return !prod || prod->completed;
     };
-    return slot_ready(inst->op.src1, 0) ||
-           slot_ready(inst->op.src2, 1);
+    return slot_ready(inst.op.src1, 0) ||
+           slot_ready(inst.op.src2, 1);
 }
 
 bool
-DkipCore::insertIntoLlib(const DynInstPtr &inst)
+DkipCore::insertIntoLlib(InstRef ref)
 {
-    KILO_ASSERT(!inst->issued,
+    core::DynInst &inst = arena.get(ref);
+    KILO_ASSERT(!inst.issued,
                 "issued instruction classified low-locality");
-    bool fp = inst->op.isFp();
+    bool fp = inst.op.isFp();
     Llib &q = fp ? llibFp : llibInt;
     Llrf &rf = fp ? llrfFp : llrfInt;
 
@@ -117,7 +122,7 @@ DkipCore::insertIntoLlib(const DynInstPtr &inst)
         ++st.llrfFullStalls;
         return false;
     }
-    if (inst->op.isBranch()) {
+    if (inst.op.isBranch()) {
         if (chkpt.full()) {
             // No free checkpoint: the branch proceeds uncovered (the
             // hardware would have skipped this high-confidence-style
@@ -125,19 +130,19 @@ DkipCore::insertIntoLlib(const DynInstPtr &inst)
             // checkpoint at a higher recovery penalty.
             ++st.checkpointSkips;
         } else {
-            chkpt.push(inst->seq, llbv);
+            chkpt.push(inst.seq, llbv);
             ++st.checkpointsTaken;
         }
     }
 
-    if (inst->iq)
-        inst->iq->erase(inst);
-    if (inst->op.dst != isa::NoReg)
-        llbv.set(size_t(inst->op.dst));
-    inst->inLlib = true;
-    inst->longLatency = true;
-    inst->execInMp = true;
-    q.push(inst);
+    if (inst.iq)
+        inst.iq->erase(ref);
+    if (inst.op.dst != isa::NoReg)
+        llbv.set(size_t(inst.op.dst));
+    inst.inLlib = true;
+    inst.longLatency = true;
+    inst.execInMp = true;
+    q.push(ref);
     if (fp)
         ++st.llibInsertedFp;
     else
@@ -150,33 +155,36 @@ DkipCore::stageAnalyze()
 {
     int budget = dprm.analyzeWidth;
     while (budget > 0 && !rob.empty()) {
-        DynInstPtr head = rob.front();
+        InstRef headRef = rob.front();
+        core::DynInst &head = arena.get(headRef);
 
         // The Aging-ROB: entries face Analyze a fixed timer after
         // decode. The timer is sized so an L2 hit/miss indication is
         // back by the time a load reaches the head.
-        if (now < head->dispatchCycle + uint64_t(dprm.robTimer))
+        if (now < head.dispatchCycle + uint64_t(dprm.robTimer))
             break;
 
-        if (head->completed) {
+        if (head.completed) {
             // Executed: short latency. Completion redefines the
             // destination as high-locality.
-            if (head->op.dst != isa::NoReg)
-                llbv.clear(size_t(head->op.dst));
+            if (head.op.dst != isa::NoReg)
+                llbv.clear(size_t(head.op.dst));
             rob.popFront();
+            releaseAgingRobEntry(head);
             --budget;
             ++activity;
             continue;
         }
 
-        if (head->op.isLoad() && head->issued) {
-            if (head->longLatency) {
+        if (head.op.isLoad() && head.issued) {
+            if (head.longLatency) {
                 // Off-chip miss: mark the destination low-locality;
                 // the Address Processor delivers the value to the
                 // LLIB's value FIFO when memory returns.
-                if (head->op.dst != isa::NoReg)
-                    llbv.set(size_t(head->op.dst));
+                if (head.op.dst != isa::NoReg)
+                    llbv.set(size_t(head.op.dst));
                 rob.popFront();
+                releaseAgingRobEntry(head);
                 --budget;
                 ++activity;
                 continue;
@@ -186,7 +194,7 @@ DkipCore::stageAnalyze()
             break;
         }
 
-        if (head->issued) {
+        if (head.issued) {
             // Non-load already executing (its sources were ready even
             // if the LLBV still flags them): short latency by
             // definition; wait for writeback.
@@ -195,19 +203,20 @@ DkipCore::stageAnalyze()
         }
 
         bool low = sourcesLongLatency(head);
-        if (!low && head->op.isLoad() && !head->issued) {
+        if (!low && head.op.isLoad() && !head.issued) {
             // Memory dependence through a low-locality store: the
             // load belongs to the slice even though its registers are
             // high-locality.
             auto check = lsq.checkLoad(head);
-            if (check.kind == core::LoadCheck::Kind::Blocked &&
-                (check.store->execInMp || check.store->longLatency)) {
-                low = true;
+            if (check.kind == core::LoadCheck::Kind::Blocked) {
+                const core::DynInst &st_ = arena.get(check.store);
+                if (st_.execInMp || st_.longLatency)
+                    low = true;
             }
         }
 
         if (low) {
-            if (head->op.isMem()) {
+            if (head.op.isMem()) {
                 // Memory operations never enter the LLIB: they have
                 // held an LSQ entry since dispatch, and the Address
                 // Processor issues them over the memory ports the
@@ -217,17 +226,18 @@ DkipCore::stageAnalyze()
                 // though the LLIB is a FIFO.
                 if (apQ.full())
                     break;
-                if (head->iq)
-                    head->iq->erase(head);
-                if (head->op.dst != isa::NoReg)
-                    llbv.set(size_t(head->op.dst));
-                head->longLatency = true;
-                head->execInMp = true;
-                apQ.insert(head);
-            } else if (!insertIntoLlib(head)) {
+                if (head.iq)
+                    head.iq->erase(headRef);
+                if (head.op.dst != isa::NoReg)
+                    llbv.set(size_t(head.op.dst));
+                head.longLatency = true;
+                head.execInMp = true;
+                apQ.insert(headRef);
+            } else if (!insertIntoLlib(headRef)) {
                 break;
             }
             rob.popFront();
+            releaseAgingRobEntry(head);
             --budget;
             ++activity;
             continue;
@@ -254,9 +264,10 @@ DkipCore::extractFrom(Llib &llib, Llrf &llrf, core::IssueQueue &mpq)
             break;
         if (llib.headBlocked())
             break;
-        DynInstPtr inst = llib.front();
-        if (inst->llrfBank >= 0 &&
-            llrf.bankWrittenThisCycle(inst->llrfBank)) {
+        InstRef ref = llib.front();
+        core::DynInst &inst = arena.get(ref);
+        if (inst.llrfBank >= 0 &&
+            llrf.bankWrittenThisCycle(inst.llrfBank)) {
             // Single-ported bank being written by insertion this
             // cycle; retry next cycle.
             ++st.llrfConflictStalls;
@@ -264,8 +275,8 @@ DkipCore::extractFrom(Llib &llib, Llrf &llrf, core::IssueQueue &mpq)
         }
         llib.popFront();
         llrf.release(inst);
-        inst->inLlib = false;
-        mpq.insert(inst);
+        inst.inLlib = false;
+        mpq.insert(ref);
         --budget;
         ++activity;
     }
@@ -295,7 +306,7 @@ DkipCore::stageIssueDecoupled()
 }
 
 void
-DkipCore::onCommitInst(const DynInstPtr &inst)
+DkipCore::onCommitInst(InstRef inst)
 {
     // Unlike the baseline, ROB entries left at Analyze; commit is
     // bookkeeping only.
@@ -303,45 +314,51 @@ DkipCore::onCommitInst(const DynInstPtr &inst)
 }
 
 void
-DkipCore::onSquashInst(const DynInstPtr &inst)
+DkipCore::onSquashInst(InstRef ref)
 {
-    if (!rob.empty() && rob.back() == inst)
+    core::DynInst &inst = arena.get(ref);
+    if (!rob.empty() && rob.back() == ref) {
         rob.popBack();
-    if (inst->inLlib) {
-        bool fp = inst->op.isFp();
-        (fp ? llibFp : llibInt).notifySquashed(inst);
+        inst.inRob = false;
+    }
+    if (inst.inLlib) {
+        bool fp = inst.op.isFp();
+        (fp ? llibFp : llibInt).notifySquashed(ref);
         (fp ? llrfFp : llrfInt).release(inst);
-        inst->inLlib = false;
-    } else if (inst->llrfBank >= 0) {
-        (inst->op.isFp() ? llrfFp : llrfInt).release(inst);
+        inst.inLlib = false;
+    } else if (inst.llrfBank >= 0) {
+        (inst.op.isFp() ? llrfFp : llrfInt).release(inst);
     }
 }
 
 void
-DkipCore::onBranchResolved(const DynInstPtr &inst)
+DkipCore::onBranchResolved(InstRef ref)
 {
-    if (inst->execInMp)
-        chkpt.resolve(inst->seq);
+    const core::DynInst &inst = arena.get(ref);
+    if (inst.execInMp)
+        chkpt.resolve(inst.seq);
 }
 
 int
-DkipCore::recoveryExtraPenalty(const DynInstPtr &branch) const
+DkipCore::recoveryExtraPenalty(InstRef ref) const
 {
-    if (!branch->execInMp)
+    const core::DynInst &branch = arena.get(ref);
+    if (!branch.execInMp)
         return 0;
     // MP mispredictions restore a full checkpoint instead of using
     // the CP's rename stack; an uncovered branch replays from an
     // older checkpoint and pays correspondingly more.
-    bool covered = chkpt.findFor(branch->seq) != nullptr;
+    bool covered = chkpt.findFor(branch.seq) != nullptr;
     return covered ? dprm.mpRecoveryExtraPenalty
                    : 3 * dprm.mpRecoveryExtraPenalty;
 }
 
 void
-DkipCore::onRecovered(const DynInstPtr &branch)
+DkipCore::onRecovered(InstRef ref)
 {
-    if (branch->execInMp) {
-        const Checkpoint *cp = chkpt.findFor(branch->seq);
+    const core::DynInst &branch = arena.get(ref);
+    if (branch.execInMp) {
+        const Checkpoint *cp = chkpt.findFor(branch.seq);
         if (cp) {
             llbv = cp->llbv;
         } else {
@@ -350,7 +367,7 @@ DkipCore::onRecovered(const DynInstPtr &branch)
             llbv.clearAll();
         }
     }
-    chkpt.squashFrom(branch->seq);
+    chkpt.squashFrom(branch.seq);
 }
 
 void

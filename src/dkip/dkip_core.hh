@@ -68,7 +68,7 @@ struct DkipParams
 class DkipCore : public core::OooCore
 {
   public:
-    using DynInstPtr = core::DynInstPtr;
+    using InstRef = core::InstRef;
 
     DkipCore(const DkipParams &params, wload::Workload &workload,
              const mem::MemConfig &mem_config);
@@ -84,11 +84,11 @@ class DkipCore : public core::OooCore
 
   protected:
     void tick() override;
-    void onCommitInst(const DynInstPtr &inst) override;
-    void onSquashInst(const DynInstPtr &inst) override;
-    void onBranchResolved(const DynInstPtr &inst) override;
-    void onRecovered(const DynInstPtr &branch) override;
-    int recoveryExtraPenalty(const DynInstPtr &branch) const override;
+    void onCommitInst(InstRef inst) override;
+    void onSquashInst(InstRef inst) override;
+    void onBranchResolved(InstRef inst) override;
+    void onRecovered(InstRef branch) override;
+    int recoveryExtraPenalty(InstRef branch) const override;
     size_t totalReady() const override;
     void beginCycleQueues() override;
     uint64_t nextTimedWake() const override;
@@ -98,9 +98,9 @@ class DkipCore : public core::OooCore
     void stageIssueDecoupled();
 
   private:
-    bool sourcesLongLatency(const DynInstPtr &inst) const;
-    bool hasReadyOperand(const DynInstPtr &inst) const;
-    bool insertIntoLlib(const DynInstPtr &inst);
+    bool sourcesLongLatency(const core::DynInst &inst) const;
+    bool hasReadyOperand(const core::DynInst &inst) const;
+    bool insertIntoLlib(InstRef ref);
     void extractFrom(Llib &llib, Llrf &llrf, core::IssueQueue &mpq);
     void trackOccupancy();
 

@@ -5,25 +5,26 @@
 namespace kilo::dkip
 {
 
-Llib::Llib(std::string name, size_t capacity)
-    : label(std::move(name)), q(capacity)
+Llib::Llib(std::string name, size_t capacity, core::InstArena &arena)
+    : arena(arena), label(std::move(name)), q(capacity)
 {}
 
 void
-Llib::push(const core::DynInstPtr &inst)
+Llib::push(core::InstRef ref)
 {
     KILO_ASSERT(!q.full(), "push into full LLIB %s", label.c_str());
-    KILO_ASSERT(q.empty() || q.back()->seq < inst->seq,
+    KILO_ASSERT(q.empty() ||
+                    arena.get(q.back()).seq < arena.get(ref).seq,
                 "LLIB insertion out of program order");
-    q.pushBack(inst);
+    q.pushBack(ref);
     if (q.size() > maxOcc)
         maxOcc = q.size();
 }
 
 void
-Llib::notifySquashed(const core::DynInstPtr &inst)
+Llib::notifySquashed(core::InstRef ref)
 {
-    KILO_ASSERT(!q.empty() && q.back() == inst,
+    KILO_ASSERT(!q.empty() && q.back() == ref,
                 "LLIB squash of non-youngest entry");
     q.popBack();
 }
@@ -33,7 +34,7 @@ Llib::headBlocked() const
 {
     if (q.empty())
         return false;
-    const core::DynInstPtr &head = q.front();
+    const core::DynInst &head = arena.get(q.front());
     // "When the depending instructions arrive at the head of the LLIB
     // and the load value is available [...] insertion into the MP
     // happens. For other instructions insertion is performed without
@@ -44,7 +45,10 @@ Llib::headBlocked() const
     // low-locality MP work already extracted ahead of the head (the
     // LLIB is a FIFO), so their results flow through the Future File
     // and "insertion is performed without additional checks" (3.4).
-    for (const auto &prod : head->producers) {
+    // A stale producer handle means that load already completed and
+    // committed.
+    for (core::InstRef prodRef : head.producers) {
+        const core::DynInst *prod = arena.tryGet(prodRef);
         if (prod && prod->op.isLoad() && !prod->completed)
             return true;
     }

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/core/dyn_inst.hh"
+#include "src/core/inst_arena.hh"
 #include "src/util/circular_buffer.hh"
 
 namespace kilo::dkip
@@ -23,7 +24,7 @@ namespace kilo::dkip
 class Llib
 {
   public:
-    Llib(std::string name, size_t capacity);
+    Llib(std::string name, size_t capacity, core::InstArena &arena);
 
     const std::string &name() const { return label; }
     size_t capacity() const { return q.capacity(); }
@@ -35,16 +36,16 @@ class Llib
     uint64_t maxOccupancy() const { return maxOcc; }
 
     /** Append at the tail (Analyze insertion, program order). */
-    void push(const core::DynInstPtr &inst);
+    void push(core::InstRef ref);
 
     /** Oldest entry. */
-    const core::DynInstPtr &front() const { return q.front(); }
+    core::InstRef front() const { return q.front(); }
 
     /** Remove the oldest entry (extraction into the MP). */
-    core::DynInstPtr popFront() { return q.popFront(); }
+    core::InstRef popFront() { return q.popFront(); }
 
-    /** @p inst was squashed; it must be the youngest entry. */
-    void notifySquashed(const core::DynInstPtr &inst);
+    /** @p ref was squashed; it must be the youngest entry. */
+    void notifySquashed(core::InstRef ref);
 
     /**
      * True when the head must keep waiting: it depends directly on a
@@ -53,8 +54,9 @@ class Llib
     bool headBlocked() const;
 
   private:
+    core::InstArena &arena;
     std::string label;
-    CircularBuffer<core::DynInstPtr> q;
+    CircularBuffer<core::InstRef> q;
     uint64_t maxOcc = 0;
 };
 

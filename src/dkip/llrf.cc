@@ -42,14 +42,14 @@ Llrf::fullyAllocated() const
 }
 
 bool
-Llrf::tryAlloc(const core::DynInstPtr &inst)
+Llrf::tryAlloc(core::DynInst &inst)
 {
     int n = numBanks();
     for (int i = 0; i < n; ++i) {
         int bank = (rrBank + i) % n;
         if (banks[size_t(bank)].hasFree()) {
-            inst->llrfBank = bank;
-            inst->llrfSlot = int(banks[size_t(bank)].alloc());
+            inst.llrfBank = bank;
+            inst.llrfSlot = int(banks[size_t(bank)].alloc());
             writtenMask |= uint64_t(1) << bank;
             rrBank = (bank + 1) % n;
             return true;
@@ -59,13 +59,13 @@ Llrf::tryAlloc(const core::DynInstPtr &inst)
 }
 
 void
-Llrf::release(const core::DynInstPtr &inst)
+Llrf::release(core::DynInst &inst)
 {
-    if (inst->llrfBank < 0)
+    if (inst.llrfBank < 0)
         return;
-    banks[size_t(inst->llrfBank)].release(uint32_t(inst->llrfSlot));
-    inst->llrfBank = -1;
-    inst->llrfSlot = -1;
+    banks[size_t(inst.llrfBank)].release(uint32_t(inst.llrfSlot));
+    inst.llrfBank = -1;
+    inst.llrfSlot = -1;
 }
 
 bool

@@ -47,10 +47,10 @@ class Llrf
      * the banks, and mark the chosen bank written this cycle.
      * @return false when every bank is full.
      */
-    bool tryAlloc(const core::DynInstPtr &inst);
+    bool tryAlloc(core::DynInst &inst);
 
     /** Free the slot held by @p inst (extraction or squash). */
-    void release(const core::DynInstPtr &inst);
+    void release(core::DynInst &inst);
 
     /** True when @p bank was written this cycle (read conflict). */
     bool bankWrittenThisCycle(int bank) const;

@@ -25,7 +25,7 @@ KiloCore::KiloCore(const KiloParams &params, wload::Workload &workload,
       kprm(params),
       llbv(isa::NumRegs),
       sliq("sliq", params.sliqCapacity,
-           core::SchedPolicy::OutOfOrder),
+           core::SchedPolicy::OutOfOrder, arena),
       chkpt(params.checkpointCapacity)
 {}
 
@@ -47,44 +47,45 @@ KiloCore::nextTimedWake() const
 {
     uint64_t wake = core::OooCore::nextTimedWake();
     if (!rob.empty()) {
-        wake = std::min(wake, rob.front()->dispatchCycle +
+        wake = std::min(wake, arena.get(rob.front()).dispatchCycle +
                                   uint64_t(kprm.robTimer));
     }
     return wake;
 }
 
 bool
-KiloCore::sourcesLongLatency(const DynInstPtr &inst) const
+KiloCore::sourcesLongLatency(const core::DynInst &inst) const
 {
-    int16_t s1 = inst->op.src1;
-    int16_t s2 = inst->op.src2;
+    int16_t s1 = inst.op.src1;
+    int16_t s2 = inst.op.src2;
     return (s1 != isa::NoReg && llbv.test(size_t(s1))) ||
            (s2 != isa::NoReg && llbv.test(size_t(s2)));
 }
 
 bool
-KiloCore::moveToSliq(const DynInstPtr &inst)
+KiloCore::moveToSliq(InstRef ref)
 {
+    core::DynInst &inst = arena.get(ref);
     if (sliq.full()) {
         ++st.llibFullStalls;
         return false;
     }
-    if (inst->op.isBranch()) {
+    if (inst.op.isBranch()) {
         if (chkpt.full()) {
             ++st.checkpointSkips;
         } else {
-            chkpt.push(inst->seq, llbv);
+            chkpt.push(inst.seq, llbv);
             ++st.checkpointsTaken;
         }
     }
-    if (inst->iq)
-        inst->iq->erase(inst);
-    if (inst->op.dst != isa::NoReg)
-        llbv.set(size_t(inst->op.dst));
-    inst->longLatency = true;
-    inst->execInMp = true;       // "slow lane" execution
-    sliq.insert(inst);
-    if (inst->op.isFp())
+    if (inst.iq)
+        inst.iq->erase(ref);
+    if (inst.op.dst != isa::NoReg)
+        llbv.set(size_t(inst.op.dst));
+    inst.longLatency = true;
+    inst.execInMp = true;       // "slow lane" execution
+    sliq.insert(ref);
+    if (inst.op.isFp())
         ++st.llibInsertedFp;
     else
         ++st.llibInsertedInt;
@@ -96,24 +97,27 @@ KiloCore::stageAnalyze()
 {
     int budget = kprm.analyzeWidth;
     while (budget > 0 && !rob.empty()) {
-        DynInstPtr head = rob.front();
-        if (now < head->dispatchCycle + uint64_t(kprm.robTimer))
+        InstRef headRef = rob.front();
+        core::DynInst &head = arena.get(headRef);
+        if (now < head.dispatchCycle + uint64_t(kprm.robTimer))
             break;
 
-        if (head->completed) {
-            if (head->op.dst != isa::NoReg)
-                llbv.clear(size_t(head->op.dst));
+        if (head.completed) {
+            if (head.op.dst != isa::NoReg)
+                llbv.clear(size_t(head.op.dst));
             rob.popFront();
+            releaseAgingRobEntry(head);
             --budget;
             ++activity;
             continue;
         }
 
-        if (head->op.isLoad() && head->issued) {
-            if (head->longLatency) {
-                if (head->op.dst != isa::NoReg)
-                    llbv.set(size_t(head->op.dst));
+        if (head.op.isLoad() && head.issued) {
+            if (head.longLatency) {
+                if (head.op.dst != isa::NoReg)
+                    llbv.set(size_t(head.op.dst));
                 rob.popFront();
+                releaseAgingRobEntry(head);
                 --budget;
                 ++activity;
                 continue;
@@ -122,25 +126,27 @@ KiloCore::stageAnalyze()
             break;
         }
 
-        if (head->issued) {
+        if (head.issued) {
             // Already executing: short latency; wait for writeback.
             ++st.analyzeStallCycles;
             break;
         }
 
         bool low = sourcesLongLatency(head);
-        if (!low && head->op.isLoad() && !head->issued) {
+        if (!low && head.op.isLoad() && !head.issued) {
             auto check = lsq.checkLoad(head);
-            if (check.kind == core::LoadCheck::Kind::Blocked &&
-                (check.store->execInMp || check.store->longLatency)) {
-                low = true;
+            if (check.kind == core::LoadCheck::Kind::Blocked) {
+                const core::DynInst &st_ = arena.get(check.store);
+                if (st_.execInMp || st_.longLatency)
+                    low = true;
             }
         }
 
         if (low) {
-            if (!moveToSliq(head))
+            if (!moveToSliq(headRef))
                 break;
             rob.popFront();
+            releaseAgingRobEntry(head);
             --budget;
             ++activity;
             continue;
@@ -155,47 +161,52 @@ KiloCore::stageAnalyze()
 }
 
 void
-KiloCore::onCommitInst(const DynInstPtr &inst)
+KiloCore::onCommitInst(InstRef inst)
 {
     (void)inst; // entries left the pseudo-ROB at Analyze
 }
 
 void
-KiloCore::onSquashInst(const DynInstPtr &inst)
+KiloCore::onSquashInst(InstRef inst)
 {
-    if (!rob.empty() && rob.back() == inst)
+    if (!rob.empty() && rob.back() == inst) {
         rob.popBack();
+        arena.get(inst).inRob = false;
+    }
     // SLIQ residency is handled through inst->iq by the base.
 }
 
 void
-KiloCore::onBranchResolved(const DynInstPtr &inst)
+KiloCore::onBranchResolved(InstRef ref)
 {
-    if (inst->execInMp)
-        chkpt.resolve(inst->seq);
+    const core::DynInst &inst = arena.get(ref);
+    if (inst.execInMp)
+        chkpt.resolve(inst.seq);
 }
 
 int
-KiloCore::recoveryExtraPenalty(const DynInstPtr &branch) const
+KiloCore::recoveryExtraPenalty(InstRef ref) const
 {
-    if (!branch->execInMp)
+    const core::DynInst &branch = arena.get(ref);
+    if (!branch.execInMp)
         return 0;
-    bool covered = chkpt.findFor(branch->seq) != nullptr;
+    bool covered = chkpt.findFor(branch.seq) != nullptr;
     return covered ? kprm.recoveryExtraPenalty
                    : 3 * kprm.recoveryExtraPenalty;
 }
 
 void
-KiloCore::onRecovered(const DynInstPtr &branch)
+KiloCore::onRecovered(InstRef ref)
 {
-    if (branch->execInMp) {
-        const dkip::Checkpoint *cp = chkpt.findFor(branch->seq);
+    const core::DynInst &branch = arena.get(ref);
+    if (branch.execInMp) {
+        const dkip::Checkpoint *cp = chkpt.findFor(branch.seq);
         if (cp)
             llbv = cp->llbv;
         else
             llbv.clearAll();
     }
-    chkpt.squashFrom(branch->seq);
+    chkpt.squashFrom(branch.seq);
 }
 
 void

@@ -44,7 +44,7 @@ struct KiloParams
 class KiloCore : public core::OooCore
 {
   public:
-    using DynInstPtr = core::DynInstPtr;
+    using InstRef = core::InstRef;
 
     KiloCore(const KiloParams &params, wload::Workload &workload,
              const mem::MemConfig &mem_config);
@@ -57,11 +57,11 @@ class KiloCore : public core::OooCore
 
   protected:
     void tick() override;
-    void onCommitInst(const DynInstPtr &inst) override;
-    void onSquashInst(const DynInstPtr &inst) override;
-    void onBranchResolved(const DynInstPtr &inst) override;
-    void onRecovered(const DynInstPtr &branch) override;
-    int recoveryExtraPenalty(const DynInstPtr &branch) const override;
+    void onCommitInst(InstRef inst) override;
+    void onSquashInst(InstRef inst) override;
+    void onBranchResolved(InstRef inst) override;
+    void onRecovered(InstRef branch) override;
+    int recoveryExtraPenalty(InstRef branch) const override;
     size_t totalReady() const override;
     void beginCycleQueues() override;
     uint64_t nextTimedWake() const override;
@@ -69,8 +69,8 @@ class KiloCore : public core::OooCore
     void stageAnalyze();
 
   private:
-    bool sourcesLongLatency(const DynInstPtr &inst) const;
-    bool moveToSliq(const DynInstPtr &inst);
+    bool sourcesLongLatency(const core::DynInst &inst) const;
+    bool moveToSliq(InstRef ref);
 
     KiloParams kprm;
     BitVector llbv;

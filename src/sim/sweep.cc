@@ -1,5 +1,6 @@
 #include "src/sim/sweep.hh"
 
+#include "src/sim/sweep_engine.hh"
 #include "src/wload/profile.hh"
 
 namespace kilo::sim
@@ -28,13 +29,12 @@ runSuite(const MachineConfig &machine,
          const std::vector<std::string> &suite,
          const mem::MemConfig &mem_config, const RunConfig &run_config)
 {
-    std::vector<RunResult> results;
-    results.reserve(suite.size());
-    for (const auto &name : suite) {
-        results.push_back(
-            Simulator::run(machine, name, mem_config, run_config));
-    }
-    return results;
+    // Fan out over the default thread pool (KILO_SWEEP_THREADS or
+    // hardware concurrency); runs are isolated, so the results are
+    // bit-identical to the old serial loop and come back in suite
+    // order.
+    SweepEngine engine;
+    return engine.runSuite(machine, suite, mem_config, run_config);
 }
 
 double

@@ -24,7 +24,14 @@ std::vector<std::string> intSuite();
 /** Names of the SpecFP-like suite, Figure 14 order. */
 std::vector<std::string> fpSuite();
 
-/** Run @p machine over every workload in @p suite. */
+/**
+ * Run @p machine over every workload in @p suite.
+ *
+ * Dispatches over the default SweepEngine thread pool (see
+ * src/sim/sweep_engine.hh); per-run state is fully isolated, so the
+ * results are bit-identical to a serial loop and arrive in suite
+ * order. Set KILO_SWEEP_THREADS=1 to force serial execution.
+ */
 std::vector<RunResult> runSuite(const MachineConfig &machine,
                                 const std::vector<std::string> &suite,
                                 const mem::MemConfig &mem_config,

@@ -1,0 +1,128 @@
+#include "src/sim/sweep_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+namespace kilo::sim
+{
+
+namespace
+{
+
+unsigned
+defaultThreads()
+{
+    if (const char *env = std::getenv("KILO_SWEEP_THREADS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return unsigned(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // anonymous namespace
+
+SweepEngine::SweepEngine(unsigned num_threads)
+    : numThreads(num_threads ? num_threads : defaultThreads())
+{}
+
+std::vector<RunResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<RunResult> results(jobs.size());
+
+    auto execute = [&](size_t i) {
+        const SweepJob &job = jobs[i];
+        results[i] =
+            Simulator::run(job.machine, job.workload, job.mem,
+                           job.run);
+    };
+
+    unsigned workers =
+        unsigned(std::min<size_t>(numThreads, jobs.size()));
+    if (workers <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            execute(i);
+        return results;
+    }
+
+    // Self-scheduling index dispatch: each worker claims the next
+    // unstarted job. Runs share nothing, so placement does not affect
+    // the results, only the finish time.
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            execute(i);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+    return results;
+}
+
+std::vector<SweepJob>
+SweepEngine::matrix(const std::vector<MachineConfig> &machines,
+                    const std::vector<std::string> &workloads,
+                    const std::vector<mem::MemConfig> &mems,
+                    const RunConfig &run_config)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(machines.size() * workloads.size() * mems.size());
+    for (const auto &machine : machines)
+        for (const auto &workload : workloads)
+            for (const auto &mem : mems)
+                jobs.push_back(
+                    SweepJob{machine, workload, mem, run_config});
+    return jobs;
+}
+
+std::vector<RunResult>
+SweepEngine::runSuite(const MachineConfig &machine,
+                      const std::vector<std::string> &suite,
+                      const mem::MemConfig &mem_config,
+                      const RunConfig &run_config) const
+{
+    return run(matrix({machine}, suite, {mem_config}, run_config));
+}
+
+std::string
+runResultJson(const RunResult &r)
+{
+    std::ostringstream os;
+    os.precision(17); // round-trip exact doubles
+    os << "{\"machine\":\"" << r.machine << "\""
+       << ",\"workload\":\"" << r.workload << "\""
+       << ",\"ipc\":" << r.ipc
+       << ",\"cycles\":" << r.stats.cycles
+       << ",\"committed\":" << r.stats.committed
+       << ",\"branches\":" << r.stats.branches
+       << ",\"mispredict_rate\":" << r.stats.mispredictRate()
+       << ",\"mp_fraction\":" << r.stats.mpFraction()
+       << ",\"mem_accesses\":" << r.memAccesses
+       << ",\"l2_misses\":" << r.l2Misses
+       << ",\"l2_miss_ratio\":" << r.l2MissRatio
+       << "}";
+    return os.str();
+}
+
+void
+writeJsonRows(std::ostream &os, const std::vector<RunResult> &results)
+{
+    for (const auto &r : results)
+        os << runResultJson(r) << "\n";
+}
+
+} // namespace kilo::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parallel sweep engine: fans a (machine × workload × memory) run
+ * matrix out over a thread pool.
+ *
+ * Every run is fully isolated — its own workload generator, core,
+ * instruction arena and memory hierarchy — so parallel execution is
+ * bit-identical to serial execution. Results are written to
+ * pre-assigned slots, which makes the output ordering deterministic
+ * regardless of scheduling: jobs[i] always produces results[i].
+ *
+ *     sim::SweepEngine engine(4);
+ *     auto jobs = sim::SweepEngine::matrix(
+ *         {MachineConfig::dkip2048()}, sim::intSuite(),
+ *         {mem::MemConfig::mem400()}, RunConfig());
+ *     auto results = engine.run(jobs);
+ *     sim::writeJsonRows(std::cout, results);
+ */
+
+#ifndef KILO_SIM_SWEEP_ENGINE_HH
+#define KILO_SIM_SWEEP_ENGINE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+
+namespace kilo::sim
+{
+
+/** One cell of a sweep matrix. */
+struct SweepJob
+{
+    MachineConfig machine;
+    std::string workload;
+    mem::MemConfig mem;
+    RunConfig run;
+};
+
+/** Thread-pooled, deterministically-ordered run executor. */
+class SweepEngine
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 picks the value of the
+     * KILO_SWEEP_THREADS environment variable or, failing that,
+     * std::thread::hardware_concurrency().
+     */
+    explicit SweepEngine(unsigned num_threads = 0);
+
+    /** Worker count this engine dispatches over. */
+    unsigned threads() const { return numThreads; }
+
+    /**
+     * Execute every job; results[i] corresponds to jobs[i]. Runs
+     * serially (no threads spawned) when the engine has one worker
+     * or there is one job.
+     */
+    std::vector<RunResult> run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Build the row-major (machine-major, then workload, then memory)
+     * job matrix the paper's figures sweep over.
+     */
+    static std::vector<SweepJob>
+    matrix(const std::vector<MachineConfig> &machines,
+           const std::vector<std::string> &workloads,
+           const std::vector<mem::MemConfig> &mems,
+           const RunConfig &run_config);
+
+    /** Convenience: one machine over a suite on one hierarchy. */
+    std::vector<RunResult>
+    runSuite(const MachineConfig &machine,
+             const std::vector<std::string> &suite,
+             const mem::MemConfig &mem_config,
+             const RunConfig &run_config) const;
+
+  private:
+    unsigned numThreads;
+};
+
+/** One machine-readable result row (JSON object, single line). */
+std::string runResultJson(const RunResult &result);
+
+/** Emit every result as one JSON object per line (JSONL). */
+void writeJsonRows(std::ostream &os,
+                   const std::vector<RunResult> &results);
+
+} // namespace kilo::sim
+
+#endif // KILO_SIM_SWEEP_ENGINE_HH

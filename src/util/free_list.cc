@@ -5,21 +5,38 @@
 namespace kilo
 {
 
-FreeList::FreeList(uint32_t num_slots)
-    : total(num_slots), allocated(num_slots, false)
+FreeList::FreeList(uint32_t num_slots, Order order)
+    : total(num_slots), order(order), allocated(num_slots, false)
 {
-    free.reserve(num_slots);
-    // Hand out low indices first for reproducibility.
-    for (uint32_t i = num_slots; i > 0; --i)
-        free.push_back(i - 1);
+    pushInitialRange(0, num_slots);
+}
+
+void
+FreeList::pushInitialRange(uint32_t lo, uint32_t hi)
+{
+    // Hand out low indices first for reproducibility: LIFO pops the
+    // back, FIFO pops the front.
+    if (order == Order::Lifo) {
+        for (uint32_t i = hi; i > lo; --i)
+            free.push_back(i - 1);
+    } else {
+        for (uint32_t i = lo; i < hi; ++i)
+            free.push_back(i);
+    }
 }
 
 uint32_t
 FreeList::alloc()
 {
     KILO_ASSERT(hasFree(), "FreeList::alloc with no free slots");
-    uint32_t idx = free.back();
-    free.pop_back();
+    uint32_t idx;
+    if (order == Order::Lifo) {
+        idx = free.back();
+        free.pop_back();
+    } else {
+        idx = free.front();
+        free.pop_front();
+    }
     allocated[idx] = true;
     return idx;
 }
@@ -34,11 +51,27 @@ FreeList::release(uint32_t idx)
 }
 
 void
+FreeList::grow(uint32_t extra)
+{
+    uint32_t new_total = total + extra;
+    allocated.resize(new_total, false);
+    if (order == Order::Lifo) {
+        // New slots join ahead of existing free ones, preserving the
+        // low-indices-first handout among themselves.
+        for (uint32_t i = new_total; i > total; --i)
+            free.push_back(i - 1);
+    } else {
+        for (uint32_t i = total; i < new_total; ++i)
+            free.push_back(i);
+    }
+    total = new_total;
+}
+
+void
 FreeList::reset()
 {
     free.clear();
-    for (uint32_t i = total; i > 0; --i)
-        free.push_back(i - 1);
+    pushInitialRange(0, total);
     for (size_t i = 0; i < allocated.size(); ++i)
         allocated[i] = false;
 }

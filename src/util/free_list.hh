@@ -1,10 +1,14 @@
 /**
  * @file
- * Per-bank register free list used by the LLRF.
+ * Slot free list used by the LLRF banks and the instruction arena.
  *
  * Each LLRF bank owns an independent free list (paper, section 3.2:
  * "Each bank has a free list that works independently of the other
- * banks"). The list hands out physical slot indices.
+ * banks"). The list hands out physical slot indices. The instruction
+ * arena (src/core/inst_arena.hh) reuses the same structure, growing
+ * it slab by slab via grow() and recycling in FIFO order so a freed
+ * slot rests as long as possible before reuse — that maximises the
+ * distance between generation reuses of any one slot.
  */
 
 #ifndef KILO_UTIL_FREE_LIST_HH
@@ -13,15 +17,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/ring_deque.hh"
+
 namespace kilo
 {
 
-/** LIFO free list over a fixed pool of slot indices. */
+/** Free list over a fixed pool of slot indices. */
 class FreeList
 {
   public:
+    /** Recycling order. */
+    enum class Order : uint8_t
+    {
+        Lifo,  ///< most-recently-freed first (LLRF banks)
+        Fifo,  ///< least-recently-freed first (instruction arena)
+    };
+
     /** Create a list managing slots [0, num_slots). */
-    explicit FreeList(uint32_t num_slots = 0);
+    explicit FreeList(uint32_t num_slots = 0,
+                      Order order = Order::Lifo);
 
     /** True when at least one slot is free. */
     bool hasFree() const { return !free.empty(); }
@@ -44,9 +58,15 @@ class FreeList
     /** Reset to the fully-free state (checkpoint recovery). */
     void reset();
 
+    /** Add @p extra new slots [total, total + extra), all free. */
+    void grow(uint32_t extra);
+
   private:
+    void pushInitialRange(uint32_t lo, uint32_t hi);
+
     uint32_t total;
-    std::vector<uint32_t> free;
+    Order order;
+    RingDeque<uint32_t> free;
     std::vector<bool> allocated;
 };
 

@@ -14,9 +14,9 @@
 #define KILO_WLOAD_TRACE_WINDOW_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "src/isa/micro_op.hh"
+#include "src/util/ring_deque.hh"
 #include "src/wload/workload.hh"
 
 namespace kilo::wload
@@ -46,7 +46,7 @@ class TraceWindow
 
   private:
     Workload &workload;
-    std::deque<isa::MicroOp> buf;
+    RingDeque<isa::MicroOp> buf;
     uint64_t baseSeq = 0;
 };
 

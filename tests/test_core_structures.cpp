@@ -1,12 +1,14 @@
 /**
  * @file
  * Unit tests for the core building blocks: scoreboard, functional
- * unit pool, issue queue (both policies) and LSQ.
+ * unit pool, issue queue (both policies) and LSQ, driven through
+ * arena-allocated instructions.
  */
 
 #include <gtest/gtest.h>
 
 #include "src/core/fu_pool.hh"
+#include "src/core/inst_arena.hh"
 #include "src/core/issue_queue.hh"
 #include "src/core/lsq.hh"
 #include "src/core/scoreboard.hh"
@@ -17,14 +19,35 @@ using namespace kilo::core;
 namespace
 {
 
-DynInstPtr
-inst(uint64_t seq, isa::MicroOp op = isa::makeAlu(1, 2, 3))
+/** Per-test arena plus instruction builders. */
+struct Arena
 {
-    auto i = std::make_shared<DynInst>();
-    i->op = op;
-    i->seq = seq;
-    return i;
-}
+    InstArena arena;
+
+    InstRef
+    inst(uint64_t seq, isa::MicroOp op = isa::makeAlu(1, 2, 3))
+    {
+        InstRef ref = arena.alloc();
+        DynInst &i = arena.get(ref);
+        i.op = op;
+        i.seq = seq;
+        return ref;
+    }
+
+    InstRef
+    loadAt(uint64_t seq, uint64_t addr)
+    {
+        return inst(seq, isa::makeLoad(1, 2, addr));
+    }
+
+    InstRef
+    storeAt(uint64_t seq, uint64_t addr)
+    {
+        return inst(seq, isa::makeStore(2, 3, addr));
+    }
+
+    DynInst &operator[](InstRef ref) { return arena.get(ref); }
+};
 
 } // anonymous namespace
 
@@ -34,75 +57,81 @@ TEST(Scoreboard, InitiallyReady)
 {
     Scoreboard sb;
     for (int r = 0; r < isa::NumRegs; ++r) {
-        EXPECT_EQ(sb.get(int16_t(r)).producer, nullptr);
+        EXPECT_FALSE(sb.get(int16_t(r)).producer);
         EXPECT_EQ(sb.get(int16_t(r)).readyCycle, 0u);
     }
 }
 
 TEST(Scoreboard, DefineInstallsProducer)
 {
+    Arena a;
     Scoreboard sb;
-    auto i = inst(1);
-    sb.define(i);
+    auto i = a.inst(1);
+    sb.define(a[i]);
     EXPECT_EQ(sb.get(1).producer, i);
 }
 
 TEST(Scoreboard, CompleteReplacesWithReadyCycle)
 {
+    Arena a;
     Scoreboard sb;
-    auto i = inst(1);
-    sb.define(i);
-    i->completed = true;
-    i->completeCycle = 55;
-    sb.complete(i);
-    EXPECT_EQ(sb.get(1).producer, nullptr);
+    auto i = a.inst(1);
+    sb.define(a[i]);
+    a[i].completed = true;
+    a[i].completeCycle = 55;
+    sb.complete(a[i]);
+    EXPECT_FALSE(sb.get(1).producer);
     EXPECT_EQ(sb.get(1).readyCycle, 55u);
 }
 
 TEST(Scoreboard, CompleteOfStaleProducerIgnored)
 {
+    Arena a;
     Scoreboard sb;
-    auto older = inst(1);
-    auto newer = inst(2);
-    sb.define(older);
-    sb.define(newer);
-    older->completed = true;
-    older->completeCycle = 10;
-    sb.complete(older);
+    auto older = a.inst(1);
+    auto newer = a.inst(2);
+    sb.define(a[older]);
+    sb.define(a[newer]);
+    a[older].completed = true;
+    a[older].completeCycle = 10;
+    sb.complete(a[older]);
     EXPECT_EQ(sb.get(1).producer, newer);
 }
 
 TEST(Scoreboard, RestoreUndoesDefine)
 {
+    Arena ar;
     Scoreboard sb;
-    auto a = inst(1);
-    auto b = inst(2);
-    sb.define(a);
-    sb.define(b);
-    sb.restore(b);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
+    sb.define(ar[a]);
+    sb.define(ar[b]);
+    sb.restore(ar[b]);
     EXPECT_EQ(sb.get(1).producer, a);
-    sb.restore(a);
-    EXPECT_EQ(sb.get(1).producer, nullptr);
+    sb.restore(ar[a]);
+    EXPECT_FALSE(sb.get(1).producer);
 }
 
 TEST(Scoreboard, RestoreAfterCompletionUsesDefinerSeq)
 {
+    Arena ar;
     Scoreboard sb;
-    auto a = inst(1);
-    sb.define(a);
-    a->completed = true;
-    a->completeCycle = 9;
-    sb.complete(a); // producer null, readyCycle 9
-    sb.restore(a);  // still the visible definer -> restored
+    auto a = ar.inst(1);
+    sb.define(ar[a]);
+    ar[a].completed = true;
+    ar[a].completeCycle = 9;
+    sb.complete(ar[a]); // producer null, readyCycle 9
+    sb.restore(ar[a]);  // still the visible definer -> restored
     EXPECT_EQ(sb.get(1).readyCycle, 0u);
 }
 
 TEST(Scoreboard, ClearResets)
 {
+    Arena a;
     Scoreboard sb;
-    sb.define(inst(1));
+    sb.define(a[a.inst(1)]);
     sb.clear();
-    EXPECT_EQ(sb.get(1).producer, nullptr);
+    EXPECT_FALSE(sb.get(1).producer);
 }
 
 // ---------------------------------------------------------- FuPool
@@ -175,12 +204,13 @@ TEST(FuPool, FpMpHasAddressAlu)
 
 TEST(IssueQueue, OooSelectsOldestReady)
 {
-    IssueQueue q("q", 8, SchedPolicy::OutOfOrder);
-    auto a = inst(1);
-    auto b = inst(2);
-    auto c = inst(3);
-    b->readyFlag = true;
-    c->readyFlag = true;
+    Arena ar;
+    IssueQueue q("q", 8, SchedPolicy::OutOfOrder, ar.arena);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
+    auto c = ar.inst(3);
+    ar[b].readyFlag = true;
+    ar[c].readyFlag = true;
     q.insert(a); // not ready
     q.insert(b);
     q.insert(c);
@@ -190,40 +220,43 @@ TEST(IssueQueue, OooSelectsOldestReady)
 
 TEST(IssueQueue, OooWakeupMakesSelectable)
 {
-    IssueQueue q("q", 8, SchedPolicy::OutOfOrder);
-    auto a = inst(1);
+    Arena ar;
+    IssueQueue q("q", 8, SchedPolicy::OutOfOrder, ar.arena);
+    auto a = ar.inst(1);
     q.insert(a);
-    EXPECT_EQ(q.popReady(0), nullptr);
-    a->readyFlag = true;
+    EXPECT_FALSE(q.popReady(0));
+    ar[a].readyFlag = true;
     q.markReady(a);
     EXPECT_EQ(q.popReady(0), a);
 }
 
 TEST(IssueQueue, InOrderHeadOnly)
 {
-    IssueQueue q("q", 8, SchedPolicy::InOrder);
-    auto a = inst(1);
-    auto b = inst(2);
-    b->readyFlag = true;
+    Arena ar;
+    IssueQueue q("q", 8, SchedPolicy::InOrder, ar.arena);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
+    ar[b].readyFlag = true;
     q.insert(a); // head, not ready
     q.insert(b); // ready but behind
     q.beginCycle();
-    EXPECT_EQ(q.popReady(0), nullptr); // head blocks
+    EXPECT_FALSE(q.popReady(0)); // head blocks
 }
 
 TEST(IssueQueue, InOrderIssuesContiguousPrefix)
 {
-    IssueQueue q("q", 8, SchedPolicy::InOrder);
-    auto a = inst(1);
-    auto b = inst(2);
-    a->readyFlag = true;
-    b->readyFlag = true;
+    Arena ar;
+    IssueQueue q("q", 8, SchedPolicy::InOrder, ar.arena);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
+    ar[a].readyFlag = true;
+    ar[b].readyFlag = true;
     q.insert(a);
     q.insert(b);
     q.beginCycle();
     auto first = q.popReady(0);
     EXPECT_EQ(first, a);
-    first->issued = true;
+    ar[first].issued = true;
     q.removeIssued(first);
     auto second = q.popReady(0);
     EXPECT_EQ(second, b);
@@ -231,58 +264,63 @@ TEST(IssueQueue, InOrderIssuesContiguousPrefix)
 
 TEST(IssueQueue, InOrderStructuralHazardStallsCycle)
 {
-    IssueQueue q("q", 8, SchedPolicy::InOrder);
-    auto a = inst(1);
-    a->readyFlag = true;
+    Arena ar;
+    IssueQueue q("q", 8, SchedPolicy::InOrder, ar.arena);
+    auto a = ar.inst(1);
+    ar[a].readyFlag = true;
     q.insert(a);
     q.beginCycle();
     EXPECT_EQ(q.popReady(0), a);
     q.requeue(a); // e.g. no memory port
-    EXPECT_EQ(q.popReady(0), nullptr);
+    EXPECT_FALSE(q.popReady(0));
     q.beginCycle(); // next cycle retries
     EXPECT_EQ(q.popReady(1), a);
 }
 
 TEST(IssueQueue, OooRequeueRetriesNextCycle)
 {
-    IssueQueue q("q", 8, SchedPolicy::OutOfOrder);
-    auto a = inst(1);
-    a->readyFlag = true;
+    Arena ar;
+    IssueQueue q("q", 8, SchedPolicy::OutOfOrder, ar.arena);
+    auto a = ar.inst(1);
+    ar[a].readyFlag = true;
     q.insert(a);
     EXPECT_EQ(q.popReady(0), a);
     q.requeue(a);
-    EXPECT_EQ(q.popReady(0), nullptr); // deferred this cycle
+    EXPECT_FALSE(q.popReady(0)); // deferred this cycle
     q.beginCycle();
     EXPECT_EQ(q.popReady(1), a);
 }
 
 TEST(IssueQueue, CapacityAndFull)
 {
-    IssueQueue q("q", 2, SchedPolicy::OutOfOrder);
-    q.insert(inst(1));
-    q.insert(inst(2));
+    Arena ar;
+    IssueQueue q("q", 2, SchedPolicy::OutOfOrder, ar.arena);
+    q.insert(ar.inst(1));
+    q.insert(ar.inst(2));
     EXPECT_TRUE(q.full());
     EXPECT_EQ(q.size(), 2u);
 }
 
 TEST(IssueQueue, EraseFreesSlotWithoutIssue)
 {
-    IssueQueue q("q", 2, SchedPolicy::OutOfOrder);
-    auto a = inst(1);
+    Arena ar;
+    IssueQueue q("q", 2, SchedPolicy::OutOfOrder, ar.arena);
+    auto a = ar.inst(1);
     q.insert(a);
     q.erase(a);
     EXPECT_TRUE(q.empty());
-    EXPECT_EQ(a->iq, nullptr);
+    EXPECT_EQ(ar[a].iq, nullptr);
 }
 
 TEST(IssueQueue, SquashRemovesYoungest)
 {
-    IssueQueue q("q", 4, SchedPolicy::InOrder);
-    auto a = inst(1);
-    auto b = inst(2);
+    Arena ar;
+    IssueQueue q("q", 4, SchedPolicy::InOrder, ar.arena);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
     q.insert(a);
     q.insert(b);
-    b->squashed = true;
+    ar[b].squashed = true;
     q.notifySquashed(b);
     EXPECT_EQ(q.size(), 1u);
     EXPECT_EQ(q.debugFront(), a);
@@ -290,13 +328,14 @@ TEST(IssueQueue, SquashRemovesYoungest)
 
 TEST(IssueQueue, ReadyCountConsistentThroughLifecycle)
 {
-    IssueQueue q("q", 4, SchedPolicy::OutOfOrder);
-    auto a = inst(1);
-    a->readyFlag = true;
+    Arena ar;
+    IssueQueue q("q", 4, SchedPolicy::OutOfOrder, ar.arena);
+    auto a = ar.inst(1);
+    ar[a].readyFlag = true;
     q.insert(a);
     EXPECT_EQ(q.numReady(), 1u);
     auto got = q.popReady(0);
-    got->issued = true;
+    ar[got].issued = true;
     q.removeIssued(got);
     EXPECT_EQ(q.numReady(), 0u);
     EXPECT_TRUE(q.empty());
@@ -304,142 +343,166 @@ TEST(IssueQueue, ReadyCountConsistentThroughLifecycle)
 
 TEST(IssueQueue, DroppedNotReadyReturnsViaWakeup)
 {
-    IssueQueue q("q", 4, SchedPolicy::OutOfOrder);
-    auto a = inst(1);
-    a->readyFlag = true;
+    Arena ar;
+    IssueQueue q("q", 4, SchedPolicy::OutOfOrder, ar.arena);
+    auto a = ar.inst(1);
+    ar[a].readyFlag = true;
     q.insert(a);
     auto got = q.popReady(0);
-    got->readyFlag = false; // LSQ blocked it on a store
+    ar[got].readyFlag = false; // LSQ blocked it on a store
     q.droppedNotReady(got);
     EXPECT_EQ(q.numReady(), 0u);
-    got->readyFlag = true;
+    ar[got].readyFlag = true;
     q.markReady(got);
     EXPECT_EQ(q.popReady(0), got);
 }
 
+TEST(IssueQueue, StaleHeapEntrySkippedAfterRecycle)
+{
+    Arena ar;
+    IssueQueue q("q", 4, SchedPolicy::OutOfOrder, ar.arena);
+    auto a = ar.inst(1);
+    ar[a].readyFlag = true;
+    q.insert(a);
+    // Squash-and-recycle while the ready heap still holds the handle.
+    ar[a].squashed = true;
+    q.notifySquashed(a);
+    ar.arena.free(a);
+    EXPECT_FALSE(q.popReady(0)); // stale entry is filtered, not used
+}
+
 // ------------------------------------------------------------- LSQ
-
-namespace
-{
-
-DynInstPtr
-loadAt(uint64_t seq, uint64_t addr)
-{
-    return inst(seq, isa::makeLoad(1, 2, addr));
-}
-
-DynInstPtr
-storeAt(uint64_t seq, uint64_t addr)
-{
-    return inst(seq, isa::makeStore(2, 3, addr));
-}
-
-} // anonymous namespace
 
 TEST(Lsq, NoConflictGoesToMemory)
 {
-    Lsq lsq(8);
-    auto ld = loadAt(5, 0x100);
+    Arena ar;
+    Lsq lsq(8, ar.arena);
+    auto ld = ar.loadAt(5, 0x100);
     lsq.insert(ld);
-    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+    EXPECT_EQ(lsq.checkLoad(ar[ld]).kind, LoadCheck::Kind::Memory);
 }
 
 TEST(Lsq, BlockedOnUnexecutedOlderStore)
 {
-    Lsq lsq(8);
-    auto st = storeAt(1, 0x100);
-    auto ld = loadAt(2, 0x100);
+    Arena ar;
+    Lsq lsq(8, ar.arena);
+    auto st = ar.storeAt(1, 0x100);
+    auto ld = ar.loadAt(2, 0x100);
     lsq.insert(st);
     lsq.insert(ld);
-    auto check = lsq.checkLoad(ld);
+    auto check = lsq.checkLoad(ar[ld]);
     EXPECT_EQ(check.kind, LoadCheck::Kind::Blocked);
     EXPECT_EQ(check.store, st);
 }
 
 TEST(Lsq, ForwardsFromExecutedStore)
 {
-    Lsq lsq(8);
-    auto st = storeAt(1, 0x100);
-    auto ld = loadAt(2, 0x100);
+    Arena ar;
+    Lsq lsq(8, ar.arena);
+    auto st = ar.storeAt(1, 0x100);
+    auto ld = ar.loadAt(2, 0x100);
     lsq.insert(st);
     lsq.insert(ld);
-    st->issued = true;
-    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Forward);
+    ar[st].issued = true;
+    EXPECT_EQ(lsq.checkLoad(ar[ld]).kind, LoadCheck::Kind::Forward);
 }
 
 TEST(Lsq, YoungerStoreDoesNotConflict)
 {
-    Lsq lsq(8);
-    auto ld = loadAt(1, 0x100);
-    auto st = storeAt(2, 0x100);
+    Arena ar;
+    Lsq lsq(8, ar.arena);
+    auto ld = ar.loadAt(1, 0x100);
+    auto st = ar.storeAt(2, 0x100);
     lsq.insert(ld);
     lsq.insert(st);
-    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+    EXPECT_EQ(lsq.checkLoad(ar[ld]).kind, LoadCheck::Kind::Memory);
 }
 
 TEST(Lsq, YoungestMatchingStoreWins)
 {
-    Lsq lsq(8);
-    auto st1 = storeAt(1, 0x100);
-    auto st2 = storeAt(2, 0x100);
-    auto ld = loadAt(3, 0x100);
+    Arena ar;
+    Lsq lsq(8, ar.arena);
+    auto st1 = ar.storeAt(1, 0x100);
+    auto st2 = ar.storeAt(2, 0x100);
+    auto ld = ar.loadAt(3, 0x100);
     lsq.insert(st1);
     lsq.insert(st2);
     lsq.insert(ld);
-    EXPECT_EQ(lsq.checkLoad(ld).store, st2);
+    EXPECT_EQ(lsq.checkLoad(ar[ld]).store, st2);
 }
 
 TEST(Lsq, DifferentAddressNoConflict)
 {
-    Lsq lsq(8);
-    auto st = storeAt(1, 0x100);
-    auto ld = loadAt(2, 0x108);
+    Arena ar;
+    Lsq lsq(8, ar.arena);
+    auto st = ar.storeAt(1, 0x100);
+    auto ld = ar.loadAt(2, 0x108);
     lsq.insert(st);
     lsq.insert(ld);
-    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+    EXPECT_EQ(lsq.checkLoad(ar[ld]).kind, LoadCheck::Kind::Memory);
 }
 
 TEST(Lsq, RetireCompletedFreesHead)
 {
-    Lsq lsq(2);
-    auto a = loadAt(1, 0x10);
-    auto b = loadAt(2, 0x20);
+    Arena ar;
+    Lsq lsq(2, ar.arena);
+    auto a = ar.loadAt(1, 0x10);
+    auto b = ar.loadAt(2, 0x20);
     lsq.insert(a);
     lsq.insert(b);
     EXPECT_TRUE(lsq.full());
-    a->completed = true;
+    ar[a].completed = true;
     lsq.retireCompleted();
     EXPECT_EQ(lsq.size(), 1u);
-    EXPECT_FALSE(a->inLsq);
-    EXPECT_TRUE(b->inLsq);
+    EXPECT_FALSE(ar[a].inLsq);
+    EXPECT_TRUE(ar[b].inLsq);
 }
 
 TEST(Lsq, HeadBlocksRetirement)
 {
-    Lsq lsq(4);
-    auto a = loadAt(1, 0x10);
-    auto b = loadAt(2, 0x20);
+    Arena ar;
+    Lsq lsq(4, ar.arena);
+    auto a = ar.loadAt(1, 0x10);
+    auto b = ar.loadAt(2, 0x20);
     lsq.insert(a);
     lsq.insert(b);
-    b->completed = true;
+    ar[b].completed = true;
     lsq.retireCompleted();
     EXPECT_EQ(lsq.size(), 2u); // head incomplete keeps both
 }
 
 TEST(Lsq, SquashRemovesStoreFromIndex)
 {
-    Lsq lsq(8);
-    auto st = storeAt(1, 0x100);
+    Arena ar;
+    Lsq lsq(8, ar.arena);
+    auto st = ar.storeAt(1, 0x100);
     lsq.insert(st);
     lsq.notifySquashed(st);
-    auto ld = loadAt(2, 0x100);
+    auto ld = ar.loadAt(2, 0x100);
     lsq.insert(ld);
-    EXPECT_EQ(lsq.checkLoad(ld).kind, LoadCheck::Kind::Memory);
+    EXPECT_EQ(lsq.checkLoad(ar[ld]).kind, LoadCheck::Kind::Memory);
+}
+
+TEST(Lsq, RetireRecyclesCommittedEntry)
+{
+    Arena ar;
+    Lsq lsq(4, ar.arena);
+    auto a = ar.loadAt(1, 0x10);
+    lsq.insert(a);
+    // Commit reached the instruction while it still held its entry:
+    // the recycle defers to the LSQ release.
+    ar[a].completed = true;
+    ar[a].retired = true;
+    uint64_t frees = ar.arena.totalFrees();
+    lsq.retireCompleted();
+    EXPECT_EQ(ar.arena.totalFrees(), frees + 1);
+    EXPECT_FALSE(ar.arena.isLive(a));
 }
 
 TEST(Lsq, ForwardCounter)
 {
-    Lsq lsq(4);
+    Arena ar;
+    Lsq lsq(4, ar.arena);
     EXPECT_EQ(lsq.forwards(), 0u);
     lsq.countForward();
     EXPECT_EQ(lsq.forwards(), 1u);

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/inst_arena.hh"
 #include "src/dkip/checkpoint_stack.hh"
 #include "src/dkip/dkip_core.hh"
 #include "src/dkip/llib.hh"
@@ -21,14 +22,26 @@ using namespace kilo::dkip;
 namespace
 {
 
-core::DynInstPtr
-inst(uint64_t seq, isa::MicroOp op = isa::makeAlu(1, 2, 3))
+/** Per-test instruction arena plus a builder. */
+struct Arena
 {
-    auto i = std::make_shared<core::DynInst>();
-    i->op = op;
-    i->seq = seq;
-    return i;
-}
+    core::InstArena arena;
+
+    core::InstRef
+    inst(uint64_t seq, isa::MicroOp op = isa::makeAlu(1, 2, 3))
+    {
+        core::InstRef ref = arena.alloc();
+        core::DynInst &i = arena.get(ref);
+        i.op = op;
+        i.seq = seq;
+        return ref;
+    }
+
+    core::DynInst &operator[](core::InstRef ref)
+    {
+        return arena.get(ref);
+    }
+};
 
 } // anonymous namespace
 
@@ -43,44 +56,48 @@ TEST(Llrf, GeometryMatchesPaper)
 
 TEST(Llrf, AllocRoundRobinsBanks)
 {
+    Arena ar;
     Llrf rf(4, 2);
-    auto a = inst(1);
-    auto b = inst(2);
-    EXPECT_TRUE(rf.tryAlloc(a));
-    EXPECT_TRUE(rf.tryAlloc(b));
-    EXPECT_NE(a->llrfBank, b->llrfBank);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
+    EXPECT_TRUE(rf.tryAlloc(ar[a]));
+    EXPECT_TRUE(rf.tryAlloc(ar[b]));
+    EXPECT_NE(ar[a].llrfBank, ar[b].llrfBank);
 }
 
 TEST(Llrf, WriteMarksBankForCycle)
 {
+    Arena ar;
     Llrf rf(4, 2);
-    auto a = inst(1);
-    rf.tryAlloc(a);
-    EXPECT_TRUE(rf.bankWrittenThisCycle(a->llrfBank));
+    auto a = ar.inst(1);
+    rf.tryAlloc(ar[a]);
+    EXPECT_TRUE(rf.bankWrittenThisCycle(ar[a].llrfBank));
     rf.beginCycle();
-    EXPECT_FALSE(rf.bankWrittenThisCycle(a->llrfBank));
+    EXPECT_FALSE(rf.bankWrittenThisCycle(ar[a].llrfBank));
 }
 
 TEST(Llrf, FillsUpAndReleases)
 {
+    Arena ar;
     Llrf rf(2, 1);
-    auto a = inst(1);
-    auto b = inst(2);
-    auto c = inst(3);
-    EXPECT_TRUE(rf.tryAlloc(a));
-    EXPECT_TRUE(rf.tryAlloc(b));
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
+    auto c = ar.inst(3);
+    EXPECT_TRUE(rf.tryAlloc(ar[a]));
+    EXPECT_TRUE(rf.tryAlloc(ar[b]));
     EXPECT_TRUE(rf.fullyAllocated());
-    EXPECT_FALSE(rf.tryAlloc(c));
-    rf.release(a);
+    EXPECT_FALSE(rf.tryAlloc(ar[c]));
+    rf.release(ar[a]);
     EXPECT_EQ(rf.numAllocated(), 1u);
-    EXPECT_TRUE(rf.tryAlloc(c));
+    EXPECT_TRUE(rf.tryAlloc(ar[c]));
 }
 
 TEST(Llrf, ReleaseWithoutAllocIsNoop)
 {
+    Arena ar;
     Llrf rf(2, 1);
-    auto a = inst(1); // llrfBank == -1
-    rf.release(a);
+    auto a = ar.inst(1); // llrfBank == -1
+    rf.release(ar[a]);
     EXPECT_EQ(rf.numAllocated(), 0u);
 }
 
@@ -88,9 +105,10 @@ TEST(Llrf, ReleaseWithoutAllocIsNoop)
 
 TEST(Llib, FifoOrderPreserved)
 {
-    Llib q("test", 4);
-    auto a = inst(1);
-    auto b = inst(2);
+    Arena ar;
+    Llib q("test", 4, ar.arena);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
     q.push(a);
     q.push(b);
     EXPECT_EQ(q.front(), a);
@@ -100,50 +118,55 @@ TEST(Llib, FifoOrderPreserved)
 
 TEST(Llib, TracksMaxOccupancy)
 {
-    Llib q("test", 8);
-    q.push(inst(1));
-    q.push(inst(2));
+    Arena ar;
+    Llib q("test", 8, ar.arena);
+    q.push(ar.inst(1));
+    q.push(ar.inst(2));
     q.popFront();
-    q.push(inst(3));
+    q.push(ar.inst(3));
     EXPECT_EQ(q.maxOccupancy(), 2u);
 }
 
 TEST(LlibDeath, OutOfOrderPushPanics)
 {
-    Llib q("test", 4);
-    q.push(inst(5));
-    EXPECT_DEATH(q.push(inst(3)), "order");
+    Arena ar;
+    Llib q("test", 4, ar.arena);
+    q.push(ar.inst(5));
+    EXPECT_DEATH(q.push(ar.inst(3)), "order");
 }
 
 TEST(Llib, HeadBlockedOnAddressProcessorLoad)
 {
-    Llib q("test", 4);
-    auto ld = inst(1, isa::makeLoad(5, 2, 0x100));
-    ld->longLatency = true; // off-chip load executing in addr proc
-    auto dep = inst(2, isa::makeAlu(6, 5, isa::NoReg));
-    dep->producers[0] = ld;
+    Arena ar;
+    Llib q("test", 4, ar.arena);
+    auto ld = ar.inst(1, isa::makeLoad(5, 2, 0x100));
+    ar[ld].longLatency = true; // off-chip load in the addr proc
+    auto dep = ar.inst(2, isa::makeAlu(6, 5, isa::NoReg));
+    ar[dep].producers[0] = ld;
     q.push(dep);
     EXPECT_TRUE(q.headBlocked());
-    ld->completed = true;
+    ar[ld].completed = true;
     EXPECT_FALSE(q.headBlocked());
 }
 
 TEST(Llib, HeadNotBlockedOnNonLoadProducer)
 {
-    Llib q("test", 4);
-    auto alu = inst(1, isa::makeAlu(5, 2, isa::NoReg));
-    alu->execInMp = true; // older low-locality ALU, extracted ahead
-    auto dep = inst(2, isa::makeAlu(6, 5, isa::NoReg));
-    dep->producers[0] = alu;
+    Arena ar;
+    Llib q("test", 4, ar.arena);
+    auto alu = ar.inst(1, isa::makeAlu(5, 2, isa::NoReg));
+    ar[alu].execInMp = true; // older low-locality ALU ahead
+    auto dep = ar.inst(2, isa::makeAlu(6, 5, isa::NoReg));
+    ar[dep].producers[0] = alu;
     q.push(dep);
     EXPECT_FALSE(q.headBlocked());
 }
 
 TEST(Llib, SquashRemovesYoungest)
 {
-    Llib q("test", 4);
-    auto a = inst(1);
-    auto b = inst(2);
+    Arena ar;
+    Llib q("test", 4, ar.arena);
+    auto a = ar.inst(1);
+    auto b = ar.inst(2);
     q.push(a);
     q.push(b);
     q.notifySquashed(b);

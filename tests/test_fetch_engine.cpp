@@ -23,13 +23,26 @@ struct FetchFixture
         : wl(std::move(ops)), tw(wl)
     {
         params.fetchStopOnTaken = stop_on_taken;
-        engine = std::make_unique<FetchEngine>(tw, bp, params);
+        engine =
+            std::make_unique<FetchEngine>(tw, bp, params, arena);
     }
+
+    /** Fetch into a fresh handle vector (test convenience). */
+    std::vector<InstRef>
+    fetch(uint64_t now, int max_count)
+    {
+        std::vector<InstRef> out;
+        engine->fetch(now, max_count, out);
+        return out;
+    }
+
+    DynInst &operator[](InstRef ref) { return arena.get(ref); }
 
     test::VectorWorkload wl;
     wload::TraceWindow tw;
     pred::AlwaysTakenPredictor bp;
     CoreParams params;
+    InstArena arena;
     std::unique_ptr<FetchEngine> engine;
 };
 
@@ -38,19 +51,19 @@ struct FetchFixture
 TEST(FetchEngine, FetchesUpToWidth)
 {
     FetchFixture f(test::independentOps(8));
-    auto got = f.engine->fetch(0, 4);
+    auto got = f.fetch(0, 4);
     ASSERT_EQ(got.size(), 4u);
-    EXPECT_EQ(got[0]->seq, 0u);
-    EXPECT_EQ(got[3]->seq, 3u);
+    EXPECT_EQ(f[got[0]].seq, 0u);
+    EXPECT_EQ(f[got[3]].seq, 3u);
     EXPECT_EQ(f.engine->nextSeq(), 4u);
 }
 
 TEST(FetchEngine, SequenceNumbersMonotone)
 {
     FetchFixture f(test::independentOps(4));
-    auto a = f.engine->fetch(0, 4);
-    auto b = f.engine->fetch(1, 4);
-    EXPECT_EQ(b[0]->seq, a.back()->seq + 1);
+    auto a = f.fetch(0, 4);
+    auto b = f.fetch(1, 4);
+    EXPECT_EQ(f[b[0]].seq, f[a.back()].seq + 1);
 }
 
 TEST(FetchEngine, TakenBranchEndsGroup)
@@ -59,9 +72,9 @@ TEST(FetchEngine, TakenBranchEndsGroup)
     ops.push_back(isa::makeBranch(1, true, 0x1000));
     ops.push_back(isa::makeAlu(5, isa::NoReg, isa::NoReg));
     FetchFixture f(ops);
-    auto got = f.engine->fetch(0, 4);
+    auto got = f.fetch(0, 4);
     ASSERT_EQ(got.size(), 3u); // stops after the taken branch
-    EXPECT_TRUE(got.back()->op.isBranch());
+    EXPECT_TRUE(f[got.back()].op.isBranch());
 }
 
 TEST(FetchEngine, NotTakenBranchDoesNotBreak)
@@ -70,7 +83,7 @@ TEST(FetchEngine, NotTakenBranchDoesNotBreak)
     ops.push_back(isa::makeBranch(1, false, 0x1000));
     ops.push_back(isa::makeAlu(5, isa::NoReg, isa::NoReg));
     FetchFixture f(ops);
-    auto got = f.engine->fetch(0, 4);
+    auto got = f.fetch(0, 4);
     EXPECT_EQ(got.size(), 4u);
 }
 
@@ -80,7 +93,7 @@ TEST(FetchEngine, StopOnTakenCanBeDisabled)
     ops.push_back(isa::makeBranch(1, true, 0x1000));
     ops.push_back(isa::makeAlu(5, isa::NoReg, isa::NoReg));
     FetchFixture f(ops, /*stop_on_taken=*/false);
-    auto got = f.engine->fetch(0, 4);
+    auto got = f.fetch(0, 4);
     EXPECT_EQ(got.size(), 4u);
 }
 
@@ -90,9 +103,9 @@ TEST(FetchEngine, MispredictFlagAgainstAlwaysTaken)
     ops.push_back(isa::makeBranch(1, false, 0x1000)); // actual NT
     ops.push_back(isa::makeBranch(1, true, 0x1000));  // actual T
     FetchFixture f(ops, false);
-    auto got = f.engine->fetch(0, 2);
-    EXPECT_TRUE(got[0]->mispredicted);  // predicted taken, was not
-    EXPECT_FALSE(got[1]->mispredicted);
+    auto got = f.fetch(0, 2);
+    EXPECT_TRUE(f[got[0]].mispredicted); // predicted taken, was not
+    EXPECT_FALSE(f[got[1]].mispredicted);
 }
 
 TEST(FetchEngine, HistoryTracksActualOutcomes)
@@ -102,31 +115,31 @@ TEST(FetchEngine, HistoryTracksActualOutcomes)
     ops.push_back(isa::makeBranch(1, false, 0x1000));
     ops.push_back(isa::makeBranch(1, true, 0x1000));
     FetchFixture f(ops, false);
-    f.engine->fetch(0, 3);
+    f.fetch(0, 3);
     EXPECT_EQ(f.engine->history() & 0x7u, 0b101u);
 }
 
 TEST(FetchEngine, RedirectStallsUntilReady)
 {
     FetchFixture f(test::independentOps(4));
-    f.engine->fetch(0, 4);
+    f.fetch(0, 4);
     f.engine->redirect(2, 10, 0);
     EXPECT_TRUE(f.engine->blocked(9));
-    EXPECT_TRUE(f.engine->fetch(9, 4).empty());
+    EXPECT_TRUE(f.fetch(9, 4).empty());
     EXPECT_FALSE(f.engine->blocked(10));
-    auto got = f.engine->fetch(10, 4);
+    auto got = f.fetch(10, 4);
     ASSERT_FALSE(got.empty());
-    EXPECT_EQ(got[0]->seq, 2u); // replays from the squash point
+    EXPECT_EQ(f[got[0]].seq, 2u); // replays from the squash point
 }
 
 TEST(FetchEngine, ReplayProducesIdenticalOps)
 {
     FetchFixture f(test::independentOps(6));
-    auto first = f.engine->fetch(0, 4);
+    auto first = f.fetch(0, 4);
     f.engine->redirect(1, 5, 0);
-    auto replay = f.engine->fetch(5, 4);
-    EXPECT_EQ(replay[0]->op.dst, first[1]->op.dst);
-    EXPECT_EQ(replay[0]->op.pc, first[1]->op.pc);
+    auto replay = f.fetch(5, 4);
+    EXPECT_EQ(f[replay[0]].op.dst, f[first[1]].op.dst);
+    EXPECT_EQ(f[replay[0]].op.pc, f[first[1]].op.pc);
 }
 
 TEST(FetchEngine, RedirectRestoresHistory)
@@ -135,13 +148,13 @@ TEST(FetchEngine, RedirectRestoresHistory)
     ops.push_back(isa::makeBranch(1, true, 0x1000));
     ops.push_back(isa::makeBranch(1, true, 0x1000));
     FetchFixture f(ops, false);
-    f.engine->fetch(0, 2);
+    f.fetch(0, 2);
     uint64_t full = f.engine->history();
     // Recover at branch 0: history must roll back to just its
     // outcome.
     f.engine->redirect(1, 3, 0b1);
     EXPECT_EQ(f.engine->history(), 0b1u);
-    f.engine->fetch(3, 1);
+    f.fetch(3, 1);
     EXPECT_EQ(f.engine->history(), full);
 }
 
@@ -153,10 +166,22 @@ TEST(FetchEngine, PerfectPredictorNeverMispredicts)
     wload::TraceWindow tw(wl);
     pred::PerfectPredictor bp;
     CoreParams params;
-    FetchEngine engine(tw, bp, params);
+    InstArena arena;
+    FetchEngine engine(tw, bp, params, arena);
     for (int i = 0; i < 16; ++i) {
-        auto got = engine.fetch(uint64_t(i), 4);
-        for (const auto &inst : got)
-            EXPECT_FALSE(inst->mispredicted);
+        std::vector<InstRef> got;
+        engine.fetch(uint64_t(i), 4, got);
+        for (InstRef ref : got)
+            EXPECT_FALSE(arena.get(ref).mispredicted);
     }
+}
+
+TEST(FetchEngine, AllocatesFromArena)
+{
+    FetchFixture f(test::independentOps(8));
+    uint64_t before = f.arena.totalAllocs();
+    auto got = f.fetch(0, 4);
+    EXPECT_EQ(f.arena.totalAllocs(), before + got.size());
+    for (InstRef ref : got)
+        EXPECT_TRUE(f.arena.isLive(ref));
 }

@@ -287,6 +287,37 @@ TEST(EventWheel, ClearDropsAll)
     EXPECT_TRUE(ew.empty());
 }
 
+TEST(EventWheel, PopBelowFrontierIsNoop)
+{
+    EventWheel<int> ew;
+    ew.schedule(20, 1);
+    std::vector<int> out;
+    ew.popDue(10, out); // frontier now 11
+    EXPECT_TRUE(out.empty());
+    // A pop below the frontier must not deliver future events early.
+    EXPECT_EQ(ew.popDue(5, out), 0u);
+    EXPECT_EQ(ew.size(), 1u);
+    EXPECT_EQ(ew.nextCycle(), 20u);
+}
+
+TEST(EventWheel, NextCycleCorrectAfterPartialPopThenSchedule)
+{
+    // Regression: a schedule() arriving while the next-cycle cache
+    // was invalidated (partial pop with events still pending) must
+    // not mask the older pending event.
+    EventWheel<int> ew;
+    ew.schedule(100, 1);
+    ew.schedule(110, 2);
+    std::vector<int> out;
+    ew.popDue(100, out); // pops 1, leaves 2@110 pending
+    ew.schedule(600, 3);
+    EXPECT_EQ(ew.nextCycle(), 110u);
+    out.clear();
+    ew.popDue(110, out);
+    EXPECT_EQ(out, std::vector<int>({2}));
+    EXPECT_EQ(ew.nextCycle(), 600u);
+}
+
 // ------------------------------------------------------- Histogram
 
 TEST(Histogram, BucketsSamples)
