@@ -60,6 +60,25 @@ BM_HierarchyAccess(benchmark::State &state)
 }
 BENCHMARK(BM_HierarchyAccess);
 
+/** Streaming-miss traffic: every access touches a new line, the
+ *  pattern that made the old unordered_map fill tracker leak one
+ *  entry per line and rehash under growth. The MSHR file keeps this
+ *  O(ways) probes over a fixed array. */
+void
+BM_MemHierarchyStream(benchmark::State &state)
+{
+    mem::MemoryHierarchy mem(mem::MemConfig::mem400());
+    uint64_t line = 0;
+    uint64_t now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(line * 64, false, now));
+        ++line;
+        now += 2;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MemHierarchyStream);
+
 void
 BM_PerceptronLookup(benchmark::State &state)
 {

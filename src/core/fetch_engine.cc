@@ -29,7 +29,7 @@ FetchEngine::fetch(uint64_t now, int max_count,
         ++fetchSeq;
 
         if (op.isBranch()) {
-            inst.historySnapshot = ghr;
+            arena.coldOf(inst).historySnapshot = ghr;
             bool pred_taken = predictor.isPerfect()
                 ? op.taken
                 : predictor.lookup(op.pc, ghr);

@@ -22,8 +22,31 @@ InstArena::addSlab()
                 "InstArena exceeds the %u-slot handle space",
                 InstRef::MaxSlots);
     slabs.push_back(std::make_unique<DynInst[]>(SlabSize));
+    coldSlabs.push_back(std::make_unique<DynInstCold[]>(SlabSize));
     slots.grow(SlabSize);
     numSlots += SlabSize;
+}
+
+uint32_t
+InstArena::depAlloc()
+{
+    if (depFreeHead == DynInst::NoDep) {
+        // Grow the edge pool by one slab worth of nodes, chained onto
+        // the free list. Hits only until the window's dataflow
+        // high-water mark; steady state recycles.
+        uint32_t base = uint32_t(depNodes.size());
+        KILO_ASSERT(base + SlabSize >= base, "dep pool overflow");
+        depNodes.resize(size_t(base) + SlabSize);
+        for (uint32_t i = 0; i < SlabSize; ++i) {
+            depNodes[base + i].next =
+                i + 1 < SlabSize ? base + i + 1 : DynInst::NoDep;
+        }
+        depFreeHead = base;
+    }
+    uint32_t node = depFreeHead;
+    depFreeHead = depNodes[node].next;
+    ++depsLive;
+    return node;
 }
 
 InstRef
@@ -33,7 +56,10 @@ InstArena::alloc()
         addSlab();
     uint32_t idx = slots.alloc();
     DynInst &inst = slotAt(idx);
+    KILO_ASSERT(inst.depHead == DynInst::NoDep,
+                "recycled slot still holds a dependent chain");
     inst.reset();
+    coldAt(idx) = DynInstCold();
     inst.self = InstRef::make(idx, inst.gen & InstRef::GenMask);
     KILO_ASSERT(inst.self.valid(),
                 "live handle collided with the null sentinel");
@@ -46,6 +72,9 @@ InstArena::free(InstRef ref)
 {
     DynInst *inst = tryGet(ref);
     KILO_ASSERT(inst != nullptr, "InstArena::free of stale handle");
+    // Any dataflow edges still recorded go back to the pool; the
+    // handles they held go stale with the slot anyway.
+    releaseDependents(*inst);
     // Bump the generation: every outstanding handle to this slot is
     // now stale and dereferences to null. The last slot skips the
     // generation whose packed encoding would collide with the

@@ -12,6 +12,15 @@
  * exactly the "producer already left the pipeline" answer the
  * dataflow queries need.
  *
+ * Each slot is split across two parallel slabs: the hot DynInst array
+ * the per-cycle loops walk, and a DynInstCold array (timestamps past
+ * fetch, branch state, producer links, scoreboard snapshots) reached
+ * through cold() only at the pipeline events that need it. The arena
+ * also owns the dependent-edge pool: producers record their waiting
+ * consumers as intrusive chains of pooled DepNodes headed at
+ * DynInst::depHead, replacing the per-instruction std::vector — edge
+ * build-up and wakeup walk are allocation-free in steady state.
+ *
  * Timing simulators with pooled instruction records (mcsim et al.)
  * use the same structure; the slab layout keeps record addresses
  * stable across growth so references held by the arena itself never
@@ -39,18 +48,27 @@ class InstArena
     /** Slots added per growth step (power of two). */
     static constexpr uint32_t SlabSize = 1024;
 
+    /** One dataflow edge: a waiting dependent plus the chain link. */
+    struct DepNode
+    {
+        InstRef dep;
+        uint32_t next = DynInst::NoDep;
+    };
+
     explicit InstArena(uint32_t initial_slots = SlabSize);
 
     InstArena(const InstArena &) = delete;
     InstArena &operator=(const InstArena &) = delete;
 
     /**
-     * Allocate a slot and reset its instruction to the fetched-fresh
-     * state. Grows by one slab when the pool is exhausted.
+     * Allocate a slot and reset its instruction (hot and cold halves)
+     * to the fetched-fresh state. Grows by one slab when the pool is
+     * exhausted.
      */
     InstRef alloc();
 
-    /** Recycle @p ref's slot. The handle (and every copy of it) goes
+    /** Recycle @p ref's slot, returning any dependent chain it still
+     *  holds to the pool. The handle (and every copy of it) goes
      *  stale immediately. @pre isLive(ref) */
     void free(InstRef ref);
 
@@ -94,8 +112,79 @@ class InstArena
         return const_cast<InstArena *>(this)->tryGet(ref);
     }
 
+    /** Cold half of a live slot. Panics on null or stale handles. */
+    DynInstCold &
+    cold(InstRef ref)
+    {
+        get(ref); // liveness check
+        return coldAt(ref.index());
+    }
+
+    const DynInstCold &
+    cold(InstRef ref) const
+    {
+        return const_cast<InstArena *>(this)->cold(ref);
+    }
+
+    /** Cold half of an instruction already obtained from get() —
+     *  skips the redundant liveness check. */
+    DynInstCold &
+    coldOf(const DynInst &inst)
+    {
+        return coldAt(inst.self.index());
+    }
+
+    const DynInstCold &
+    coldOf(const DynInst &inst) const
+    {
+        return const_cast<InstArena *>(this)->coldOf(inst);
+    }
+
     /** True when @p ref names a live (allocated, same-gen) slot. */
     bool isLive(InstRef ref) const { return tryGet(ref) != nullptr; }
+
+    /** Dependent-chain pool. @{ */
+
+    /** Link @p dep onto @p producer's dependent chain. */
+    void
+    addDependent(DynInst &producer, InstRef dep)
+    {
+        uint32_t node = depAlloc();
+        depNodes[node].dep = dep;
+        depNodes[node].next = producer.depHead;
+        producer.depHead = node;
+    }
+
+    /** Node by pool index (valid while the chain is held). */
+    const DepNode &depNode(uint32_t idx) const { return depNodes[idx]; }
+
+    /** Return one node to the pool (chain walkers freeing as they
+     *  go); the caller owns relinking. */
+    void
+    depFree(uint32_t idx)
+    {
+        depNodes[idx].dep = InstRef();
+        depNodes[idx].next = depFreeHead;
+        depFreeHead = idx;
+        --depsLive;
+    }
+
+    /** Return @p inst's whole chain to the pool. */
+    void
+    releaseDependents(DynInst &inst)
+    {
+        uint32_t node = inst.depHead;
+        inst.depHead = DynInst::NoDep;
+        while (node != DynInst::NoDep) {
+            uint32_t next = depNodes[node].next;
+            depFree(node);
+            node = next;
+        }
+    }
+
+    /** Dataflow edges currently held by live chains. */
+    uint32_t depEdgesLive() const { return depsLive; }
+    /** @} */
 
     /** Slots currently allocated. */
     uint32_t live() const { return slots.numAllocated(); }
@@ -116,9 +205,24 @@ class InstArena
         return slabs[idx / SlabSize][idx % SlabSize];
     }
 
+    DynInstCold &
+    coldAt(uint32_t idx)
+    {
+        return coldSlabs[idx / SlabSize][idx % SlabSize];
+    }
+
     void addSlab();
+    uint32_t depAlloc();
 
     std::vector<std::unique_ptr<DynInst[]>> slabs;
+    std::vector<std::unique_ptr<DynInstCold[]>> coldSlabs;
+
+    /** Dependent-edge pool: grown in slab-sized steps, recycled
+     *  through an intrusive LIFO free list threaded via next. */
+    std::vector<DepNode> depNodes;
+    uint32_t depFreeHead = DynInst::NoDep;
+    uint32_t depsLive = 0;
+
     /** FIFO recycling: a freed slot rests behind every other free
      *  slot, so the generation of any one slot advances as slowly as
      *  the pool allows (wrap needs ~pool-size x 4096 frees while a

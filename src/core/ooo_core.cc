@@ -67,7 +67,7 @@ OooCore::stageDispatch()
         } else {
             // Nops complete without occupying any queue.
             inst.issued = true;
-            inst.issueCycle = now;
+            arena.coldOf(inst).issueCycle = now;
             scheduleCompletion(ref, 1);
         }
         --budget;

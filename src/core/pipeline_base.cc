@@ -69,7 +69,7 @@ PipelineBase::stageCommit()
             ++st.mpExecuted;
         else
             ++st.cpExecuted;
-        st.issueLatency.sample(inst.issueLatency());
+        st.issueLatency.sample(arena.coldOf(inst).issueLatency());
 
         onCommitInst(ref);
 
@@ -106,7 +106,16 @@ PipelineBase::scheduleCompletion(InstRef inst, uint32_t latency)
 void
 PipelineBase::wakeDependents(DynInst &inst)
 {
-    for (InstRef depRef : inst.dependents) {
+    // Walk the pooled chain, returning each node as it is consumed;
+    // the producer's next tenant starts with an empty chain.
+    uint32_t node = inst.depHead;
+    inst.depHead = DynInst::NoDep;
+    while (node != DynInst::NoDep) {
+        InstRef depRef = arena.depNode(node).dep;
+        uint32_t next = arena.depNode(node).next;
+        arena.depFree(node);
+        node = next;
+
         // A stale handle is a dependent that was squashed and
         // recycled after the edge was recorded.
         DynInst *dep = arena.tryGet(depRef);
@@ -122,25 +131,25 @@ PipelineBase::wakeDependents(DynInst &inst)
                 dep->iq->markReady(depRef);
         }
     }
-    inst.dropDependents();
 }
 
 void
 PipelineBase::completeInst(InstRef ref)
 {
     DynInst &inst = arena.get(ref);
+    DynInstCold &cold = arena.coldOf(inst);
     KILO_ASSERT(!inst.completed, "double completion of seq %lu",
                 (unsigned long)inst.seq);
     inst.completed = true;
-    inst.completeCycle = now;
-    scoreboard.complete(inst);
+    cold.completeCycle = now;
+    scoreboard.complete(inst, cold);
     wakeDependents(inst);
-    inst.dropProducers();
+    cold.dropProducers();
     ++activity;
 
     if (inst.op.isBranch()) {
         if (!bp->isPerfect())
-            bp->train(inst.op.pc, inst.historySnapshot,
+            bp->train(inst.op.pc, cold.historySnapshot,
                       inst.op.taken);
         if (inst.mispredicted)
             resolvedMispredicts.push_back(ref);
@@ -184,6 +193,7 @@ PipelineBase::squashYoungerThan(uint64_t seq)
            arena.get(globalOrder.back()).seq > seq) {
         InstRef ref = globalOrder.back();
         DynInst &inst = arena.get(ref);
+        DynInstCold &cold = arena.coldOf(inst);
         globalOrder.pop_back();
         inst.squashed = true;
         ++st.squashed;
@@ -195,15 +205,14 @@ PipelineBase::squashYoungerThan(uint64_t seq)
         // null rather than parking a dead handle in the scoreboard
         // indefinitely (a register may go unredefined for arbitrarily
         // long, outliving any generation-wrap guarantee).
-        if (inst.prevProducer && !arena.isLive(inst.prevProducer))
-            inst.prevProducer = InstRef();
-        scoreboard.restore(inst);
+        if (cold.prevProducer && !arena.isLive(cold.prevProducer))
+            cold.prevProducer = InstRef();
+        scoreboard.restore(inst, cold);
         onSquashInst(ref);
-        inst.dropDependents();
-        inst.dropProducers();
         // Recycle immediately: every reference that survives (wheel
         // events, ready-heap entries, dependence edges) goes stale
-        // and is filtered at its consumer.
+        // and is filtered at its consumer; the dependent chain
+        // returns to the pool inside free().
         arena.free(ref);
     }
 }
@@ -220,8 +229,8 @@ PipelineBase::recoverFromBranch(InstRef branchRef)
         arena.free(fetchBuffer[i]);
     fetchBuffer.clear();
 
-    uint64_t history =
-        (branch.historySnapshot << 1) | (branch.op.taken ? 1 : 0);
+    uint64_t history = (arena.coldOf(branch).historySnapshot << 1) |
+                       (branch.op.taken ? 1 : 0);
     uint64_t penalty = uint64_t(prm.mispredictPenalty) +
         uint64_t(recoveryExtraPenalty(branchRef));
     fetchEngine.redirect(branch.seq + 1, now + penalty, history);
@@ -239,7 +248,7 @@ PipelineBase::issueCommon(InstRef ref, IssueQueue &iq,
 {
     DynInst &inst = arena.get(ref);
     inst.issued = true;
-    inst.issueCycle = now;
+    arena.coldOf(inst).issueCycle = now;
     iq.removeIssued(ref);
     scheduleCompletion(ref, latency);
     ++st.issued;
@@ -324,7 +333,7 @@ PipelineBase::addDependence(InstRef inst, InstRef producer)
 {
     DynInst &prod = arena.get(producer);
     KILO_ASSERT(!prod.completed, "dependence on completed producer");
-    prod.dependents.push_back(inst);
+    arena.addDependent(prod, inst);
     ++arena.get(inst).srcNotReady;
 }
 
@@ -336,8 +345,9 @@ void
 PipelineBase::dispatchCommon(InstRef ref)
 {
     DynInst &inst = arena.get(ref);
+    DynInstCold &cold = arena.coldOf(inst);
     inst.dispatched = true;
-    inst.dispatchCycle = now;
+    cold.dispatchCycle = now;
 
     auto wire = [&](int16_t reg, int slot) {
         if (reg == isa::NoReg)
@@ -347,8 +357,8 @@ PipelineBase::dispatchCommon(InstRef ref)
         // committed: the value is architecturally available.
         DynInst *prod = arena.tryGet(rs.producer);
         if (prod && !prod->completed) {
-            prod->dependents.push_back(ref);
-            inst.producers[slot] = rs.producer;
+            arena.addDependent(*prod, ref);
+            cold.producers[slot] = rs.producer;
             ++inst.srcNotReady;
         }
     };
@@ -360,7 +370,7 @@ PipelineBase::dispatchCommon(InstRef ref)
         inst.readyCycle = now;
     }
 
-    scoreboard.define(inst);
+    scoreboard.define(inst, cold);
     globalOrder.push_back(ref);
     if (inst.op.isMem())
         lsq.insert(ref);

@@ -19,16 +19,16 @@ Scoreboard::get(int16_t reg) const
 }
 
 void
-Scoreboard::define(DynInst &inst)
+Scoreboard::define(DynInst &inst, DynInstCold &cold)
 {
     int16_t dst = inst.op.dst;
     if (dst == isa::NoReg)
         return;
     RegState &rs = regs[size_t(dst)];
-    inst.prevProducer = rs.producer;
-    inst.prevReadyCycle = rs.readyCycle;
-    inst.prevDefinerSeq = rs.definerSeq;
-    inst.prevDefinerValid = rs.definerValid;
+    cold.prevProducer = rs.producer;
+    cold.prevReadyCycle = rs.readyCycle;
+    cold.prevDefinerSeq = rs.definerSeq;
+    cold.prevDefinerValid = rs.definerValid;
     rs.producer = inst.self;
     rs.readyCycle = 0;
     rs.definerSeq = inst.seq;
@@ -36,7 +36,7 @@ Scoreboard::define(DynInst &inst)
 }
 
 void
-Scoreboard::restore(DynInst &inst)
+Scoreboard::restore(DynInst &inst, DynInstCold &cold)
 {
     int16_t dst = inst.op.dst;
     if (dst == isa::NoReg)
@@ -46,16 +46,16 @@ Scoreboard::restore(DynInst &inst)
     // when squashing youngest-first the definer-sequence check also
     // covers producers that already completed (producer == null).
     if (rs.definerValid && rs.definerSeq == inst.seq) {
-        rs.producer = inst.prevProducer;
-        rs.readyCycle = inst.prevReadyCycle;
-        rs.definerSeq = inst.prevDefinerSeq;
-        rs.definerValid = inst.prevDefinerValid;
+        rs.producer = cold.prevProducer;
+        rs.readyCycle = cold.prevReadyCycle;
+        rs.definerSeq = cold.prevDefinerSeq;
+        rs.definerValid = cold.prevDefinerValid;
     }
-    inst.prevProducer = InstRef();
+    cold.prevProducer = InstRef();
 }
 
 void
-Scoreboard::complete(DynInst &inst)
+Scoreboard::complete(DynInst &inst, const DynInstCold &cold)
 {
     int16_t dst = inst.op.dst;
     if (dst == isa::NoReg)
@@ -63,7 +63,7 @@ Scoreboard::complete(DynInst &inst)
     RegState &rs = regs[size_t(dst)];
     if (rs.producer == inst.self) {
         rs.producer = InstRef();
-        rs.readyCycle = inst.completeCycle;
+        rs.readyCycle = cold.completeCycle;
     }
 }
 

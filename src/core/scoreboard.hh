@@ -47,20 +47,20 @@ class Scoreboard
 
     /**
      * Record @p inst as the new producer of its destination register,
-     * saving the previous mapping into the instruction for squash
-     * restore.
+     * saving the previous mapping into the instruction's cold record
+     * for squash restore.
      */
-    void define(DynInst &inst);
+    void define(DynInst &inst, DynInstCold &cold);
 
     /** Undo define() using the saved previous mapping. */
-    void restore(DynInst &inst);
+    void restore(DynInst &inst, DynInstCold &cold);
 
     /**
      * Note the completion of a producer: if @p inst is still the
      * current mapping of its destination, replace the producer link
-     * with its ready cycle.
+     * with its ready cycle (from the cold record).
      */
-    void complete(DynInst &inst);
+    void complete(DynInst &inst, const DynInstCold &cold);
 
     /** Reset every register to ready-at-cycle-0. */
     void clear();

@@ -65,8 +65,9 @@ DkipCore::nextTimedWake() const
 {
     uint64_t wake = core::OooCore::nextTimedWake();
     if (!rob.empty()) {
-        wake = std::min(wake, arena.get(rob.front()).dispatchCycle +
-                                  uint64_t(dprm.robTimer));
+        wake = std::min(wake,
+                        arena.cold(rob.front()).dispatchCycle +
+                            uint64_t(dprm.robTimer));
     }
     return wake;
 }
@@ -90,13 +91,14 @@ DkipCore::sourcesLongLatency(const core::DynInst &inst) const
 bool
 DkipCore::hasReadyOperand(const core::DynInst &inst) const
 {
+    const core::DynInstCold &cold = arena.coldOf(inst);
     auto slot_ready = [&](int16_t reg, int slot) {
         if (reg == isa::NoReg)
             return false;
         // Stale handle == producer already left the pipeline, so the
         // operand value is available.
         const core::DynInst *prod =
-            arena.tryGet(inst.producers[slot]);
+            arena.tryGet(cold.producers[slot]);
         return !prod || prod->completed;
     };
     return slot_ready(inst.op.src1, 0) ||
@@ -161,7 +163,8 @@ DkipCore::stageAnalyze()
         // The Aging-ROB: entries face Analyze a fixed timer after
         // decode. The timer is sized so an L2 hit/miss indication is
         // back by the time a load reaches the head.
-        if (now < head.dispatchCycle + uint64_t(dprm.robTimer))
+        if (now <
+            arena.coldOf(head).dispatchCycle + uint64_t(dprm.robTimer))
             break;
 
         if (head.completed) {

@@ -47,7 +47,7 @@ Llib::headBlocked() const
     // and "insertion is performed without additional checks" (3.4).
     // A stale producer handle means that load already completed and
     // committed.
-    for (core::InstRef prodRef : head.producers) {
+    for (core::InstRef prodRef : arena.coldOf(head).producers) {
         const core::DynInst *prod = arena.tryGet(prodRef);
         if (prod && prod->op.isLoad() && !prod->completed)
             return true;

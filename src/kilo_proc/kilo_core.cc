@@ -47,8 +47,9 @@ KiloCore::nextTimedWake() const
 {
     uint64_t wake = core::OooCore::nextTimedWake();
     if (!rob.empty()) {
-        wake = std::min(wake, arena.get(rob.front()).dispatchCycle +
-                                  uint64_t(kprm.robTimer));
+        wake = std::min(wake,
+                        arena.cold(rob.front()).dispatchCycle +
+                            uint64_t(kprm.robTimer));
     }
     return wake;
 }
@@ -99,7 +100,8 @@ KiloCore::stageAnalyze()
     while (budget > 0 && !rob.empty()) {
         InstRef headRef = rob.front();
         core::DynInst &head = arena.get(headRef);
-        if (now < head.dispatchCycle + uint64_t(kprm.robTimer))
+        if (now <
+            arena.coldOf(head).dispatchCycle + uint64_t(kprm.robTimer))
             break;
 
         if (head.completed) {

@@ -1,5 +1,7 @@
 #include "src/mem/cache.hh"
 
+#include <bit>
+
 #include "src/util/logging.hh"
 
 namespace kilo::mem
@@ -23,15 +25,32 @@ SetAssocCache::SetAssocCache(const CacheGeometry &geom)
     KILO_ASSERT(geom.assoc > 0, "associativity must be positive");
     uint64_t lines = geom.sizeBytes / geom.lineBytes;
     KILO_ASSERT(lines >= geom.assoc, "cache smaller than one set");
-    sets = uint32_t(lines / geom.assoc);
-    KILO_ASSERT(isPow2(sets), "number of sets must be power of 2");
+    uint64_t want_sets = lines / geom.assoc;
+    uint64_t pow2_sets = std::bit_floor(want_sets);
+    if (pow2_sets != want_sets) {
+        // A capacity sweep point such as 384 KB yields a non-pow2 set
+        // count; index with the largest power of two that fits rather
+        // than panicking mid-sweep.
+        KILO_WARN("cache: %llu-byte capacity gives %llu sets; "
+                  "rounding down to %llu (effective %llu KB)",
+                  (unsigned long long)geom.sizeBytes,
+                  (unsigned long long)want_sets,
+                  (unsigned long long)pow2_sets,
+                  (unsigned long long)(pow2_sets * geom.assoc *
+                                       geom.lineBytes / 1024));
+    }
+    sets = uint32_t(pow2_sets);
+    lineShift = uint32_t(std::countr_zero(uint64_t(line)));
+    setShift = uint32_t(std::countr_zero(uint64_t(sets)));
+    setMask = sets - 1;
     store.resize(size_t(sets) * ways);
 }
 
 bool
-SetAssocCache::access(uint64_t addr)
+SetAssocCache::probeInstall(uint64_t addr, bool count_stats)
 {
-    ++nAccesses;
+    if (count_stats)
+        ++nAccesses;
     ++stamp;
     uint32_t set = setOf(addr);
     uint64_t tag = tagOf(addr);
@@ -51,11 +70,24 @@ SetAssocCache::access(uint64_t addr)
         }
     }
 
-    ++nMisses;
+    if (count_stats)
+        ++nMisses;
     victim->valid = true;
     victim->tag = tag;
     victim->lruStamp = stamp;
     return false;
+}
+
+bool
+SetAssocCache::access(uint64_t addr)
+{
+    return probeInstall(addr, true);
+}
+
+void
+SetAssocCache::touch(uint64_t addr)
+{
+    probeInstall(addr, false);
 }
 
 bool

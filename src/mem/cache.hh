@@ -42,6 +42,15 @@ class SetAssocCache
      */
     bool access(uint64_t addr);
 
+    /**
+     * Evolve tag state exactly as access() would — LRU refresh on a
+     * hit, installation on absence — without counting an access or a
+     * miss. Used for MSHR fill reservations: a merged access keeps
+     * the line's tag warm, but its miss was already charged to the
+     * primary access that started the fill.
+     */
+    void touch(uint64_t addr);
+
     /** Probe without modifying any state. */
     bool probe(uint64_t addr) const;
 
@@ -81,13 +90,27 @@ class SetAssocCache
         bool valid = false;
     };
 
-    uint64_t lineOf(uint64_t addr) const { return addr / line; }
-    uint32_t setOf(uint64_t addr) const { return lineOf(addr) % sets; }
-    uint64_t tagOf(uint64_t addr) const { return lineOf(addr) / sets; }
+    /** Geometry is power-of-two by construction, so indexing is pure
+     *  shift/mask — no divide or modulo on the access path. @{ */
+    uint64_t lineOf(uint64_t addr) const { return addr >> lineShift; }
+
+    uint32_t
+    setOf(uint64_t addr) const
+    {
+        return uint32_t(lineOf(addr)) & setMask;
+    }
+
+    uint64_t tagOf(uint64_t addr) const { return lineOf(addr) >> setShift; }
+    /** @} */
+
+    bool probeInstall(uint64_t addr, bool count_stats);
 
     uint32_t sets;
     uint32_t ways;
     uint32_t line;
+    uint32_t lineShift; ///< log2(line)
+    uint32_t setShift;  ///< log2(sets)
+    uint32_t setMask;   ///< sets - 1
     std::vector<Way> store;
     uint64_t stamp = 0;
     uint64_t nAccesses = 0;

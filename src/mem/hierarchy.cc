@@ -83,7 +83,10 @@ MemConfig::withL2Size(uint64_t bytes)
 }
 
 MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg)
-    : cfg(cfg)
+    : cfg(cfg),
+      // Sweeping once per fill latency keeps lazy expiry exact to
+      // within one fill lifetime at negligible amortised cost.
+      mshrs(cfg.numMshrs, cfg.memLatency)
 {
     if (!cfg.perfectL1) {
         CacheGeometry g;
@@ -116,23 +119,20 @@ MemoryHierarchy::access(uint64_t addr, bool is_write, uint64_t now)
     // A line with an in-flight off-chip fill services this access when
     // the fill lands, regardless of what the tag arrays say.
     uint64_t line = lineOf(addr);
-    auto it = inflightFills.find(line);
-    if (it != inflightFills.end()) {
-        if (it->second > now) {
-            ++nMerges;
-            ++nL1Misses;
-            ++nL2Misses;
-            res.latency = uint32_t(it->second - now);
-            if (res.latency < cfg.l1Latency)
-                res.latency = cfg.l1Latency;
-            res.level = ServiceLevel::Memory;
-            // Keep tag state warm for post-fill accesses.
-            l1->access(addr);
-            if (l2)
-                l2->access(addr);
-            return res;
-        }
-        inflightFills.erase(it);
+    if (uint64_t fill_done = mshrs.lookup(line, now)) {
+        ++nMerges;
+        res.latency = uint32_t(fill_done - now);
+        if (res.latency < cfg.l1Latency)
+            res.latency = cfg.l1Latency;
+        res.level = ServiceLevel::Memory;
+        // The fill reservation keeps the tags exactly as warm as a
+        // demand access would, but the line's miss was already
+        // charged to the primary access — a merge is a merge, not
+        // another L1/L2 miss.
+        l1->touch(addr);
+        if (l2)
+            l2->touch(addr);
+        return res;
     }
 
     bool l1_hit = l1->access(addr);
@@ -145,11 +145,13 @@ MemoryHierarchy::access(uint64_t addr, bool is_write, uint64_t now)
 
     if (!cfg.hasL2) {
         // Unreachable with Table 1 configs (L1-2 is perfect), but a
-        // two-level-less hierarchy goes straight to memory.
-        ++nL2Misses;
+        // two-level-less hierarchy goes straight to memory. There is
+        // no L2 to miss in, so this is an L1-to-memory fill, not an
+        // L2 miss.
+        ++nMemFills;
         res.latency = cfg.memLatency;
         res.level = ServiceLevel::Memory;
-        inflightFills[line] = now + cfg.memLatency;
+        mshrs.allocate(line, now + cfg.memLatency, now);
         return res;
     }
 
@@ -160,10 +162,11 @@ MemoryHierarchy::access(uint64_t addr, bool is_write, uint64_t now)
         return res;
     }
     ++nL2Misses;
+    ++nMemFills;
 
     res.latency = cfg.memLatency;
     res.level = ServiceLevel::Memory;
-    inflightFills[line] = now + cfg.memLatency;
+    mshrs.allocate(line, now + cfg.memLatency, now);
     (void)is_write; // write-allocate; store latency is hidden by the
                     // write buffer at the core level.
     return res;
@@ -187,7 +190,9 @@ MemoryHierarchy::resetStats()
     nAccesses = 0;
     nL1Misses = 0;
     nL2Misses = 0;
+    nMemFills = 0;
     nMerges = 0;
+    mshrs.resetPeak();
     if (l1)
         l1->resetStats();
     if (l2)

@@ -15,9 +15,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "src/mem/cache.hh"
+#include "src/mem/mshr.hh"
 
 namespace kilo::mem
 {
@@ -69,6 +69,15 @@ struct MemConfig
 
     uint32_t memLatency = 400;
 
+    /**
+     * Capacity of the MSHR file tracking in-flight off-chip fills.
+     * The default is generous — far above the fills a core can have
+     * outstanding within one memory latency — so merge behaviour (and
+     * therefore timing) is identical to an unbounded tracker; see
+     * MemoryHierarchy::mshrDisplacements() for the proof obligation.
+     */
+    uint32_t numMshrs = 4096;
+
     /** Table 1 presets. @{ */
     static MemConfig l1Only();             ///< L1-2
     static MemConfig l2Perfect11();        ///< L2-11
@@ -110,13 +119,30 @@ class MemoryHierarchy
     /** Statistics. @{ */
     uint64_t accesses() const { return nAccesses; }
     uint64_t l1Misses() const { return nL1Misses; }
+
+    /** Misses of an existing L2 (0 for hierarchies without one). */
     uint64_t l2Misses() const { return nL2Misses; }
+
+    /** Off-chip line fills started (L2 misses, plus L1 misses that go
+     *  straight to memory when the hierarchy has no L2). */
+    uint64_t memFills() const { return nMemFills; }
+
+    /** Accesses merged into an already-in-flight fill. Merges are
+     *  counted here only — never as additional L1/L2 misses. */
     uint64_t mshrMerges() const { return nMerges; }
+
     double
     l2MissRatio() const
     {
         return nAccesses ? double(nL2Misses) / double(nAccesses) : 0.0;
     }
+
+    /** MSHR file instrumentation. @{ */
+    uint32_t mshrOccupancy() const { return mshrs.occupancy(); }
+    uint32_t mshrPeakOccupancy() const { return mshrs.peakOccupancy(); }
+    uint32_t mshrCapacity() const { return mshrs.capacity(); }
+    uint64_t mshrDisplacements() const { return mshrs.displacements(); }
+    /** @} */
     /** @} */
 
     /** Zero statistics (end of warm-up); tag state is preserved. */
@@ -136,12 +162,14 @@ class MemoryHierarchy
     std::unique_ptr<SetAssocCache> l1;
     std::unique_ptr<SetAssocCache> l2;
 
-    /** line -> absolute cycle its off-chip fill completes. */
-    std::unordered_map<uint64_t, uint64_t> inflightFills;
+    /** In-flight off-chip fills: fixed capacity, zero steady-state
+     *  heap traffic, O(ways) lookup (src/mem/mshr.hh). */
+    MshrFile mshrs;
 
     uint64_t nAccesses = 0;
     uint64_t nL1Misses = 0;
     uint64_t nL2Misses = 0;
+    uint64_t nMemFills = 0;
     uint64_t nMerges = 0;
 };
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fixed-capacity MSHR file tracking in-flight off-chip line fills.
+ *
+ * The hierarchy used to track fills in an unbounded
+ * std::unordered_map whose expired entries were only erased when the
+ * same line was re-accessed — a streaming workload (exactly the FP
+ * codes the paper studies) leaked one entry per missed line forever
+ * and paid a hash probe on every access. This file replaces it with
+ * a set-associative array sized at construction:
+ *
+ *  - lookup is O(ways) over a power-of-two set — no hashing, no
+ *    growth, no heap traffic after construction;
+ *  - expiry is lazy: a probed set reclaims its own expired ways, and
+ *    a compact full scan keyed off `now` (one sweep per fill
+ *    latency) reclaims entries in sets that are never revisited, so
+ *    steady-state occupancy is exact and bounded;
+ *  - when a set is full of live fills the soonest-completing way is
+ *    displaced (it loses only its merge window, never its timing) and
+ *    the displacement is counted, so a capacity too small for a
+ *    workload is visible in the stats instead of silently wrong.
+ */
+
+#ifndef KILO_MEM_MSHR_HH
+#define KILO_MEM_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace kilo::mem
+{
+
+/** Fixed-capacity file of in-flight line fills (MSHR array). */
+class MshrFile
+{
+  public:
+    /** Maximum ways per set; lookup cost is bounded by this. A file
+     *  smaller than one full set gets exactly @c capacity ways. */
+    static constexpr uint32_t Ways = 8;
+
+    /**
+     * @param capacity     requested number of entries (rounded up to
+     *                     a whole power-of-two number of sets)
+     * @param sweep_period cycles between compact expiry scans;
+     *                     one fill latency keeps occupancy exact to
+     *                     within a single fill lifetime
+     */
+    MshrFile(uint32_t capacity, uint64_t sweep_period);
+
+    /**
+     * Fill-completion cycle of the live in-flight fill covering
+     * @p line, or 0 when no such fill exists. Expired entries met
+     * along the way are reclaimed.
+     */
+    uint64_t lookup(uint64_t line, uint64_t now);
+
+    /** Record an off-chip fill of @p line completing at @p fill_done.
+     *  @pre fill_done > now (a fill takes at least one cycle) */
+    void allocate(uint64_t line, uint64_t fill_done, uint64_t now);
+
+    /** Total entries (post-rounding). */
+    uint32_t capacity() const { return uint32_t(entries.size()); }
+
+    /** Live in-flight fills as of the last operation. */
+    uint32_t occupancy() const { return liveCount; }
+
+    /** High-water mark of occupancy since the last resetPeak(). */
+    uint32_t peakOccupancy() const { return peak; }
+
+    /** Live fills displaced by capacity pressure (should be 0 at a
+     *  generous capacity; nonzero means merges were lost). */
+    uint64_t displacements() const { return nDisplaced; }
+
+    /** Restart peak tracking from the current occupancy (end of
+     *  warm-up); in-flight fills themselves are preserved. */
+    void
+    resetPeak()
+    {
+        peak = liveCount;
+        nDisplaced = 0;
+    }
+
+  private:
+    /** One tracked fill; fillDone == 0 means the way is free. */
+    struct Entry
+    {
+        uint64_t line = 0;
+        uint64_t fillDone = 0;
+    };
+
+    Entry *setOf(uint64_t line);
+    void sweepIfDue(uint64_t now);
+
+    void
+    freeWay(Entry &e)
+    {
+        e.fillDone = 0;
+        --liveCount;
+    }
+
+    std::vector<Entry> entries;  ///< sets x numWays, sized once
+    uint32_t numWays;            ///< min(capacity, Ways)
+    uint32_t setMask;            ///< numSets - 1 (power of two)
+    uint32_t liveCount = 0;
+    uint32_t peak = 0;
+    uint64_t nDisplaced = 0;
+    uint64_t sweepPeriod;
+    uint64_t nextSweep = 0;
+};
+
+} // namespace kilo::mem
+
+#endif // KILO_MEM_MSHR_HH

@@ -65,6 +65,9 @@ Simulator::run(const MachineConfig &machine, wload::Workload &workload,
     res.memAccesses = core->memory().accesses();
     res.l2Misses = core->memory().l2Misses();
     res.l2MissRatio = core->memory().l2MissRatio();
+    res.memFills = core->memory().memFills();
+    res.mshrMerges = core->memory().mshrMerges();
+    res.mshrPeak = core->memory().mshrPeakOccupancy();
     return res;
 }
 

@@ -54,6 +54,9 @@ struct RunResult
     uint64_t memAccesses = 0;
     uint64_t l2Misses = 0;
     double l2MissRatio = 0.0;
+    uint64_t memFills = 0;    ///< off-chip line fills started
+    uint64_t mshrMerges = 0;  ///< accesses merged into in-flight fills
+    uint32_t mshrPeak = 0;    ///< peak MSHR occupancy (measured region)
     /** @} */
 };
 

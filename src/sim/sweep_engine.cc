@@ -114,6 +114,9 @@ runResultJson(const RunResult &r)
        << ",\"mem_accesses\":" << r.memAccesses
        << ",\"l2_misses\":" << r.l2Misses
        << ",\"l2_miss_ratio\":" << r.l2MissRatio
+       << ",\"mem_fills\":" << r.memFills
+       << ",\"mshr_merges\":" << r.mshrMerges
+       << ",\"mshr_peak\":" << r.mshrPeak
        << "}";
     return os.str();
 }

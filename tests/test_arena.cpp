@@ -100,7 +100,7 @@ TEST(InstArena, AllocResetsAndSetsSelf)
     EXPECT_EQ(inst.self, ref);
     EXPECT_FALSE(inst.completed);
     EXPECT_EQ(inst.srcNotReady, 0);
-    EXPECT_TRUE(inst.dependents.empty());
+    EXPECT_EQ(inst.depHead, DynInst::NoDep);
     EXPECT_EQ(arena.live(), 1u);
 }
 
@@ -165,6 +165,57 @@ TEST(InstArena, GrowsBySlabBeyondInitialCapacity)
     // to a slot carrying its own self-reference.
     for (InstRef ref : refs)
         EXPECT_EQ(arena.get(ref).self, ref);
+}
+
+// ------------------------------------------- dependent-chain pool
+
+TEST(InstArenaDeps, ChainBuildWalkAndRelease)
+{
+    InstArena arena;
+    InstRef prod = arena.alloc();
+    InstRef a = arena.alloc();
+    InstRef b = arena.alloc();
+    DynInst &p = arena.get(prod);
+    EXPECT_EQ(p.depHead, DynInst::NoDep);
+
+    arena.addDependent(p, a);
+    arena.addDependent(p, b);
+    EXPECT_EQ(arena.depEdgesLive(), 2u);
+
+    // LIFO chain: newest edge first.
+    uint32_t n = p.depHead;
+    EXPECT_EQ(arena.depNode(n).dep, b);
+    n = arena.depNode(n).next;
+    EXPECT_EQ(arena.depNode(n).dep, a);
+    EXPECT_EQ(arena.depNode(n).next, DynInst::NoDep);
+
+    arena.releaseDependents(p);
+    EXPECT_EQ(p.depHead, DynInst::NoDep);
+    EXPECT_EQ(arena.depEdgesLive(), 0u);
+}
+
+TEST(InstArenaDeps, FreeReturnsHeldChainToPool)
+{
+    InstArena arena;
+    InstRef prod = arena.alloc();
+    InstRef dep = arena.alloc();
+    arena.addDependent(arena.get(prod), dep);
+    EXPECT_EQ(arena.depEdgesLive(), 1u);
+    // Squash path: the producer dies with its chain still recorded.
+    arena.free(prod);
+    EXPECT_EQ(arena.depEdgesLive(), 0u);
+}
+
+TEST(InstArenaDeps, NodesRecycleWithoutPoolGrowth)
+{
+    InstArena arena;
+    InstRef prod = arena.alloc();
+    InstRef dep = arena.alloc();
+    for (int i = 0; i < 10 * int(InstArena::SlabSize); ++i) {
+        arena.addDependent(arena.get(prod), dep);
+        arena.releaseDependents(arena.get(prod));
+    }
+    EXPECT_EQ(arena.depEdgesLive(), 0u);
 }
 
 // -------------------------------------------- recycling in a core
@@ -267,4 +318,72 @@ TEST(InstArenaLifetime, SteadyStateSquashReplayAllocationFree)
     uint64_t before = g_heapAllocs.load();
     core.run(30000);
     EXPECT_EQ(g_heapAllocs.load() - before, 0u);
+}
+
+namespace
+{
+
+/** Loads marching through memory: every load is a fresh off-chip
+ *  miss, the pattern that made the old in-flight-fill map grow (and
+ *  allocate) forever. */
+class StreamingMissWorkload : public wload::Workload
+{
+  public:
+    isa::MicroOp
+    next() override
+    {
+        ++cnt;
+        isa::MicroOp op;
+        if (cnt % 4 == 0) {
+            op = isa::makeLoad(int16_t(1 + cnt % 3), 4, addr);
+            addr += 64;
+        } else {
+            op = isa::makeAlu(int16_t(5 + cnt % 3), 4, isa::NoReg);
+        }
+        op.pc = 0x1000 + (cnt % 16) * 4;
+        return op;
+    }
+
+    const std::string &name() const override { return label; }
+    bool isFp() const override { return false; }
+
+    void
+    reset() override
+    {
+        cnt = 0;
+        addr = 0x10000000;
+    }
+
+  private:
+    std::string label = "stream-miss";
+    uint64_t cnt = 0;
+    uint64_t addr = 0x10000000;
+};
+
+} // anonymous namespace
+
+/** The full-system property the MSHR file buys: a simulation whose
+ *  memory traffic is a pure miss stream — the case where the old
+ *  unordered_map tracker allocated on every miss, forever — runs its
+ *  steady state without a single heap allocation, memory hierarchy
+ *  included. */
+TEST(InstArenaLifetime, SteadyStateMissStreamAllocationFree)
+{
+    StreamingMissWorkload wl;
+    CoreParams params;
+    OooCore core(params, wl, mem::MemConfig::mem400());
+
+    // Warm-up past every pool's high-water mark (arena slabs, dep
+    // pool, queues, wheel) — and past the MSHR file's first sweep.
+    core.run(30000);
+
+    uint64_t before = g_heapAllocs.load();
+    core.run(30000);
+    uint64_t delta = g_heapAllocs.load() - before;
+    EXPECT_EQ(delta, 0u)
+        << "steady-state miss-stream simulation touched the heap "
+        << delta << " times";
+    EXPECT_GT(core.memory().memFills(), 0u);
+    EXPECT_LE(core.memory().mshrOccupancy(),
+              core.memory().mshrCapacity());
 }

@@ -47,6 +47,8 @@ struct Arena
     }
 
     DynInst &operator[](InstRef ref) { return arena.get(ref); }
+
+    DynInstCold &cold(InstRef ref) { return arena.cold(ref); }
 };
 
 } // anonymous namespace
@@ -67,7 +69,7 @@ TEST(Scoreboard, DefineInstallsProducer)
     Arena a;
     Scoreboard sb;
     auto i = a.inst(1);
-    sb.define(a[i]);
+    sb.define(a[i], a.cold(i));
     EXPECT_EQ(sb.get(1).producer, i);
 }
 
@@ -76,10 +78,10 @@ TEST(Scoreboard, CompleteReplacesWithReadyCycle)
     Arena a;
     Scoreboard sb;
     auto i = a.inst(1);
-    sb.define(a[i]);
+    sb.define(a[i], a.cold(i));
     a[i].completed = true;
-    a[i].completeCycle = 55;
-    sb.complete(a[i]);
+    a.cold(i).completeCycle = 55;
+    sb.complete(a[i], a.cold(i));
     EXPECT_FALSE(sb.get(1).producer);
     EXPECT_EQ(sb.get(1).readyCycle, 55u);
 }
@@ -90,11 +92,11 @@ TEST(Scoreboard, CompleteOfStaleProducerIgnored)
     Scoreboard sb;
     auto older = a.inst(1);
     auto newer = a.inst(2);
-    sb.define(a[older]);
-    sb.define(a[newer]);
+    sb.define(a[older], a.cold(older));
+    sb.define(a[newer], a.cold(newer));
     a[older].completed = true;
-    a[older].completeCycle = 10;
-    sb.complete(a[older]);
+    a.cold(older).completeCycle = 10;
+    sb.complete(a[older], a.cold(older));
     EXPECT_EQ(sb.get(1).producer, newer);
 }
 
@@ -104,11 +106,11 @@ TEST(Scoreboard, RestoreUndoesDefine)
     Scoreboard sb;
     auto a = ar.inst(1);
     auto b = ar.inst(2);
-    sb.define(ar[a]);
-    sb.define(ar[b]);
-    sb.restore(ar[b]);
+    sb.define(ar[a], ar.cold(a));
+    sb.define(ar[b], ar.cold(b));
+    sb.restore(ar[b], ar.cold(b));
     EXPECT_EQ(sb.get(1).producer, a);
-    sb.restore(ar[a]);
+    sb.restore(ar[a], ar.cold(a));
     EXPECT_FALSE(sb.get(1).producer);
 }
 
@@ -117,11 +119,11 @@ TEST(Scoreboard, RestoreAfterCompletionUsesDefinerSeq)
     Arena ar;
     Scoreboard sb;
     auto a = ar.inst(1);
-    sb.define(ar[a]);
+    sb.define(ar[a], ar.cold(a));
     ar[a].completed = true;
-    ar[a].completeCycle = 9;
-    sb.complete(ar[a]); // producer null, readyCycle 9
-    sb.restore(ar[a]);  // still the visible definer -> restored
+    ar.cold(a).completeCycle = 9;
+    sb.complete(ar[a], ar.cold(a)); // producer null, readyCycle 9
+    sb.restore(ar[a], ar.cold(a));  // still the visible definer -> restored
     EXPECT_EQ(sb.get(1).readyCycle, 0u);
 }
 
@@ -129,7 +131,7 @@ TEST(Scoreboard, ClearResets)
 {
     Arena a;
     Scoreboard sb;
-    sb.define(a[a.inst(1)]);
+    { auto i = a.inst(1); sb.define(a[i], a.cold(i)); }
     sb.clear();
     EXPECT_FALSE(sb.get(1).producer);
 }

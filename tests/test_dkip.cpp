@@ -41,6 +41,11 @@ struct Arena
     {
         return arena.get(ref);
     }
+
+    core::DynInstCold &cold(core::InstRef ref)
+    {
+        return arena.cold(ref);
+    }
 };
 
 } // anonymous namespace
@@ -142,7 +147,7 @@ TEST(Llib, HeadBlockedOnAddressProcessorLoad)
     auto ld = ar.inst(1, isa::makeLoad(5, 2, 0x100));
     ar[ld].longLatency = true; // off-chip load in the addr proc
     auto dep = ar.inst(2, isa::makeAlu(6, 5, isa::NoReg));
-    ar[dep].producers[0] = ld;
+    ar.cold(dep).producers[0] = ld;
     q.push(dep);
     EXPECT_TRUE(q.headBlocked());
     ar[ld].completed = true;
@@ -156,7 +161,7 @@ TEST(Llib, HeadNotBlockedOnNonLoadProducer)
     auto alu = ar.inst(1, isa::makeAlu(5, 2, isa::NoReg));
     ar[alu].execInMp = true; // older low-locality ALU ahead
     auto dep = ar.inst(2, isa::makeAlu(6, 5, isa::NoReg));
-    ar[dep].producers[0] = alu;
+    ar.cold(dep).producers[0] = alu;
     q.push(dep);
     EXPECT_FALSE(q.headBlocked());
 }

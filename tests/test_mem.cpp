@@ -1,13 +1,16 @@
 /**
  * @file
- * Unit tests for the cache model and the two-level hierarchy,
- * including MSHR-style miss merging and functional pre-warming.
+ * Unit tests for the cache model, the fixed-capacity MSHR file and
+ * the two-level hierarchy, including MSHR-style miss merging,
+ * bounded-occupancy behaviour under streaming misses, miss-statistic
+ * accounting and functional pre-warming.
  */
 
 #include <gtest/gtest.h>
 
 #include "src/mem/cache.hh"
 #include "src/mem/hierarchy.hh"
+#include "src/mem/mshr.hh"
 
 using namespace kilo;
 using namespace kilo::mem;
@@ -89,6 +92,116 @@ TEST(Cache, MissRatio)
     c.resetStats();
     EXPECT_EQ(c.accesses(), 0u);
     EXPECT_DOUBLE_EQ(c.missRatio(), 0.0);
+}
+
+TEST(Cache, TouchEvolvesTagsWithoutCountingStats)
+{
+    SetAssocCache c(smallGeom());
+    // Touch of an absent line installs it but counts nothing: the
+    // MSHR merge path charges the miss to the primary access only.
+    c.touch(0x3000);
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+    EXPECT_TRUE(c.probe(0x3000));
+    // Touch of a present line refreshes LRU exactly like access():
+    // a, b resident; touching a makes b the LRU victim.
+    uint64_t a = 0, b = 8 * 64, d = 16 * 64; // one set, 2 ways
+    c.access(a);
+    c.access(b); // LRU order: a, b
+    c.touch(a);  // LRU order: b, a
+    c.access(d); // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+}
+
+TEST(Cache, NonPow2SetCountRoundsDownInsteadOfPanicking)
+{
+    // 384 KB / 64 B / 8-way = 768 sets: not a power of two. The old
+    // model KILO_ASSERTed mid-sweep; now it indexes with the largest
+    // power of two that fits.
+    CacheGeometry g;
+    g.sizeBytes = 384 * 1024;
+    g.assoc = 8;
+    g.lineBytes = 64;
+    SetAssocCache c(g);
+    EXPECT_EQ(c.numSets(), 512u);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+}
+
+// -------------------------------------------------------- MshrFile
+
+TEST(Mshr, LookupTracksLiveFillsOnly)
+{
+    MshrFile f(64, 400);
+    EXPECT_EQ(f.lookup(7, 0), 0u);
+    f.allocate(7, 400, 0);
+    EXPECT_EQ(f.lookup(7, 100), 400u);
+    EXPECT_EQ(f.occupancy(), 1u);
+    // At the fill's landing cycle the entry expires and is reclaimed.
+    EXPECT_EQ(f.lookup(7, 400), 0u);
+    EXPECT_EQ(f.occupancy(), 0u);
+}
+
+TEST(Mshr, CapacityIsFixedAndRoundedToWholeSets)
+{
+    MshrFile f(100, 400); // 100/8 -> 13 sets -> 16 sets x 8 ways
+    EXPECT_EQ(f.capacity(), 128u);
+}
+
+TEST(Mshr, TinyCapacityIsExact)
+{
+    // A deliberately small file (capacity-sensitivity sweeps) must
+    // really be that small: one entry, not a rounded-up 8-way set.
+    MshrFile tiny(1, 1000000);
+    EXPECT_EQ(tiny.capacity(), 1u);
+    tiny.allocate(10, 5000, 0);
+    EXPECT_EQ(tiny.lookup(10, 100), 5000u);
+    tiny.allocate(11, 5000, 0); // displaces the only entry
+    EXPECT_EQ(tiny.displacements(), 1u);
+    EXPECT_EQ(tiny.lookup(10, 100), 0u);
+    EXPECT_EQ(tiny.lookup(11, 100), 5000u);
+    EXPECT_EQ(tiny.occupancy(), 1u);
+}
+
+TEST(Mshr, LookupReclaimsExpiredNeighboursInProbedSet)
+{
+    MshrFile f(8, 1000000); // one set, sweep far away
+    f.allocate(1 * 16, 100, 0);
+    f.allocate(2 * 16, 200, 0);
+    f.allocate(3 * 16, 5000, 0);
+    EXPECT_EQ(f.occupancy(), 3u);
+    // Probing any line in the set at t=300 reclaims the two landed
+    // fills even though neither is the probed line.
+    EXPECT_EQ(f.lookup(3 * 16, 300), 5000u);
+    EXPECT_EQ(f.occupancy(), 1u);
+}
+
+TEST(Mshr, CompactScanReclaimsNeverRevisitedLines)
+{
+    // The regression the old unordered_map tracker failed: entries
+    // for lines that are never touched again must still be reclaimed
+    // once their fills land.
+    MshrFile f(256, 100);
+    for (uint64_t line = 0; line < 64; ++line)
+        f.allocate(line, 100 + line, line);
+    EXPECT_EQ(f.occupancy(), 64u);
+    // Far in the future, any operation past the sweep deadline
+    // reclaims everything — including lines never looked up again.
+    EXPECT_EQ(f.lookup(9999, 100000), 0u);
+    EXPECT_EQ(f.occupancy(), 0u);
+    EXPECT_EQ(f.peakOccupancy(), 64u);
+}
+
+TEST(Mshr, DisplacementOnlyUnderLiveSetPressure)
+{
+    MshrFile f(8, 1000000); // one set of 8 ways, sweep far away
+    for (uint64_t i = 0; i < 8; ++i)
+        f.allocate(i * 16, 5000, 0); // same set (index bits equal)
+    EXPECT_EQ(f.displacements(), 0u);
+    f.allocate(9 * 16, 5000, 0); // ninth live fill in the set
+    EXPECT_EQ(f.displacements(), 1u);
+    EXPECT_EQ(f.occupancy(), 8u); // still bounded by capacity
 }
 
 // ------------------------------------------------- MemoryHierarchy
@@ -245,6 +358,126 @@ TEST(Hierarchy, SmallerL2MissesMore)
         }
     }
     EXPECT_GT(ms.l2Misses(), mb.l2Misses());
+}
+
+TEST(Hierarchy, StreamingMissesKeepMshrOccupancyBounded)
+{
+    // Regression for the in-flight-fill leak: the old unordered_map
+    // only erased an expired entry when the *same line* was
+    // re-accessed, so a streaming workload accumulated one entry per
+    // missed line forever. A 1M-distinct-line stream must stay
+    // within the fixed MSHR capacity at every point.
+    MemoryHierarchy m(MemConfig::mem400());
+    uint64_t now = 0;
+    for (uint64_t line = 0; line < 1000000; ++line) {
+        m.access(line * 64, false, now);
+        now += 2;
+        ASSERT_LE(m.mshrOccupancy(), m.mshrCapacity());
+    }
+    EXPECT_LE(m.mshrPeakOccupancy(), m.mshrCapacity());
+    // At 2 cycles/access only ~200 fills are ever in flight at once;
+    // the default file absorbs the stream without displacing any.
+    EXPECT_EQ(m.mshrDisplacements(), 0u);
+    EXPECT_EQ(m.l1Misses(), 1000000u);
+}
+
+TEST(Hierarchy, NoL2MissesCountAsMemoryFillsNotL2Misses)
+{
+    // An L1-only (but imperfect) hierarchy has no L2 to miss in; the
+    // old accounting bumped nL2Misses anyway and inflated
+    // l2MissRatio().
+    MemConfig cfg = MemConfig::mem400();
+    cfg.hasL2 = false;
+    MemoryHierarchy m(cfg);
+    auto r = m.access(0x500000, false, 0);
+    EXPECT_EQ(r.level, ServiceLevel::Memory);
+    EXPECT_EQ(r.latency, 400u);
+    EXPECT_EQ(m.l1Misses(), 1u);
+    EXPECT_EQ(m.l2Misses(), 0u);
+    EXPECT_EQ(m.memFills(), 1u);
+    EXPECT_DOUBLE_EQ(m.l2MissRatio(), 0.0);
+    // Merging into the in-flight fill still works without an L2.
+    auto merged = m.access(0x500008, false, 100);
+    EXPECT_EQ(merged.latency, 300u);
+    EXPECT_EQ(m.mshrMerges(), 1u);
+    EXPECT_EQ(m.memFills(), 1u);
+}
+
+TEST(Hierarchy, MergedAccessesCountAsMergesOnly)
+{
+    // Hand-computed trace against MEM-400 (L1 32K/4w, L2 512K/8w):
+    //   t=0    load 0x700000  cold miss       -> L1 miss, L2 miss,
+    //                                            fill lands at t=400
+    //   t=100  load 0x700008  same line       -> merge, latency 300
+    //   t=200  load 0x700040  next line, cold -> L1 miss, L2 miss
+    //   t=300  load 0x700010  first line      -> merge, latency 100
+    //   t=1000 load 0x700000  after the fill  -> L1 hit
+    // The old accounting double-charged each merge as one more L1
+    // miss AND one more L2 miss.
+    MemoryHierarchy m(MemConfig::mem400());
+
+    auto a = m.access(0x700000, false, 0);
+    EXPECT_EQ(a.latency, 400u);
+    auto b = m.access(0x700008, false, 100);
+    EXPECT_EQ(b.latency, 300u);
+    auto c = m.access(0x700040, false, 200);
+    EXPECT_EQ(c.latency, 400u);
+    auto d = m.access(0x700010, false, 300);
+    EXPECT_EQ(d.latency, 100u);
+    auto e = m.access(0x700000, false, 1000);
+    EXPECT_EQ(e.level, ServiceLevel::L1);
+
+    EXPECT_EQ(m.accesses(), 5u);
+    EXPECT_EQ(m.l1Misses(), 2u);
+    EXPECT_EQ(m.l2Misses(), 2u);
+    EXPECT_EQ(m.memFills(), 2u);
+    EXPECT_EQ(m.mshrMerges(), 2u);
+    EXPECT_DOUBLE_EQ(m.l2MissRatio(), 2.0 / 5.0);
+}
+
+TEST(Hierarchy, NonPow2L2SweepPointConstructs)
+{
+    // 384 KB was a mid-sweep panic: 384K/64/8 = 768 sets tripped
+    // KILO_ASSERT(isPow2(sets)). It now rounds down with a warning
+    // and simulates.
+    MemoryHierarchy m(MemConfig::withL2Size(384 * 1024));
+    auto r = m.access(0x100000, false, 0);
+    EXPECT_EQ(r.level, ServiceLevel::Memory);
+    auto again = m.access(0x100000, false, 1000);
+    EXPECT_EQ(again.level, ServiceLevel::L1);
+}
+
+TEST(Hierarchy, PrewarmDoesNotPerturbStatsAfterReset)
+{
+    // Warm-up hygiene across all six Table-1 presets: prewarm plus
+    // resetStats must leave every hierarchy- and MSHR-level counter
+    // at zero, so the measured region starts clean.
+    const MemConfig presets[] = {
+        MemConfig::l1Only(),      MemConfig::l2Perfect11(),
+        MemConfig::l2Perfect21(), MemConfig::mem100(),
+        MemConfig::mem400(),      MemConfig::mem1000(),
+    };
+    for (const MemConfig &cfg : presets) {
+        MemoryHierarchy m(cfg);
+        m.prewarm(0x100000, 256 * 1024);
+        m.resetStats();
+        EXPECT_EQ(m.accesses(), 0u) << cfg.name;
+        EXPECT_EQ(m.l1Misses(), 0u) << cfg.name;
+        EXPECT_EQ(m.l2Misses(), 0u) << cfg.name;
+        EXPECT_EQ(m.memFills(), 0u) << cfg.name;
+        EXPECT_EQ(m.mshrMerges(), 0u) << cfg.name;
+        EXPECT_EQ(m.mshrOccupancy(), 0u) << cfg.name;
+        EXPECT_EQ(m.mshrPeakOccupancy(), 0u) << cfg.name;
+        EXPECT_EQ(m.mshrDisplacements(), 0u) << cfg.name;
+    }
+}
+
+TEST(Hierarchy, DefaultMshrCapacityIsGenerous)
+{
+    MemConfig cfg;
+    EXPECT_EQ(cfg.numMshrs, 4096u);
+    MemoryHierarchy m(MemConfig::mem400());
+    EXPECT_GE(m.mshrCapacity(), cfg.numMshrs);
 }
 
 TEST(Hierarchy, ServiceLevelNames)
