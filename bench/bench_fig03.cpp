@@ -9,13 +9,18 @@
  * within ~300 cycles of decode (high execution locality); a
  * secondary peak sits at the memory latency (~400, one miss) and a
  * small one at twice that (~800, a chain of two misses).
+ *
+ * The suite is dispatched as a SweepEngine matrix, so this bench
+ * inherits the thread pool (KILO_SWEEP_THREADS) and emits the
+ * standard JSONL rows on stderr; the RunResult rows carry the full
+ * per-run issue-latency histogram the figure is built from.
  */
 
 #include <cstdio>
+#include <iostream>
 
-#include "src/sim/simulator.hh"
 #include "src/sim/sweep.hh"
-#include "src/wload/synthetic.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/util/histogram.hh"
 
 using namespace kilo;
@@ -28,28 +33,24 @@ main()
     rc.warmupInsts = 10000;
     rc.measureInsts = 60000;
 
+    SweepEngine engine;
+    auto jobs = SweepEngine::matrix({MachineConfig::windowLimit(8192)},
+                                    fpSuite(),
+                                    {mem::MemConfig::mem400()}, rc);
+    auto results = engine.run(jobs);
+
     Histogram combined(25, 80); // 25-cycle buckets to 2000
-
-    auto machine = MachineConfig::windowLimit(8192);
-    for (const auto &name : fpSuite()) {
-        auto wl = wload::makeWorkload(name);
-        auto core = Simulator::makeCore(machine, *wl,
-                                        mem::MemConfig::mem400());
-        for (const auto &region : wl->regions())
-            core->memory().prewarm(region.base, region.bytes);
-        core->run(rc.warmupInsts);
-        core->resetStats();
-        core->run(rc.measureInsts);
-
-        const auto &h = core->stats().issueLatency;
+    for (const auto &r : results) {
+        const auto &h = r.stats.issueLatency;
         for (size_t b = 0; b < h.numBuckets(); ++b) {
             for (uint64_t n = 0; n < h.bucketCount(b); ++n)
                 combined.sample(b * h.bucketWidth());
         }
         std::printf("%-10s mean issue latency %7.1f  %%<300 %5.1f\n",
-                    name.c_str(), h.mean(),
+                    r.workload.c_str(), h.mean(),
                     100.0 * h.fractionBelow(300));
     }
+    writeJsonRows(std::cerr, results);
 
     std::printf("\n== Figure 3: decode->issue distance, SpecFP-like, "
                 "MEM-400, unlimited core ==\n");

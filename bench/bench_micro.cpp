@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "src/core/inst_arena.hh"
 #include "src/core/issue_queue.hh"
 #include "src/core/ooo_core.hh"
@@ -23,8 +25,12 @@
 #include "src/sim/simulator.hh"
 #include "src/sim/sweep.hh"
 #include "src/sim/sweep_engine.hh"
+#include "src/trace/capture.hh"
+#include "src/trace/trace_reader.hh"
 #include "src/util/rng.hh"
+#include "src/wload/profile.hh"
 #include "src/wload/synthetic.hh"
+#include "src/wload/trace_window.hh"
 
 using namespace kilo;
 
@@ -184,8 +190,55 @@ BM_WorkloadGeneration(benchmark::State &state)
     auto wl = wload::makeWorkload("swim");
     for (auto _ : state)
         benchmark::DoNotOptimize(wl->next());
+    state.SetItemsProcessed(int64_t(state.iterations()));
 }
 BENCHMARK(BM_WorkloadGeneration);
+
+/** Trace replay throughput (micro-ops/s) through the batched
+ *  nextBlock path; the acceptance bar is >= synthetic generation
+ *  (BM_WorkloadGeneration items/s). */
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    const char *path = "bench_trace_replay.ktrc";
+    {
+        // Record once: 256k swim ops, written via the block API.
+        wload::SyntheticWorkload inner(
+            wload::profileByName("swim"));
+        trace::CapturingWorkload capture(inner, path,
+                                         inner.profile().seed);
+        isa::MicroOp buf[256];
+        for (int i = 0; i < 1024; ++i)
+            capture.nextBlock(buf, 256);
+        capture.finish();
+    }
+    trace::TraceWorkload replay(path);
+    isa::MicroOp buf[64];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(replay.nextBlock(buf, 64));
+    state.SetItemsProcessed(int64_t(state.iterations()) * 64);
+    std::remove(path);
+}
+BENCHMARK(BM_TraceReplay);
+
+/** Steady-state front-end pull: a TraceWindow walked sequentially,
+ *  exercising the batched refill (one virtual call per RefillBatch
+ *  micro-ops instead of one per op). */
+void
+BM_FetchBatched(benchmark::State &state)
+{
+    auto wl = wload::makeWorkload("swim");
+    wload::TraceWindow window(*wl);
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(window.op(seq));
+        ++seq;
+        if ((seq & 1023) == 0)
+            window.release(seq);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_FetchBatched);
 
 void
 BM_OooCoreSimThroughput(benchmark::State &state)

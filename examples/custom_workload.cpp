@@ -1,13 +1,30 @@
 /**
  * @file
  * Shows how to drive the simulator with your own workload: either a
- * custom WorkloadProfile (the parameterised generator) or a
- * hand-built Workload subclass emitting explicit micro-ops.
+ * custom WorkloadProfile (the parameterised generator), a hand-built
+ * Workload subclass emitting explicit micro-ops, or a recorded
+ * binary trace.
+ *
+ * Modes:
+ *   custom_workload                      demo (profile + subclass)
+ *   custom_workload --record FILE [NAME] capture preset NAME (default
+ *                                        swim) to FILE while running
+ *                                        it live; prints the JSONL row
+ *   custom_workload --replay FILE        replay FILE on the same
+ *                                        machine; prints the JSONL row
+ *
+ * A --record row and its --replay row are byte-identical — that
+ * equality is checked in CI against a golden trace.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "src/sim/simulator.hh"
+#include "src/sim/sweep_engine.hh"
+#include "src/trace/capture.hh"
+#include "src/trace/trace_reader.hh"
 #include "src/wload/synthetic.hh"
 
 using namespace kilo;
@@ -77,11 +94,63 @@ class SaxpyWorkload : public wload::Workload
     uint64_t iters = 0;
 };
 
+/** Machine/memory/length shared by --record and --replay, so the
+ *  replayed JSONL row is comparable to the recorded one. */
+sim::RunConfig
+traceRunConfig()
+{
+    return sim::RunConfig::sweep();
+}
+
+int
+recordMode(const std::string &path, const std::string &preset)
+{
+    wload::SyntheticWorkload inner(wload::profileByName(preset));
+    trace::CapturingWorkload capture(inner, path,
+                                     inner.profile().seed);
+    auto res = sim::Simulator::run(sim::MachineConfig::dkip2048(),
+                                   capture, mem::MemConfig::mem400(),
+                                   traceRunConfig());
+    capture.finish();
+    std::printf("%s\n", sim::runResultJson(res).c_str());
+    std::fprintf(stderr, "recorded %llu micro-ops to %s\n",
+                 (unsigned long long)capture.recorded(),
+                 path.c_str());
+    return 0;
+}
+
+int
+replayMode(const std::string &path)
+{
+    sim::RunConfig rc = traceRunConfig();
+    rc.tracePath = path;
+    auto res = sim::Simulator::run(sim::MachineConfig::dkip2048(),
+                                   "(trace)", mem::MemConfig::mem400(),
+                                   rc);
+    std::printf("%s\n", sim::runResultJson(res).c_str());
+    return 0;
+}
+
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    try {
+        if (argc >= 3 && std::strcmp(argv[1], "--record") == 0)
+            return recordMode(argv[2], argc > 3 ? argv[3] : "swim");
+        if (argc == 3 && std::strcmp(argv[1], "--replay") == 0)
+            return replayMode(argv[2]);
+    } catch (const trace::TraceError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    if (argc != 1) {
+        std::fprintf(stderr,
+                     "usage: %s [--record FILE [NAME] | --replay "
+                     "FILE]\n", argv[0]);
+        return 2;
+    }
     // Option A: parameterise the built-in generator.
     wload::WorkloadProfile prof;
     prof.name = "my-stream";

@@ -88,6 +88,9 @@ struct MicroOp
     bool taken = false;       ///< resolved direction (Branch)
     uint64_t target = 0;      ///< resolved target (Branch)
 
+    /** Field-wise equality (trace round-trip verification). */
+    bool operator==(const MicroOp &other) const = default;
+
     /** True for loads and stores. */
     bool isMem() const
     {

@@ -142,6 +142,13 @@ class MemoryHierarchy
     uint32_t mshrPeakOccupancy() const { return mshrs.peakOccupancy(); }
     uint32_t mshrCapacity() const { return mshrs.capacity(); }
     uint64_t mshrDisplacements() const { return mshrs.displacements(); }
+
+    /** Per-set live-fill occupancy distribution, sampled at each
+     *  fill allocation (MLP clustering; see MshrFile::setOccupancy). */
+    const Histogram &mshrSetOccupancy() const
+    {
+        return mshrs.setOccupancy();
+    }
     /** @} */
     /** @} */
 

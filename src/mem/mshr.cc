@@ -72,15 +72,19 @@ MshrFile::allocate(uint64_t line, uint64_t fill_done, uint64_t now)
     Entry *set = setOf(line);
     Entry *victim = nullptr;
     Entry *soonest = &set[0];
+    uint32_t set_live = 0; // live ways after expiry (one set walk)
     for (uint32_t w = 0; w < numWays; ++w) {
         Entry &e = set[w];
         if (e.fillDone != 0 && e.fillDone <= now)
             freeWay(e); // lazy expiry on the probed set
         if (e.fillDone == 0) {
             victim = &e;
-        } else if (e.fillDone < soonest->fillDone ||
-                   soonest->fillDone == 0) {
-            soonest = &e;
+        } else {
+            ++set_live;
+            if (e.fillDone < soonest->fillDone ||
+                soonest->fillDone == 0) {
+                soonest = &e;
+            }
         }
     }
     if (victim == nullptr) {
@@ -90,12 +94,17 @@ MshrFile::allocate(uint64_t line, uint64_t fill_done, uint64_t now)
         ++nDisplaced;
         freeWay(*soonest);
         victim = soonest;
+        --set_live;
     }
     victim->line = line;
     victim->fillDone = fill_done;
     ++liveCount;
     if (liveCount > peak)
         peak = liveCount;
+
+    // Sample this set's live-way count after insertion (1..numWays)
+    // for the per-set occupancy distribution.
+    setOccHist.sample(set_live + 1);
 }
 
 } // namespace kilo::mem

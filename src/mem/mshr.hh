@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/histogram.hh"
+
 namespace kilo::mem
 {
 
@@ -71,6 +73,15 @@ class MshrFile
      *  generous capacity; nonzero means merges were lost). */
     uint64_t displacements() const { return nDisplaced; }
 
+    /**
+     * Distribution of per-set live-fill occupancy, sampled at every
+     * allocation (after insertion, so samples run 1..ways). This is
+     * the MLP clustering view the paper's analysis needs: a workload
+     * whose misses pile onto few sets shows a heavy tail here long
+     * before displacements() goes nonzero.
+     */
+    const Histogram &setOccupancy() const { return setOccHist; }
+
     /** Restart peak tracking from the current occupancy (end of
      *  warm-up); in-flight fills themselves are preserved. */
     void
@@ -78,6 +89,7 @@ class MshrFile
     {
         peak = liveCount;
         nDisplaced = 0;
+        setOccHist.reset();
     }
 
   private:
@@ -99,6 +111,7 @@ class MshrFile
     }
 
     std::vector<Entry> entries;  ///< sets x numWays, sized once
+    Histogram setOccHist{1, Ways + 1};  ///< per-set live-way samples
     uint32_t numWays;            ///< min(capacity, Ways)
     uint32_t setMask;            ///< numSets - 1 (power of two)
     uint32_t liveCount = 0;

@@ -3,6 +3,7 @@
 #include "src/core/ooo_core.hh"
 #include "src/dkip/dkip_core.hh"
 #include "src/kilo_proc/kilo_core.hh"
+#include "src/trace/trace_reader.hh"
 #include "src/util/logging.hh"
 #include "src/wload/synthetic.hh"
 
@@ -28,13 +29,31 @@ Simulator::makeCore(const MachineConfig &machine,
     KILO_PANIC("unknown MachineKind");
 }
 
+namespace
+{
+
+constexpr const char TracePrefix[] = "trace:";
+
+/** Resolve a workload name to a generator or a trace replay. */
+wload::WorkloadPtr
+resolveWorkload(const std::string &name, const RunConfig &run_config)
+{
+    if (!run_config.tracePath.empty())
+        return trace::openTrace(run_config.tracePath);
+    if (name.rfind(TracePrefix, 0) == 0)
+        return trace::openTrace(name.substr(sizeof(TracePrefix) - 1));
+    return wload::makeWorkload(name);
+}
+
+} // anonymous namespace
+
 RunResult
 Simulator::run(const MachineConfig &machine,
                const std::string &workload_name,
                const mem::MemConfig &mem_config,
                const RunConfig &run_config)
 {
-    auto workload = wload::makeWorkload(workload_name);
+    auto workload = resolveWorkload(workload_name, run_config);
     return run(machine, *workload, mem_config, run_config);
 }
 
@@ -68,6 +87,10 @@ Simulator::run(const MachineConfig &machine, wload::Workload &workload,
     res.memFills = core->memory().memFills();
     res.mshrMerges = core->memory().mshrMerges();
     res.mshrPeak = core->memory().mshrPeakOccupancy();
+    const Histogram &set_occ = core->memory().mshrSetOccupancy();
+    res.mshrSetP50 = uint32_t(set_occ.percentile(0.50));
+    res.mshrSetP99 = uint32_t(set_occ.percentile(0.99));
+    res.mshrSetMax = uint32_t(set_occ.maxSample());
     return res;
 }
 

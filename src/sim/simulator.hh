@@ -31,6 +31,15 @@ struct RunConfig
     uint64_t warmupInsts = 20000;   ///< committed, stats then reset
     uint64_t measureInsts = 100000; ///< committed, measured region
 
+    /**
+     * When non-empty, run-by-name replays this KILOTRC trace file
+     * instead of constructing a synthetic generator; the name
+     * argument is ignored in favour of the trace header's. (Workload
+     * names of the form "trace:<path>" do the same per-job, which is
+     * how SweepEngine matrices name trace-backed workloads.)
+     */
+    std::string tracePath;
+
     /** Short preset for wide parameter sweeps. */
     static RunConfig
     sweep()
@@ -57,6 +66,14 @@ struct RunResult
     uint64_t memFills = 0;    ///< off-chip line fills started
     uint64_t mshrMerges = 0;  ///< accesses merged into in-flight fills
     uint32_t mshrPeak = 0;    ///< peak MSHR occupancy (measured region)
+
+    /** Per-set MSHR occupancy at fill allocation (MLP clustering):
+     *  median, 99th percentile and maximum of the live ways in the
+     *  allocating set. @{ */
+    uint32_t mshrSetP50 = 0;
+    uint32_t mshrSetP99 = 0;
+    uint32_t mshrSetMax = 0;
+    /** @} */
     /** @} */
 };
 

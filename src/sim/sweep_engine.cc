@@ -117,6 +117,9 @@ runResultJson(const RunResult &r)
        << ",\"mem_fills\":" << r.memFills
        << ",\"mshr_merges\":" << r.mshrMerges
        << ",\"mshr_peak\":" << r.mshrPeak
+       << ",\"mshr_set_p50\":" << r.mshrSetP50
+       << ",\"mshr_set_p99\":" << r.mshrSetP99
+       << ",\"mshr_set_max\":" << r.mshrSetMax
        << "}";
     return os.str();
 }

@@ -29,7 +29,13 @@
 namespace kilo::sim
 {
 
-/** One cell of a sweep matrix. */
+/**
+ * One cell of a sweep matrix.
+ *
+ * `workload` names a synthetic preset ("swim") or a recorded trace
+ * ("trace:/path/to/file.ktrc" — see src/trace/), so a matrix can mix
+ * generated and captured workloads freely.
+ */
 struct SweepJob
 {
     MachineConfig machine;

@@ -1,0 +1,45 @@
+#include "src/trace/capture.hh"
+
+namespace kilo::trace
+{
+
+namespace
+{
+
+TraceMeta
+metaOf(const wload::Workload &inner, uint64_t seed)
+{
+    TraceMeta meta;
+    meta.name = inner.name();
+    meta.fp = inner.isFp();
+    meta.seed = seed;
+    meta.regions = inner.regions();
+    return meta;
+}
+
+} // anonymous namespace
+
+CapturingWorkload::CapturingWorkload(wload::Workload &inner,
+                                     const std::string &path,
+                                     uint64_t seed)
+    : inner(inner), writer(path, metaOf(inner, seed))
+{}
+
+isa::MicroOp
+CapturingWorkload::next()
+{
+    isa::MicroOp op = inner.next();
+    writer.append(op);
+    return op;
+}
+
+size_t
+CapturingWorkload::nextBlock(isa::MicroOp *out, size_t n)
+{
+    size_t got = inner.nextBlock(out, n);
+    for (size_t i = 0; i < got; ++i)
+        writer.append(out[i]);
+    return got;
+}
+
+} // namespace kilo::trace

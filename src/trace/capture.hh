@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Transparent capture wrapper: records any workload's stream to a
+ * trace file while passing it through unchanged.
+ *
+ * Wrap a workload, hand the wrapper to the simulator, and every
+ * micro-op the machine pulls — warm-up, measured region and the
+ * fetch-ahead overshoot — lands in the trace in pull order, so a
+ * later TraceWorkload replay feeds the same machine an identical
+ * stream. Any existing synthetic preset (or hand-written Workload)
+ * becomes a durable, shippable artifact this way.
+ *
+ * reset() forwards to the inner workload and keeps recording: the
+ * trace is the honest concatenation of everything that was pulled.
+ */
+
+#ifndef KILO_TRACE_CAPTURE_HH
+#define KILO_TRACE_CAPTURE_HH
+
+#include "src/trace/trace_writer.hh"
+
+namespace kilo::trace
+{
+
+/** Records an inner workload's stream while forwarding it. */
+class CapturingWorkload : public wload::Workload
+{
+  public:
+    /**
+     * @param inner workload to record; must outlive the wrapper
+     * @param path  trace file to create
+     * @param seed  generator seed stored as provenance (0 = unknown)
+     */
+    CapturingWorkload(wload::Workload &inner, const std::string &path,
+                      uint64_t seed = 0);
+
+    isa::MicroOp next() override;
+    size_t nextBlock(isa::MicroOp *out, size_t n) override;
+    const std::string &name() const override { return inner.name(); }
+    bool isFp() const override { return inner.isFp(); }
+    void reset() override { inner.reset(); }
+    std::vector<wload::AddressRegion> regions() const override
+    {
+        return inner.regions();
+    }
+
+    /** Seal the trace file (flush + header patch). Idempotent. */
+    void finish() { writer.finish(); }
+
+    /** Ops recorded so far. */
+    uint64_t recorded() const { return writer.opCount(); }
+
+  private:
+    wload::Workload &inner;
+    Writer writer;
+};
+
+} // namespace kilo::trace
+
+#endif // KILO_TRACE_CAPTURE_HH

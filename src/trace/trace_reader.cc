@@ -1,0 +1,220 @@
+#include "src/trace/trace_reader.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace kilo::trace
+{
+
+namespace
+{
+
+void
+getBytes(std::FILE *f, void *out, size_t size, const char *what)
+{
+    if (size && std::fread(out, 1, size, f) != size)
+        throw TraceError(std::string("trace truncated: EOF inside ") +
+                         what);
+}
+
+template <typename T>
+T
+getScalar(std::FILE *f, const char *what)
+{
+    T v;
+    getBytes(f, &v, sizeof(v), what);
+    return v;
+}
+
+} // anonymous namespace
+
+Reader::Reader(const std::string &path)
+    : path_(path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        throw TraceError("cannot open trace file: " + path);
+
+    try {
+        char magic[sizeof(Magic)];
+        getBytes(file, magic, sizeof(magic), "magic");
+        if (std::memcmp(magic, Magic, sizeof(Magic)) != 0)
+            throw TraceError("not a KILOTRC trace file: " + path);
+        uint32_t version = getScalar<uint32_t>(file, "version");
+        if (version != FormatVersion) {
+            throw TraceError(
+                "trace version mismatch: file v" +
+                std::to_string(version) + ", reader v" +
+                std::to_string(FormatVersion) + ": " + path);
+        }
+        nOps = getScalar<uint64_t>(file, "op count");
+        meta_.seed = getScalar<uint64_t>(file, "seed");
+        meta_.fp = getScalar<uint8_t>(file, "fp flag") != 0;
+        uint16_t name_len = getScalar<uint16_t>(file, "name length");
+        meta_.name.resize(name_len);
+        getBytes(file, meta_.name.data(), name_len, "name");
+        uint32_t num_regions =
+            getScalar<uint32_t>(file, "region count");
+        for (uint32_t i = 0; i < num_regions; ++i) {
+            wload::AddressRegion r;
+            r.base = getScalar<uint64_t>(file, "region base");
+            r.bytes = getScalar<uint64_t>(file, "region size");
+            meta_.regions.push_back(r);
+        }
+        firstBlockOffset = std::ftell(file);
+    } catch (...) {
+        std::fclose(file);
+        file = nullptr;
+        throw;
+    }
+}
+
+Reader::~Reader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+uint32_t
+Reader::readBlockRaw(std::vector<uint8_t> &out)
+{
+    // A block frame is 12 bytes: payload size, record count,
+    // checksum. Distinguish clean EOF (zero bytes) from a torn frame.
+    uint8_t frame[12];
+    size_t got = std::fread(frame, 1, sizeof(frame), file);
+    if (got == 0) {
+        if (std::ferror(file))
+            throw TraceError("trace read error: " + path_);
+        return 0; // clean end-of-file
+    }
+    if (got != sizeof(frame))
+        throw TraceError("trace truncated: torn block frame: " +
+                         path_);
+    uint32_t payload_bytes, block_ops, checksum;
+    std::memcpy(&payload_bytes, frame + 0, 4);
+    std::memcpy(&block_ops, frame + 4, 4);
+    std::memcpy(&checksum, frame + 8, 4);
+
+    if (payload_bytes == 0 || payload_bytes > BlockMaxBytes ||
+        block_ops == 0) {
+        throw TraceError("trace block corrupt: implausible frame "
+                         "(payload " + std::to_string(payload_bytes) +
+                         " B, " + std::to_string(block_ops) +
+                         " ops): " + path_);
+    }
+    out.resize(payload_bytes);
+    getBytes(file, out.data(), payload_bytes, "block payload");
+    if (blockChecksum(out.data(), payload_bytes) != checksum)
+        throw TraceError("trace block corrupt: checksum mismatch: " +
+                         path_);
+    return block_ops;
+}
+
+bool
+Reader::readBlock(std::vector<isa::MicroOp> &out)
+{
+    out.clear();
+    std::vector<uint8_t> raw;
+    uint32_t block_ops = readBlockRaw(raw);
+    if (block_ops == 0)
+        return false;
+
+    out.reserve(block_ops);
+    CodecState codec;
+    const uint8_t *cursor = raw.data();
+    const uint8_t *end = cursor + raw.size();
+    for (uint32_t i = 0; i < block_ops; ++i)
+        out.push_back(decodeOp(cursor, end, codec));
+    if (cursor != end)
+        throw TraceError("trace block corrupt: " +
+                         std::to_string(end - cursor) +
+                         " undecoded trailing bytes: " + path_);
+    return true;
+}
+
+void
+Reader::rewind()
+{
+    if (std::fseek(file, firstBlockOffset, SEEK_SET) != 0)
+        throw TraceError("trace rewind failed: " + path_);
+}
+
+TraceWorkload::TraceWorkload(const std::string &path)
+    : reader(path)
+{
+    refill();
+}
+
+void
+TraceWorkload::refill()
+{
+    if (remainingOps == 0 && cursor != payloadEnd && cursor != nullptr)
+        throw TraceError("trace block corrupt: undecoded trailing "
+                         "bytes");
+    remainingOps = reader.readBlockRaw(payload);
+    if (remainingOps == 0) {
+        // End of file: the blocks walked must account for exactly the
+        // op count the header was sealed with — a file truncated at a
+        // block boundary, or never finish()ed, would otherwise wrap
+        // early and replay a plausible but wrong stream.
+        if (opsThisPass != reader.opCount()) {
+            throw TraceError(
+                "trace truncated: header declares " +
+                std::to_string(reader.opCount()) +
+                " ops, blocks hold " + std::to_string(opsThisPass));
+        }
+        // The Workload contract is an endless stream: wrap to block
+        // 0, exactly like reset().
+        reader.rewind();
+        opsThisPass = 0;
+        remainingOps = reader.readBlockRaw(payload);
+        if (remainingOps == 0)
+            throw TraceError("trace contains no records");
+    }
+    opsThisPass += remainingOps;
+    cursor = payload.data();
+    payloadEnd = cursor + payload.size();
+    codec = CodecState{};
+}
+
+isa::MicroOp
+TraceWorkload::decodeNext()
+{
+    if (remainingOps == 0)
+        refill();
+    --remainingOps;
+    return decodeOp(cursor, payloadEnd, codec);
+}
+
+isa::MicroOp
+TraceWorkload::next()
+{
+    return decodeNext();
+}
+
+size_t
+TraceWorkload::nextBlock(isa::MicroOp *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = decodeNext();
+    return n;
+}
+
+void
+TraceWorkload::reset()
+{
+    reader.rewind();
+    // Discard any partially-decoded block before pulling block 0.
+    remainingOps = 0;
+    opsThisPass = 0;
+    cursor = payloadEnd;
+    refill();
+}
+
+wload::WorkloadPtr
+openTrace(const std::string &path)
+{
+    return std::make_unique<TraceWorkload>(path);
+}
+
+} // namespace kilo::trace

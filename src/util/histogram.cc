@@ -20,6 +20,8 @@ Histogram::sample(uint64_t value)
     else
         ++overflow;
     ++total;
+    if (value > maxSeen)
+        maxSeen = value;
     sum += double(value);
 }
 
@@ -62,6 +64,23 @@ Histogram::mean() const
     return total ? sum / double(total) : 0.0;
 }
 
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (total == 0)
+        return 0;
+    uint64_t need = uint64_t(double(total) * p + 0.5);
+    if (need == 0)
+        need = 1;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        cumulative += counts[i];
+        if (cumulative >= need)
+            return i * width;
+    }
+    return maxSeen; // quantile falls in the overflow bin
+}
+
 void
 Histogram::reset()
 {
@@ -69,6 +88,7 @@ Histogram::reset()
         c = 0;
     overflow = 0;
     total = 0;
+    maxSeen = 0;
     sum = 0.0;
 }
 

@@ -54,6 +54,17 @@ class Histogram
     /** Arithmetic mean of all samples. */
     double mean() const;
 
+    /** Largest sample recorded (exact, 0 when empty). */
+    uint64_t maxSample() const { return maxSeen; }
+
+    /**
+     * Value at quantile @p p (0..1], at bucket granularity: the lower
+     * bound of the first bucket whose cumulative count reaches p of
+     * the samples (exact for width-1 histograms). Overflow samples
+     * resolve to maxSample(). Returns 0 when empty.
+     */
+    uint64_t percentile(double p) const;
+
     /** Reset all state. */
     void reset();
 
@@ -65,6 +76,7 @@ class Histogram
     std::vector<uint64_t> counts;
     uint64_t overflow = 0;
     uint64_t total = 0;
+    uint64_t maxSeen = 0;
     double sum = 0.0;
 };
 

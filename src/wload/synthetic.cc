@@ -332,6 +332,26 @@ SyntheticWorkload::next()
     return op;
 }
 
+size_t
+SyntheticWorkload::nextBlock(isa::MicroOp *out, size_t n)
+{
+    // Same stream as n calls to next(), amortising the per-call
+    // overhead: generate whole iterations, then drain the pending
+    // queue in runs.
+    size_t produced = 0;
+    while (produced < n) {
+        if (pending.empty())
+            emitIteration();
+        size_t take = std::min(n - produced, pending.size());
+        for (size_t i = 0; i < take; ++i)
+            out[produced + i] = pending[i];
+        pending.erase(pending.begin(),
+                      pending.begin() + long(take));
+        produced += take;
+    }
+    return produced;
+}
+
 void
 SyntheticWorkload::reset()
 {

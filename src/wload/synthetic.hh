@@ -30,6 +30,7 @@ class SyntheticWorkload : public Workload
     explicit SyntheticWorkload(const WorkloadProfile &profile);
 
     isa::MicroOp next() override;
+    size_t nextBlock(isa::MicroOp *out, size_t n) override;
     const std::string &name() const override { return prof.name; }
     bool isFp() const override { return prof.fp; }
     void reset() override;

@@ -15,8 +15,16 @@ TraceWindow::op(uint64_t seq)
     KILO_ASSERT(seq >= baseSeq,
                 "TraceWindow: sequence %lu already released (base %lu)",
                 (unsigned long)seq, (unsigned long)baseSeq);
-    while (seq >= frontier())
-        buf.push_back(workload.next());
+    while (seq >= frontier()) {
+        // Batched refill: one virtual call per RefillBatch ops. The
+        // overshoot past `seq` is just read-ahead of a deterministic
+        // stream — replay and capture both see identical ops.
+        isa::MicroOp batch[RefillBatch];
+        size_t got = workload.nextBlock(batch, RefillBatch);
+        KILO_ASSERT(got > 0, "TraceWindow: workload produced no ops");
+        for (size_t i = 0; i < got; ++i)
+            buf.push_back(batch[i]);
+    }
     return buf[size_t(seq - baseSeq)];
 }
 

@@ -26,12 +26,17 @@ namespace kilo::wload
 class TraceWindow
 {
   public:
+    /** Micro-ops pulled from the workload per refill: the window is
+     *  the core's one consumer of the stream, so steady-state fetch
+     *  costs one virtual nextBlock() call per this many ops. */
+    static constexpr size_t RefillBatch = 64;
+
     explicit TraceWindow(Workload &workload);
 
     /**
      * Micro-op with dynamic sequence number @p seq.
-     * Generates forward on demand; @p seq must be >= the release
-     * point.
+     * Generates forward on demand (in RefillBatch-op batches);
+     * @p seq must be >= the release point.
      */
     const isa::MicroOp &op(uint64_t seq);
 

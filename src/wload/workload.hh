@@ -39,6 +39,21 @@ class Workload
     /** Produce the next micro-op of the dynamic instruction stream. */
     virtual isa::MicroOp next() = 0;
 
+    /**
+     * Produce the next @p n micro-ops into @p out and return how many
+     * were written (always @p n for an endless stream). Semantically
+     * identical to calling next() @p n times; generators override it
+     * so the simulator's steady-state fetch path pays one virtual
+     * call per batch instead of one per micro-op.
+     */
+    virtual size_t
+    nextBlock(isa::MicroOp *out, size_t n)
+    {
+        for (size_t i = 0; i < n; ++i)
+            out[i] = next();
+        return n;
+    }
+
     /** Benchmark name (e.g. "mcf", "swim"). */
     virtual const std::string &name() const = 0;
 

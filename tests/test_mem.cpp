@@ -164,6 +164,44 @@ TEST(Mshr, TinyCapacityIsExact)
     EXPECT_EQ(tiny.occupancy(), 1u);
 }
 
+TEST(Mshr, SetOccupancyHistogramSamplesEveryAllocation)
+{
+    MshrFile f(64, 400); // 8 sets x 8 ways
+    // Three fills landing in the same set (stride = set count): the
+    // per-set occupancy samples are 1, 2, 3.
+    f.allocate(8, 400, 0);
+    f.allocate(16, 400, 0);
+    f.allocate(24, 400, 0);
+    // One fill alone in a different set: sample 1.
+    f.allocate(3, 400, 0);
+    const Histogram &h = f.setOccupancy();
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.bucketCount(1), 2u); // two allocations saw 1 live way
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.maxSample(), 3u);
+    EXPECT_EQ(h.percentile(0.50), 1u);
+    EXPECT_EQ(h.percentile(0.99), 3u);
+    // resetPeak (end of warm-up) restarts the distribution.
+    f.resetPeak();
+    EXPECT_EQ(f.setOccupancy().samples(), 0u);
+    EXPECT_EQ(f.setOccupancy().maxSample(), 0u);
+}
+
+TEST(Hierarchy, SetOccupancySurfacesThroughHierarchy)
+{
+    MemoryHierarchy mem(MemConfig::mem400());
+    // 64 distinct-line cold misses, all in flight together.
+    for (uint64_t i = 0; i < 64; ++i)
+        mem.access(i * 64, false, 0);
+    const Histogram &h = mem.mshrSetOccupancy();
+    EXPECT_EQ(h.samples(), 64u);
+    EXPECT_GE(h.maxSample(), 1u);
+    EXPECT_GE(h.percentile(0.99), h.percentile(0.50));
+    mem.resetStats();
+    EXPECT_EQ(mem.mshrSetOccupancy().samples(), 0u);
+}
+
 TEST(Mshr, LookupReclaimsExpiredNeighboursInProbedSet)
 {
     MshrFile f(8, 1000000); // one set, sweep far away

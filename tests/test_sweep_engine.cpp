@@ -163,6 +163,9 @@ TEST(SweepEngine, JsonRowsAreWellFormedAndOrdered)
     EXPECT_NE(text.find("\"ipc\":"), std::string::npos);
     EXPECT_NE(text.find("\"cycles\":"), std::string::npos);
     EXPECT_NE(text.find("\"mp_fraction\":"), std::string::npos);
+    EXPECT_NE(text.find("\"mshr_set_p50\":"), std::string::npos);
+    EXPECT_NE(text.find("\"mshr_set_p99\":"), std::string::npos);
+    EXPECT_NE(text.find("\"mshr_set_max\":"), std::string::npos);
 
     // Round-trip precision: the serialised IPC parses back exactly.
     size_t ipos = text.find("\"ipc\":") + 6;

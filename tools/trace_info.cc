@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Trace inspection utility: prints a KILOTRC file's header
+ * (provenance, prewarm regions), block statistics and a per-opcode
+ * histogram of the recorded stream.
+ *
+ *     trace_info <file.ktrc>
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "src/trace/trace_reader.hh"
+
+using namespace kilo;
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <file.ktrc>\n", argv[0]);
+        return 2;
+    }
+    const char *path = argv[1];
+
+    try {
+        trace::Reader reader(path);
+        const trace::TraceMeta &meta = reader.meta();
+
+        std::printf("trace      %s\n", path);
+        std::printf("name       %s\n", meta.name.c_str());
+        std::printf("suite      %s\n", meta.fp ? "FP" : "INT");
+        std::printf("seed       %llu\n",
+                    (unsigned long long)meta.seed);
+        std::printf("ops        %llu\n",
+                    (unsigned long long)reader.opCount());
+        std::printf("regions    %zu\n", meta.regions.size());
+        for (const auto &r : meta.regions) {
+            std::printf("  base 0x%010llx  %8.2f KB\n",
+                        (unsigned long long)r.base,
+                        double(r.bytes) / 1024.0);
+        }
+
+        uint64_t op_counts[isa::NumOpClasses] = {};
+        uint64_t total = 0, blocks = 0, payload_ops_max = 0;
+        std::vector<isa::MicroOp> block;
+        while (reader.readBlock(block)) {
+            ++blocks;
+            if (block.size() > payload_ops_max)
+                payload_ops_max = block.size();
+            for (const auto &op : block) {
+                ++op_counts[size_t(op.cls)];
+                ++total;
+            }
+        }
+        std::printf("blocks     %llu (largest %llu ops)\n",
+                    (unsigned long long)blocks,
+                    (unsigned long long)payload_ops_max);
+        if (total != reader.opCount()) {
+            std::fprintf(stderr,
+                         "error: header declares %llu ops, blocks "
+                         "hold %llu\n",
+                         (unsigned long long)reader.opCount(),
+                         (unsigned long long)total);
+            return 1;
+        }
+
+        std::printf("\n%-8s %12s %8s\n", "opcode", "count", "share");
+        for (int c = 0; c < isa::NumOpClasses; ++c) {
+            if (op_counts[c] == 0)
+                continue;
+            std::printf("%-8s %12llu %7.2f%%\n",
+                        isa::opClassName(isa::OpClass(c)),
+                        (unsigned long long)op_counts[c],
+                        total ? 100.0 * double(op_counts[c]) /
+                                double(total)
+                              : 0.0);
+        }
+    } catch (const trace::TraceError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
