@@ -10,12 +10,19 @@
  * the INT suite flattens early because pointer chasing and
  * mispredictions that depend on uncached data stay on the critical
  * path.
+ *
+ * Each suite is dispatched as one SweepEngine matrix (window-limited
+ * machines x suite x Table-1 memories), so the bench inherits the
+ * thread pool (KILO_SWEEP_THREADS) and emits the standard JSONL rows
+ * on stderr like bench_fig03.
  */
 
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "src/sim/sweep.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/sim/table.hh"
 
 using namespace kilo;
@@ -31,6 +38,10 @@ main()
         mem::MemConfig::l2Perfect21(), mem::MemConfig::mem100(),
         mem::MemConfig::mem400(),     mem::MemConfig::mem1000(),
     };
+
+    std::vector<MachineConfig> machines;
+    for (size_t w : windows)
+        machines.push_back(MachineConfig::windowLimit(w));
 
     RunConfig rc;
     rc.warmupInsts = 5000;
@@ -51,18 +62,29 @@ main()
         {"Figure 2: SpecFP-like, avg IPC vs window", fpSuite()},
     };
 
+    SweepEngine engine;
     for (const auto &suite : suites) {
+        auto jobs =
+            SweepEngine::matrix(machines, suite.names, mems, rc);
+        auto results = engine.run(jobs);
+        writeJsonRows(std::cerr, results);
+
         std::vector<std::string> headers{"window"};
         for (const auto &m : mems)
             headers.push_back(m.name);
         Table table(headers);
 
-        for (size_t w : windows) {
-            std::vector<std::string> row{std::to_string(w)};
-            for (const auto &m : mems) {
-                auto results = runSuite(MachineConfig::windowLimit(w),
-                                        suite.names, m, rc);
-                row.push_back(Table::num(meanIpc(results)));
+        // matrix() is machine-major, then workload, then memory:
+        // jobs[(wi * B + bi) * M + mi].
+        const size_t B = suite.names.size();
+        const size_t M = mems.size();
+        for (size_t wi = 0; wi < windows.size(); ++wi) {
+            std::vector<std::string> row{std::to_string(windows[wi])};
+            for (size_t mi = 0; mi < M; ++mi) {
+                double sum = 0.0;
+                for (size_t bi = 0; bi < B; ++bi)
+                    sum += results[(wi * B + bi) * M + mi].ipc;
+                row.push_back(Table::num(sum / double(B)));
             }
             table.addRow(row);
         }

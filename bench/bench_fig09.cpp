@@ -10,11 +10,18 @@
  * beat both baselines, with the D-KIP at least matching the KILO
  * despite its FIFO buffers; on INT the gains are modest and the KILO
  * edges out the D-KIP on pointer-chasing members.
+ *
+ * Each suite is dispatched as one SweepEngine matrix built by name
+ * (SweepEngine::matrixByName over MachineConfig::byName), so the
+ * bench inherits the thread pool (KILO_SWEEP_THREADS) and emits the
+ * standard JSONL rows on stderr like bench_fig03.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "src/sim/sweep.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/sim/table.hh"
 
 using namespace kilo;
@@ -23,11 +30,8 @@ using namespace kilo::sim;
 int
 main()
 {
-    const std::vector<MachineConfig> machines{
-        MachineConfig::r10_64(),   MachineConfig::r10_256(),
-        MachineConfig::r10_768(),  MachineConfig::kilo1024(),
-        MachineConfig::dkip2048(),
-    };
+    const std::vector<std::string> machines{"r10-64", "r10-256",
+                                            "r10-768", "kilo", "dkip"};
     RunConfig rc; // full 20k + 100k runs
 
     struct SuiteSpec
@@ -40,27 +44,33 @@ main()
         {"Figure 9 (SpecFP-like)", fpSuite()},
     };
 
+    SweepEngine engine;
     for (const auto &suite : suites) {
+        auto jobs = SweepEngine::matrixByName(machines, suite.names,
+                                              {"mem-400"}, rc);
+        auto results = engine.run(jobs);
+        writeJsonRows(std::cerr, results);
+
         std::vector<std::string> headers{"bench"};
         for (const auto &m : machines)
-            headers.push_back(m.name);
+            headers.push_back(MachineConfig::byName(m).name);
         Table table(headers);
 
+        // matrixByName() is machine-major: results[mi * B + bi].
+        const size_t B = suite.names.size();
         std::vector<double> sums(machines.size(), 0.0);
-        for (const auto &bench : suite.names) {
-            std::vector<std::string> row{bench};
-            for (size_t m = 0; m < machines.size(); ++m) {
-                auto res = Simulator::run(machines[m], bench,
-                                          mem::MemConfig::mem400(),
-                                          rc);
-                sums[m] += res.ipc;
-                row.push_back(Table::num(res.ipc));
+        for (size_t bi = 0; bi < B; ++bi) {
+            std::vector<std::string> row{suite.names[bi]};
+            for (size_t mi = 0; mi < machines.size(); ++mi) {
+                double ipc = results[mi * B + bi].ipc;
+                sums[mi] += ipc;
+                row.push_back(Table::num(ipc));
             }
             table.addRow(row);
         }
         std::vector<std::string> mean{"AVG"};
         for (double s : sums)
-            mean.push_back(Table::num(s / double(suite.names.size())));
+            mean.push_back(Table::num(s / double(B)));
         table.addRow(mean);
 
         std::printf("== %s ==\n%s\n", suite.title,

@@ -1,116 +1,113 @@
 /**
  * @file
- * Deep-dive diagnostic: run one (machine, benchmark) pair and dump
- * every counter the simulator keeps. Useful when calibrating
- * workload profiles or debugging pipeline behaviour.
+ * Deep-dive diagnostic: run one (machine, benchmark) pair stepwise
+ * through sim::Session and dump every counter the simulator keeps —
+ * the full self-describing stats registry, not a hand-picked subset.
+ * Useful when calibrating workload profiles or debugging pipeline
+ * behaviour.
  *
- *     ./inspect_run <benchmark> <machine> [mem]
+ *     ./inspect_run <benchmark> <machine> [mem] [--interval N]
  *
  * machine: r10-64 | r10-256 | r10-768 | kilo | dkip
+ *          (sim::MachineConfig::byName)
  * mem:     l1 | l2-11 | l2-21 | mem-100 | mem-400 | mem-1000
+ *          (mem::MemConfig::byName)
+ *
+ * --interval N samples the run every N committed instructions and
+ * prints the IPC-over-time series plus the per-interval JSONL rows
+ * (sim::writeIntervalRows) — the interval performance-counter view
+ * HPC methodology papers build their characterisations on.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <string>
+#include <vector>
 
-#include "src/sim/simulator.hh"
+#include "src/sim/session.hh"
+#include "src/sim/sweep_engine.hh"
 
 using namespace kilo;
-
-namespace
-{
-
-sim::MachineConfig
-machineByName(const std::string &name)
-{
-    if (name == "r10-64")
-        return sim::MachineConfig::r10_64();
-    if (name == "r10-256")
-        return sim::MachineConfig::r10_256();
-    if (name == "r10-768")
-        return sim::MachineConfig::r10_768();
-    if (name == "kilo")
-        return sim::MachineConfig::kilo1024();
-    if (name == "dkip")
-        return sim::MachineConfig::dkip2048();
-    KILO_FATAL("unknown machine '%s'", name.c_str());
-}
-
-mem::MemConfig
-memByName(const std::string &name)
-{
-    if (name == "l1")
-        return mem::MemConfig::l1Only();
-    if (name == "l2-11")
-        return mem::MemConfig::l2Perfect11();
-    if (name == "l2-21")
-        return mem::MemConfig::l2Perfect21();
-    if (name == "mem-100")
-        return mem::MemConfig::mem100();
-    if (name == "mem-400")
-        return mem::MemConfig::mem400();
-    if (name == "mem-1000")
-        return mem::MemConfig::mem1000();
-    KILO_FATAL("unknown memory config '%s'", name.c_str());
-}
-
-} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string bench = argc > 1 ? argv[1] : "swim";
-    std::string machine = argc > 2 ? argv[2] : "dkip";
-    std::string memname = argc > 3 ? argv[3] : "mem-400";
+    // --interval consumes its value wherever it appears; everything
+    // else is positional, so any prefix of the positionals may be
+    // omitted (e.g. `inspect_run swim --interval 1000`).
+    uint64_t interval = 0;
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+            interval = std::strtoull(argv[++i], nullptr, 10);
+            continue;
+        }
+        pos.push_back(argv[i]);
+    }
+    std::string bench = pos.size() > 0 ? pos[0] : "swim";
+    std::string machine = pos.size() > 1 ? pos[1] : "dkip";
+    std::string memname = pos.size() > 2 ? pos[2] : "mem-400";
 
-    auto res = sim::Simulator::run(machineByName(machine), bench,
-                                   memByName(memname),
-                                   sim::RunConfig());
+    sim::RunConfig rc;
+    rc.intervalInsts = interval;
+
+    sim::Session session(sim::MachineConfig::byName(machine), bench,
+                         mem::MemConfig::byName(memname), rc);
+    session.warmup();
+    // Advance in bounded steps rather than one shot — bit-identical
+    // to Simulator::run, but the loop is where a caller would splice
+    // in sampling or a wall-clock deadline.
+    while (!session.finished())
+        session.step(50000);
+    auto res = session.finish();
     const auto &s = res.stats;
 
-    std::printf("run        : %s on %s, %s\n", bench.c_str(),
-                machine.c_str(), memname.c_str());
+    std::printf("run        : %s on %s, %s%s\n", bench.c_str(),
+                machine.c_str(), memname.c_str(),
+                res.aborted ? "  [ABORTED]" : "");
     std::printf("IPC        : %.3f (%lu insts / %lu cycles)\n",
                 res.ipc, (unsigned long)s.committed,
                 (unsigned long)s.cycles);
-    std::printf("fetched    : %lu   dispatched: %lu   issued: %lu   "
-                "squashed: %lu\n",
-                (unsigned long)s.fetched, (unsigned long)s.dispatched,
-                (unsigned long)s.issued, (unsigned long)s.squashed);
-    std::printf("branches   : %lu   mispredicts: %lu (%.2f%%)\n",
-                (unsigned long)s.branches, (unsigned long)s.mispredicts,
-                100.0 * s.mispredictRate());
-    std::printf("loads      : %lu (L1 %lu, L2 %lu, MEM %lu)   "
-                "stores: %lu   fwd: %lu\n",
-                (unsigned long)s.loads, (unsigned long)s.loadL1,
-                (unsigned long)s.loadL2, (unsigned long)s.loadMem,
-                (unsigned long)s.stores, (unsigned long)s.storeForwards);
     std::printf("issue lat  : mean %.1f cycles, %%<100: %.1f  "
                 "%%<300: %.1f\n",
                 s.issueLatency.mean(),
                 100.0 * s.issueLatency.fractionBelow(100),
                 100.0 * s.issueLatency.fractionBelow(300));
-    std::printf("locality   : CP %lu  MP %lu (MP frac %.1f%%)\n",
-                (unsigned long)s.cpExecuted,
-                (unsigned long)s.mpExecuted, 100.0 * s.mpFraction());
-    std::printf("llib       : ins int %lu fp %lu   max instrs %lu/%lu "
-                "max regs %lu/%lu\n",
-                (unsigned long)s.llibInsertedInt,
-                (unsigned long)s.llibInsertedFp,
-                (unsigned long)s.maxLlibInstrsInt,
-                (unsigned long)s.maxLlibInstrsFp,
-                (unsigned long)s.maxLlibRegsInt,
-                (unsigned long)s.maxLlibRegsFp);
-    std::printf("stalls     : analyze %lu  llibFull %lu  llrfFull %lu "
-                "llrfConf %lu  chkpt-skip %lu (taken %lu)\n",
-                (unsigned long)s.analyzeStallCycles,
-                (unsigned long)s.llibFullStalls,
-                (unsigned long)s.llrfFullStalls,
-                (unsigned long)s.llrfConflictStalls,
-                (unsigned long)s.checkpointSkips,
-                (unsigned long)s.checkpointsTaken);
-    std::printf("memory     : accesses %lu  l2Misses %lu (%.1f%%)\n",
-                (unsigned long)res.memAccesses,
-                (unsigned long)res.l2Misses, 100.0 * res.l2MissRatio);
+
+    // Everything else comes straight from the registry snapshot: each
+    // stat prints itself, so a counter added anywhere in the model
+    // shows up here without touching this tool.
+    std::printf("\n%-22s %14s  %s\n", "stat", "value", "description");
+    const auto &defs = session.core().statsRegistry().defs();
+    for (const auto &def : defs) {
+        const auto *entry = res.snapshot.find(def.name);
+        if (!entry)
+            continue;
+        if (entry->value.real) {
+            std::printf("%-22s %14.6f  %s\n", def.name.c_str(),
+                        entry->value.d, def.description.c_str());
+        } else {
+            std::printf("%-22s %14lu  %s\n", def.name.c_str(),
+                        (unsigned long)entry->value.u,
+                        def.description.c_str());
+        }
+    }
+
+    if (!res.intervals.empty()) {
+        std::printf("\nIPC over time (every %lu committed insts):\n",
+                    (unsigned long)interval);
+        for (const auto &iv : res.intervals) {
+            int bar = int(iv.intervalIpc() * 12.0);
+            std::printf("  [%3lu] cyc %8lu  ipc %.3f %.*s\n",
+                        (unsigned long)iv.index,
+                        (unsigned long)iv.cycles, iv.intervalIpc(),
+                        bar > 48 ? 48 : bar,
+                        "################################"
+                        "################");
+        }
+        std::printf("\nper-interval JSONL rows:\n");
+        sim::writeIntervalRows(std::cout, res);
+    }
     return 0;
 }

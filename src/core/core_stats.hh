@@ -2,9 +2,17 @@
  * @file
  * Statistics block maintained by every core model.
  *
- * All counters are zeroed by resetStats() at the end of warm-up;
- * derived metrics (IPC, misprediction rate) are computed over the
- * post-warm-up region only.
+ * All counters are zeroed by PipelineBase::resetStats() at the end of
+ * warm-up; derived metrics (IPC, misprediction rate) are computed over
+ * the post-warm-up region only.
+ *
+ * Every field is registered — with a name and a description — on the
+ * owning core's stats::Registry (src/stats/registry.hh): the shared
+ * fields by PipelineBase, the decoupled-machine fields by the model
+ * that maintains them (DkipCore / KiloCore). Resetting is
+ * registry-driven, which zeroes counters and resets the histogram *in
+ * place*; there is deliberately no whole-struct reassignment anywhere,
+ * so histogram bucket configuration is never silently reconstructed.
  */
 
 #ifndef KILO_CORE_CORE_STATS_HH
@@ -83,13 +91,6 @@ struct CoreStats
     {
         uint64_t total = mpExecuted + cpExecuted;
         return total ? double(mpExecuted) / double(total) : 0.0;
-    }
-
-    /** Zero every counter (end of warm-up). */
-    void
-    reset()
-    {
-        *this = CoreStats();
     }
 };
 

@@ -14,7 +14,58 @@ PipelineBase::PipelineBase(const CoreParams &params,
       bp(pred::makePredictor(params.predictor)),
       fetchEngine(trace, *bp, prm, arena), mem_(mem_config),
       lsq(params.lsqSize, arena)
-{}
+{
+    registerBaseStats();
+}
+
+void
+PipelineBase::registerBaseStats()
+{
+    using stats::Row;
+    auto &r = statsReg;
+
+    // The Row::Yes registrations below, in this order, define the
+    // stable JSONL row schema (see src/stats/DESIGN.md): derived
+    // throughput metrics first, then the memory hierarchy's block.
+    r.gauge("ipc", "Committed instructions per cycle (measured region)",
+            [this] { return st.ipc(); }, Row::Yes);
+    r.counter("cycles", "Simulated cycles in the measured region",
+              &st.cycles, Row::Yes);
+    r.counter("committed", "Instructions committed", &st.committed,
+              Row::Yes);
+    r.counter("branches", "Branches committed", &st.branches, Row::Yes);
+    r.gauge("mispredict_rate", "Branch mispredictions per branch",
+            [this] { return st.mispredictRate(); }, Row::Yes);
+    r.gauge("mp_fraction",
+            "Fraction of committed instructions executed in the MP",
+            [this] { return st.mpFraction(); }, Row::Yes);
+    mem_.registerStats(r);
+
+    r.counter("fetched", "Instructions fetched", &st.fetched);
+    r.counter("dispatched", "Instructions dispatched", &st.dispatched);
+    r.counter("issued", "Instructions issued", &st.issued);
+    r.counter("squashed", "Instructions squashed on recovery",
+              &st.squashed);
+    r.counter("mispredicts", "Branches mispredicted", &st.mispredicts);
+    r.counter("loads", "Loads committed", &st.loads);
+    r.counter("stores", "Stores committed", &st.stores);
+    r.counter("load_l1", "Committed loads serviced by the L1",
+              &st.loadL1);
+    r.counter("load_l2", "Committed loads serviced by the L2",
+              &st.loadL2);
+    r.counter("load_mem", "Committed loads serviced off chip",
+              &st.loadMem);
+    r.counter("store_forwards", "Loads forwarded from an older store",
+              &st.storeForwards);
+    r.counter("mp_executed", "Committed instructions executed in MP",
+              &st.mpExecuted);
+    r.counter("cp_executed", "Committed instructions executed in CP",
+              &st.cpExecuted);
+    r.histogram("issue_latency",
+                "Decode->issue distance of committed instructions "
+                "(cycles, Figure 3)",
+                &st.issueLatency);
+}
 
 void
 PipelineBase::beginCycle()
@@ -443,8 +494,13 @@ PipelineBase::idleSkip()
 void
 PipelineBase::run(uint64_t num_insts)
 {
-    uint64_t target = st.committed + num_insts;
-    while (st.committed < target) {
+    runUntil(st.committed + num_insts, UINT64_MAX);
+}
+
+void
+PipelineBase::runUntil(uint64_t target_committed, uint64_t cycle_limit)
+{
+    while (st.committed < target_committed && now < cycle_limit) {
         tick();
         idleSkip();
         if (now - lastCommitCycle >= 4000000) {
@@ -490,7 +546,12 @@ PipelineBase::runCycles(uint64_t n)
 void
 PipelineBase::resetStats()
 {
-    st.reset();
+    // Registry-driven: zero every registered counter and reset the
+    // histograms in place (bucket configuration survives). The
+    // hierarchy's own resetStats still runs for the stats the
+    // registry reads through gauges (MSHR peak/occupancy, the cache
+    // arrays' internal counters).
+    statsReg.reset();
     mem_.resetStats();
     lastCommitCycle = now;
 }

@@ -40,6 +40,7 @@
 #include "src/core/params.hh"
 #include "src/core/scoreboard.hh"
 #include "src/mem/hierarchy.hh"
+#include "src/stats/registry.hh"
 #include "src/util/event_wheel.hh"
 #include "src/util/ring_deque.hh"
 #include "src/wload/trace_window.hh"
@@ -62,12 +63,28 @@ class PipelineBase
     /** Simulate until @p num_insts more instructions commit. */
     void run(uint64_t num_insts);
 
+    /**
+     * Simulate until @p target_committed total instructions have
+     * committed or the current cycle reaches @p cycle_limit,
+     * whichever comes first. The tick sequence is identical to
+     * run()'s — pausing at a cycle boundary and resuming is
+     * bit-equivalent to running straight through — which is what
+     * makes sim::Session stepping exact.
+     */
+    void runUntil(uint64_t target_committed, uint64_t cycle_limit);
+
     /** Simulate exactly @p n cycles (no idle skipping). */
     void runCycles(uint64_t n);
 
     /** Statistics of the measured region. */
     CoreStats &stats() { return st; }
     const CoreStats &stats() const { return st; }
+
+    /**
+     * Self-describing statistics registered by this core's components
+     * (base pipeline, memory hierarchy, decoupled structures).
+     */
+    const stats::Registry &statsRegistry() const { return statsReg; }
 
     /** Data-memory hierarchy. */
     mem::MemoryHierarchy &memory() { return mem_; }
@@ -166,6 +183,7 @@ class PipelineBase
 
     CoreParams prm;
     CoreStats st;
+    stats::Registry statsReg;
     wload::Workload &workload;
     wload::TraceWindow trace;
     std::unique_ptr<pred::BranchPredictor> bp;
@@ -187,6 +205,7 @@ class PipelineBase
     uint64_t activity = 0;     ///< work units this cycle
 
   private:
+    void registerBaseStats();
     void completeInst(InstRef ref);
     void wakeDependents(DynInst &inst);
     void recoverFromBranch(InstRef branch);

@@ -40,7 +40,49 @@ DkipCore::DkipCore(const DkipParams &params, wload::Workload &workload,
       mpIntFus(params.mpIntFus),
       mpFpFus(params.mpFpFus),
       chkpt(params.checkpointCapacity)
-{}
+{
+    // Decoupled-machine statistics: maintained here, so named and
+    // described here (they only appear in the D-KIP stats schema).
+    using stats::Row;
+    auto &r = statsReg;
+    r.counter("llib_inserted_int",
+              "Low-locality instructions inserted into the int LLIB",
+              &st.llibInsertedInt);
+    r.counter("llib_inserted_fp",
+              "Low-locality instructions inserted into the FP LLIB",
+              &st.llibInsertedFp);
+    r.counter("analyze_stall_cycles",
+              "Cycles the Analyze stage stalled the aging-ROB drain",
+              &st.analyzeStallCycles);
+    r.counter("llrf_conflict_stalls",
+              "Extractions replayed on an LLRF bank-port conflict",
+              &st.llrfConflictStalls);
+    r.counter("llib_full_stalls",
+              "Analyze stalls because the target LLIB was full",
+              &st.llibFullStalls);
+    r.counter("llrf_full_stalls",
+              "Analyze stalls because no LLRF register was free",
+              &st.llrfFullStalls);
+    r.counter("checkpoint_skips",
+              "LLIB branches with no free checkpoint entry",
+              &st.checkpointSkips);
+    r.counter("checkpoints_taken", "Checkpoints taken at LLIB branches",
+              &st.checkpointsTaken);
+    r.counter("max_llib_instrs_int", "Peak int LLIB occupancy",
+              &st.maxLlibInstrsInt);
+    r.counter("max_llib_instrs_fp", "Peak FP LLIB occupancy",
+              &st.maxLlibInstrsFp);
+    r.counter("max_llib_regs_int", "Peak int LLRF registers allocated",
+              &st.maxLlibRegsInt);
+    r.counter("max_llib_regs_fp", "Peak FP LLRF registers allocated",
+              &st.maxLlibRegsFp);
+    r.gaugeInt("llib_int_occupancy", "Current int LLIB entries",
+               [this] { return uint64_t(llibInt.size()); });
+    r.gaugeInt("llib_fp_occupancy", "Current FP LLIB entries",
+               [this] { return uint64_t(llibFp.size()); });
+    r.gaugeInt("checkpoint_depth", "Live checkpoint-stack entries",
+               [this] { return uint64_t(chkpt.size()); });
+}
 
 void
 DkipCore::beginCycleQueues()

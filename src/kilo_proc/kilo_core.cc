@@ -27,7 +27,36 @@ KiloCore::KiloCore(const KiloParams &params, wload::Workload &workload,
       sliq("sliq", params.sliqCapacity,
            core::SchedPolicy::OutOfOrder, arena),
       chkpt(params.checkpointCapacity)
-{}
+{
+    // SLIQ statistics: the KILO baseline stores its slow-lane
+    // accounting in the shared llib*/analyze CoreStats fields, but
+    // names them for what they measure on this machine (they only
+    // appear in the KILO stats schema).
+    auto &r = statsReg;
+    r.counter("sliq_inserted_int",
+              "Low-locality int instructions moved to the SLIQ",
+              &st.llibInsertedInt);
+    r.counter("sliq_inserted_fp",
+              "Low-locality FP instructions moved to the SLIQ",
+              &st.llibInsertedFp);
+    r.counter("analyze_stall_cycles",
+              "Cycles the Analyze stage stalled the pseudo-ROB drain",
+              &st.analyzeStallCycles);
+    r.counter("sliq_full_stalls",
+              "Analyze stalls because the SLIQ was full",
+              &st.llibFullStalls);
+    r.counter("checkpoint_skips",
+              "SLIQ branches with no free checkpoint entry",
+              &st.checkpointSkips);
+    r.counter("checkpoints_taken", "Checkpoints taken at SLIQ branches",
+              &st.checkpointsTaken);
+    r.counter("max_sliq_instrs", "Peak SLIQ occupancy",
+              &st.maxLlibInstrsInt);
+    r.gaugeInt("sliq_occupancy", "Current SLIQ entries",
+               [this] { return uint64_t(sliq.size()); });
+    r.gaugeInt("checkpoint_depth", "Live checkpoint-stack entries",
+               [this] { return uint64_t(chkpt.size()); });
+}
 
 void
 KiloCore::beginCycleQueues()

@@ -1,6 +1,7 @@
 #include "src/mem/hierarchy.hh"
 
 #include "src/util/logging.hh"
+#include "src/util/names.hh"
 
 namespace kilo::mem
 {
@@ -80,6 +81,48 @@ MemConfig::withL2Size(uint64_t bytes)
     cfg.l2Size = bytes;
     cfg.name = "MEM-400/L2-" + std::to_string(bytes / 1024) + "KB";
     return cfg;
+}
+
+namespace
+{
+
+struct MemPreset
+{
+    const char *alias;
+    MemConfig (*make)();
+};
+
+constexpr MemPreset MemPresets[] = {
+    {"l1", MemConfig::l1Only},
+    {"l2-11", MemConfig::l2Perfect11},
+    {"l2-21", MemConfig::l2Perfect21},
+    {"mem-100", MemConfig::mem100},
+    {"mem-400", MemConfig::mem400},
+    {"mem-1000", MemConfig::mem1000},
+};
+
+} // anonymous namespace
+
+MemConfig
+MemConfig::byName(const std::string &name)
+{
+    using util::iequals;
+    for (const auto &preset : MemPresets) {
+        MemConfig cfg = preset.make();
+        if (iequals(name, preset.alias) || iequals(name, cfg.name))
+            return cfg;
+    }
+    KILO_FATAL("unknown memory config '%s' (known: l1 l2-11 l2-21 "
+               "mem-100 mem-400 mem-1000)", name.c_str());
+}
+
+std::vector<std::string>
+MemConfig::names()
+{
+    std::vector<std::string> out;
+    for (const auto &preset : MemPresets)
+        out.push_back(preset.alias);
+    return out;
 }
 
 MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg)
@@ -182,6 +225,57 @@ MemoryHierarchy::prewarm(uint64_t base, uint64_t bytes)
         if (l2)
             l2->access(addr);
     }
+}
+
+void
+MemoryHierarchy::registerStats(stats::Registry &reg)
+{
+    using stats::Row;
+
+    // The JSONL row block, in schema order.
+    reg.counter("mem_accesses", "Data accesses into the hierarchy",
+                &nAccesses, Row::Yes);
+    reg.counter("l2_misses", "Misses of an existing L2", &nL2Misses,
+                Row::Yes);
+    reg.gauge("l2_miss_ratio", "L2 misses per hierarchy access",
+              [this] { return l2MissRatio(); }, Row::Yes);
+    reg.counter("mem_fills", "Off-chip line fills started", &nMemFills,
+                Row::Yes);
+    reg.counter("mshr_merges",
+                "Accesses merged into an in-flight fill", &nMerges,
+                Row::Yes);
+    reg.gaugeInt("mshr_peak", "Peak MSHR occupancy (measured region)",
+                 [this] { return uint64_t(mshrs.peakOccupancy()); },
+                 Row::Yes);
+    reg.gaugeInt("mshr_set_p50",
+                 "Median per-set live fills at allocation",
+                 [this] {
+                     return mshrs.setOccupancy().percentile(0.50);
+                 },
+                 Row::Yes);
+    reg.gaugeInt("mshr_set_p99",
+                 "99th-percentile per-set live fills at allocation",
+                 [this] {
+                     return mshrs.setOccupancy().percentile(0.99);
+                 },
+                 Row::Yes);
+    reg.gaugeInt("mshr_set_max",
+                 "Maximum per-set live fills at allocation",
+                 [this] { return mshrs.setOccupancy().maxSample(); },
+                 Row::Yes);
+
+    // Diagnostics outside the stable row schema.
+    reg.counter("l1_misses", "L1 misses", &nL1Misses);
+    reg.gaugeInt("mshr_displacements",
+                 "Live fills displaced by a full MSHR set "
+                 "(nonzero means merges were lost)",
+                 [this] { return mshrs.displacements(); });
+    // Registry reset and MshrFile::resetPeak (via resetStats) both
+    // reset this histogram in place; the overlap is idempotent.
+    reg.histogram("mshr_set_occupancy",
+                  "Per-set live-fill occupancy sampled at each fill "
+                  "allocation (MLP clustering)",
+                  &mshrs.setOccupancy());
 }
 
 void

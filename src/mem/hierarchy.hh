@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/mem/cache.hh"
 #include "src/mem/mshr.hh"
+#include "src/stats/registry.hh"
 
 namespace kilo::mem
 {
@@ -89,6 +91,19 @@ struct MemConfig
 
     /** MEM-400 with an explicit L2 capacity (Figures 11/12 sweep). */
     static MemConfig withL2Size(uint64_t bytes);
+
+    /**
+     * Canonical preset registry: resolves either a short CLI alias
+     * ("l1", "l2-11", "l2-21", "mem-100", "mem-400", "mem-1000") or a
+     * preset's own name ("L1-2", "MEM-400", ...), case-insensitively.
+     * Exits with a diagnostic on an unknown name — this is the one
+     * name->config mapping examples/, bench/ and sweep-job parsing
+     * share.
+     */
+    static MemConfig byName(const std::string &name);
+
+    /** The short aliases byName() accepts, presentation order. */
+    static std::vector<std::string> names();
 };
 
 /**
@@ -154,6 +169,14 @@ class MemoryHierarchy
 
     /** Zero statistics (end of warm-up); tag state is preserved. */
     void resetStats();
+
+    /**
+     * Register this hierarchy's statistics on @p reg — the memory
+     * block of the stable JSONL row schema (mem_accesses ..
+     * mshr_set_max) plus non-row diagnostics. Called once by the
+     * owning core; the hierarchy must outlive the registry.
+     */
+    void registerStats(stats::Registry &reg);
 
     /**
      * Install the lines of [base, base+bytes) into the tag arrays in

@@ -82,6 +82,9 @@ class MshrFile
      */
     const Histogram &setOccupancy() const { return setOccHist; }
 
+    /** Mutable view for stats registration (reset-in-place binding). */
+    Histogram &setOccupancy() { return setOccHist; }
+
     /** Restart peak tracking from the current occupancy (end of
      *  warm-up); in-flight fills themselves are preserved. */
     void

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "src/util/logging.hh"
+#include "src/util/names.hh"
+
 namespace kilo::sim
 {
 
@@ -91,6 +94,47 @@ MachineConfig::dkipSched(core::SchedPolicy cp_policy, size_t cp_queue,
     m.dkip.mpPolicy = mp_policy;
     m.dkip.mpIqSize = mp_queue;
     return m;
+}
+
+namespace
+{
+
+struct MachinePreset
+{
+    const char *alias;
+    MachineConfig (*make)();
+};
+
+constexpr MachinePreset MachinePresets[] = {
+    {"r10-64", MachineConfig::r10_64},
+    {"r10-256", MachineConfig::r10_256},
+    {"r10-768", MachineConfig::r10_768},
+    {"kilo", MachineConfig::kilo1024},
+    {"dkip", MachineConfig::dkip2048},
+};
+
+} // anonymous namespace
+
+MachineConfig
+MachineConfig::byName(const std::string &name)
+{
+    using util::iequals;
+    for (const auto &preset : MachinePresets) {
+        MachineConfig cfg = preset.make();
+        if (iequals(name, preset.alias) || iequals(name, cfg.name))
+            return cfg;
+    }
+    KILO_FATAL("unknown machine '%s' (known: r10-64 r10-256 r10-768 "
+               "kilo dkip)", name.c_str());
+}
+
+std::vector<std::string>
+MachineConfig::names()
+{
+    std::vector<std::string> out;
+    for (const auto &preset : MachinePresets)
+        out.push_back(preset.alias);
+    return out;
 }
 
 std::string

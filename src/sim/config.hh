@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/params.hh"
 #include "src/dkip/dkip_core.hh"
@@ -75,6 +76,19 @@ struct MachineConfig
                                   size_t cp_queue,
                                   core::SchedPolicy mp_policy,
                                   size_t mp_queue);
+
+    /**
+     * Canonical preset registry: resolves either a short CLI alias
+     * ("r10-64", "r10-256", "r10-768", "kilo", "dkip") or a preset's
+     * own name ("R10-64", "KILO-1024", "DKIP-2048"),
+     * case-insensitively. Exits with a diagnostic on an unknown name
+     * — the one name->machine mapping examples/, bench/ and
+     * sweep-job parsing (SweepEngine::matrixByName) share.
+     */
+    static MachineConfig byName(const std::string &name);
+
+    /** The short aliases byName() accepts, presentation order. */
+    static std::vector<std::string> names();
 };
 
 } // namespace kilo::sim

@@ -1,0 +1,200 @@
+#include "src/sim/session.hh"
+
+#include "src/trace/trace_reader.hh"
+#include "src/wload/synthetic.hh"
+
+namespace kilo::sim
+{
+
+namespace
+{
+
+constexpr const char TracePrefix[] = "trace:";
+
+/** Resolve a workload name to a generator or a trace replay. */
+wload::WorkloadPtr
+resolveWorkload(const std::string &name, const RunConfig &run_config)
+{
+    if (!run_config.tracePath.empty())
+        return trace::openTrace(run_config.tracePath);
+    if (name.rfind(TracePrefix, 0) == 0)
+        return trace::openTrace(name.substr(sizeof(TracePrefix) - 1));
+    return wload::makeWorkload(name);
+}
+
+} // anonymous namespace
+
+Session::Session(const MachineConfig &machine,
+                 const std::string &workload_name,
+                 const mem::MemConfig &mem_config,
+                 const RunConfig &run_config)
+    : machineName(machine.name), rc(run_config),
+      owned(resolveWorkload(workload_name, run_config)), wl(owned.get()),
+      core_(Simulator::makeCore(machine, *wl, mem_config))
+{
+    // Functional cache warm-up: install the workload's working set so
+    // the short timed region sees the steady-state hit rates a 200M-
+    // instruction SimPoint run would.
+    for (const auto &region : wl->regions())
+        core_->memory().prewarm(region.base, region.bytes);
+}
+
+Session::Session(const MachineConfig &machine, wload::Workload &workload,
+                 const mem::MemConfig &mem_config,
+                 const RunConfig &run_config)
+    : machineName(machine.name), rc(run_config), wl(&workload),
+      core_(Simulator::makeCore(machine, workload, mem_config))
+{
+    for (const auto &region : wl->regions())
+        core_->memory().prewarm(region.base, region.bytes);
+}
+
+void
+Session::warmup()
+{
+    if (warmedUp)
+        return;
+    warmedUp = true;
+    if (rc.warmupInsts) {
+        core_->run(rc.warmupInsts);
+        core_->resetStats();
+    }
+    measureStartCycle = core_->cycle();
+    nextIntervalAt = rc.intervalInsts;
+}
+
+uint64_t
+Session::deadlineCycle() const
+{
+    return rc.maxCycles ? measureStartCycle + rc.maxCycles
+                        : UINT64_MAX;
+}
+
+uint64_t
+Session::measuredCycles() const
+{
+    return core_->stats().cycles;
+}
+
+uint64_t
+Session::measuredCommitted() const
+{
+    return core_->stats().committed;
+}
+
+bool
+Session::finished() const
+{
+    return aborted_ ||
+           (warmedUp && core_->stats().committed >= rc.measureInsts);
+}
+
+void
+Session::advance(uint64_t target_committed, uint64_t cycle_cap)
+{
+    warmup();
+    if (target_committed > rc.measureInsts)
+        target_committed = rc.measureInsts;
+    const uint64_t deadline = deadlineCycle();
+    if (cycle_cap > deadline)
+        cycle_cap = deadline;
+
+    while (!aborted_ &&
+           core_->stats().committed < target_committed &&
+           core_->cycle() < cycle_cap) {
+        // Pause at the next interval boundary, if one comes first.
+        // runUntil's tick sequence is unaffected by where it pauses,
+        // so sampling never perturbs timing.
+        uint64_t stop = target_committed;
+        if (nextIntervalAt && nextIntervalAt < stop)
+            stop = nextIntervalAt;
+        core_->runUntil(stop, cycle_cap);
+        if (nextIntervalAt &&
+            core_->stats().committed >= nextIntervalAt) {
+            recordInterval();
+            nextIntervalAt += rc.intervalInsts;
+        }
+    }
+
+    if (core_->cycle() >= deadline &&
+        core_->stats().committed < rc.measureInsts)
+        aborted_ = true;
+}
+
+uint64_t
+Session::step(uint64_t max_cycles)
+{
+    warmup();
+    uint64_t before = core_->stats().committed;
+    uint64_t cap = core_->cycle() + max_cycles;
+    if (cap < core_->cycle()) // overflow: treat as unbounded
+        cap = UINT64_MAX;
+    advance(rc.measureInsts, cap);
+    return core_->stats().committed - before;
+}
+
+uint64_t
+Session::runFor(uint64_t insts)
+{
+    warmup();
+    uint64_t before = core_->stats().committed;
+    advance(before + insts, UINT64_MAX);
+    return core_->stats().committed - before;
+}
+
+void
+Session::run()
+{
+    advance(UINT64_MAX, UINT64_MAX);
+}
+
+stats::Snapshot
+Session::snapshot() const
+{
+    return core_->statsRegistry().snapshot();
+}
+
+void
+Session::recordInterval()
+{
+    stats::IntervalSample s;
+    s.index = intervals_.size();
+    s.cycles = core_->stats().cycles;
+    s.committed = core_->stats().committed;
+    const stats::IntervalSample *prev =
+        intervals_.empty() ? nullptr : &intervals_.back();
+    s.deltaCycles = s.cycles - (prev ? prev->cycles : 0);
+    s.deltaCommitted = s.committed - (prev ? prev->committed : 0);
+    s.snapshot = core_->statsRegistry().snapshot();
+    intervals_.push_back(std::move(s));
+}
+
+RunResult
+Session::finish()
+{
+    RunResult res;
+    res.machine = machineName;
+    res.workload = wl->name();
+    res.stats = core_->stats();
+    res.ipc = core_->stats().ipc();
+    res.aborted = aborted_;
+    res.snapshot = core_->statsRegistry().snapshot();
+    res.intervals = std::move(intervals_);
+    intervals_.clear();
+
+    // Deprecated flat fields (see the MIGRATION note in README.md).
+    const mem::MemoryHierarchy &m = core_->memory();
+    res.memAccesses = m.accesses();
+    res.l2Misses = m.l2Misses();
+    res.l2MissRatio = m.l2MissRatio();
+    res.memFills = m.memFills();
+    res.mshrMerges = m.mshrMerges();
+    res.mshrPeak = m.mshrPeakOccupancy();
+    const Histogram &set_occ = m.mshrSetOccupancy();
+    res.mshrSetP50 = uint32_t(set_occ.percentile(0.50));
+    res.mshrSetP99 = uint32_t(set_occ.percentile(0.99));
+    res.mshrSetMax = uint32_t(set_occ.maxSample());
+    return res;
+}
+
+} // namespace kilo::sim

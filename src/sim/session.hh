@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Stepwise run object: one (machine, workload, memory) simulation
+ * with explicit phases.
+ *
+ * Where Simulator::run is fire-and-forget, a Session lets the caller
+ * interleave its own logic with the simulation — sample statistics
+ * mid-flight, pace a run against a wall clock, enforce deadlines, or
+ * abort cleanly:
+ *
+ *     sim::Session session(sim::MachineConfig::dkip2048(), "swim",
+ *                          mem::MemConfig::mem400(), rc);
+ *     session.warmup();
+ *     while (!session.finished()) {
+ *         session.step(10000);                   // <= 10k cycles
+ *         auto snap = session.snapshot();        // sample anything
+ *         if (wallClockExpired())
+ *             break;                             // abort cleanly
+ *     }
+ *     sim::RunResult result = session.finish();
+ *
+ * Stepping is exact: a run advanced via any sequence of step() /
+ * runFor() calls commits the same instructions over the same cycles
+ * as one-shot Simulator::run — the engine's tick sequence only ever
+ * pauses at the boundaries, it never diverges (pinned bit-identical
+ * by tests/test_session.cpp).
+ *
+ * The Session owns everything a run needs (workload or a borrowed
+ * caller workload, core, arena, memory hierarchy), applies the
+ * functional cache prewarm at construction, honours
+ * RunConfig::maxCycles as a measured-region deadline (finished runs
+ * report RunResult::aborted) and records stats::IntervalSamples every
+ * RunConfig::intervalInsts committed instructions.
+ */
+
+#ifndef KILO_SIM_SESSION_HH
+#define KILO_SIM_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hh"
+
+namespace kilo::sim
+{
+
+/** A constructed-once, stepwise simulation run. */
+class Session
+{
+  public:
+    /** Resolve @p workload_name (preset, "trace:<path>" or
+     *  RunConfig::tracePath) and own the resulting workload. */
+    Session(const MachineConfig &machine,
+            const std::string &workload_name,
+            const mem::MemConfig &mem_config,
+            const RunConfig &run_config = RunConfig());
+
+    /** Borrow a caller-provided workload (not reset, not owned). */
+    Session(const MachineConfig &machine, wload::Workload &workload,
+            const mem::MemConfig &mem_config,
+            const RunConfig &run_config = RunConfig());
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * Run the warm-up region (RunConfig::warmupInsts) and reset
+     * statistics. Idempotent; implied by the first advance if the
+     * caller never calls it.
+     */
+    void warmup();
+
+    /**
+     * Advance the measured region by at most @p max_cycles cycles.
+     * Returns the number of instructions committed by this call.
+     * (An idle skip over a long memory stall may overshoot the cycle
+     * bound by that stall; the next call simply runs shorter.)
+     */
+    uint64_t step(uint64_t max_cycles);
+
+    /**
+     * Advance the measured region until @p insts more instructions
+     * commit (bounded by measureInsts and the deadline). Returns the
+     * number actually committed by this call.
+     */
+    uint64_t runFor(uint64_t insts);
+
+    /** Advance to completion (measureInsts or the deadline). */
+    void run();
+
+    /** Measured region complete — target reached or aborted. */
+    bool finished() const;
+
+    /** The RunConfig::maxCycles deadline expired mid-region. */
+    bool aborted() const { return aborted_; }
+
+    /** Cycles of the measured region so far (0 before warmup()). */
+    uint64_t measuredCycles() const;
+
+    /** Committed instructions of the measured region so far. */
+    uint64_t measuredCommitted() const;
+
+    /** Point-in-time values of every registered statistic. */
+    stats::Snapshot snapshot() const;
+
+    /** Interval samples recorded so far (RunConfig::intervalInsts). */
+    const std::vector<stats::IntervalSample> &intervals() const
+    {
+        return intervals_;
+    }
+
+    /** The underlying core (structure inspection, registry). @{ */
+    core::PipelineBase &core() { return *core_; }
+    const core::PipelineBase &core() const { return *core_; }
+    /** @} */
+
+    /** The run's configuration. */
+    const RunConfig &config() const { return rc; }
+
+    /**
+     * Collect the RunResult. Steals the interval samples; the Session
+     * remains inspectable but should not be advanced further.
+     */
+    RunResult finish();
+
+  private:
+    /** Advance toward @p target_committed, capped at @p cycle_cap
+     *  (both absolute), recording intervals and the deadline abort. */
+    void advance(uint64_t target_committed, uint64_t cycle_cap);
+
+    void recordInterval();
+
+    /** Absolute cycle the measured region must end by. */
+    uint64_t deadlineCycle() const;
+
+    std::string machineName;
+    RunConfig rc;
+
+    wload::WorkloadPtr owned;     ///< by-name constructor only
+    wload::Workload *wl;          ///< always valid
+    std::unique_ptr<core::PipelineBase> core_;
+
+    bool warmedUp = false;
+    bool aborted_ = false;
+    uint64_t measureStartCycle = 0;   ///< absolute core cycle
+    uint64_t nextIntervalAt = 0;      ///< committed insts, 0 = off
+    std::vector<stats::IntervalSample> intervals_;
+};
+
+} // namespace kilo::sim
+
+#endif // KILO_SIM_SESSION_HH

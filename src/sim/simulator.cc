@@ -3,9 +3,8 @@
 #include "src/core/ooo_core.hh"
 #include "src/dkip/dkip_core.hh"
 #include "src/kilo_proc/kilo_core.hh"
-#include "src/trace/trace_reader.hh"
+#include "src/sim/session.hh"
 #include "src/util/logging.hh"
-#include "src/wload/synthetic.hh"
 
 namespace kilo::sim
 {
@@ -29,23 +28,10 @@ Simulator::makeCore(const MachineConfig &machine,
     KILO_PANIC("unknown MachineKind");
 }
 
-namespace
-{
-
-constexpr const char TracePrefix[] = "trace:";
-
-/** Resolve a workload name to a generator or a trace replay. */
-wload::WorkloadPtr
-resolveWorkload(const std::string &name, const RunConfig &run_config)
-{
-    if (!run_config.tracePath.empty())
-        return trace::openTrace(run_config.tracePath);
-    if (name.rfind(TracePrefix, 0) == 0)
-        return trace::openTrace(name.substr(sizeof(TracePrefix) - 1));
-    return wload::makeWorkload(name);
-}
-
-} // anonymous namespace
+// Simulator::run is the fire-and-forget wrapper: a Session advanced
+// straight to completion. Callers that need mid-flight sampling,
+// wall-clock pacing or clean aborts construct the Session themselves
+// (src/sim/session.hh).
 
 RunResult
 Simulator::run(const MachineConfig &machine,
@@ -53,8 +39,10 @@ Simulator::run(const MachineConfig &machine,
                const mem::MemConfig &mem_config,
                const RunConfig &run_config)
 {
-    auto workload = resolveWorkload(workload_name, run_config);
-    return run(machine, *workload, mem_config, run_config);
+    Session session(machine, workload_name, mem_config, run_config);
+    session.warmup();
+    session.run();
+    return session.finish();
 }
 
 RunResult
@@ -62,36 +50,10 @@ Simulator::run(const MachineConfig &machine, wload::Workload &workload,
                const mem::MemConfig &mem_config,
                const RunConfig &run_config)
 {
-    auto core = makeCore(machine, workload, mem_config);
-
-    // Functional cache warm-up: install the workload's working set so
-    // the short timed region sees the steady-state hit rates a 200M-
-    // instruction SimPoint run would.
-    for (const auto &region : workload.regions())
-        core->memory().prewarm(region.base, region.bytes);
-
-    if (run_config.warmupInsts) {
-        core->run(run_config.warmupInsts);
-        core->resetStats();
-    }
-    core->run(run_config.measureInsts);
-
-    RunResult res;
-    res.machine = machine.name;
-    res.workload = workload.name();
-    res.stats = core->stats();
-    res.ipc = core->stats().ipc();
-    res.memAccesses = core->memory().accesses();
-    res.l2Misses = core->memory().l2Misses();
-    res.l2MissRatio = core->memory().l2MissRatio();
-    res.memFills = core->memory().memFills();
-    res.mshrMerges = core->memory().mshrMerges();
-    res.mshrPeak = core->memory().mshrPeakOccupancy();
-    const Histogram &set_occ = core->memory().mshrSetOccupancy();
-    res.mshrSetP50 = uint32_t(set_occ.percentile(0.50));
-    res.mshrSetP99 = uint32_t(set_occ.percentile(0.99));
-    res.mshrSetMax = uint32_t(set_occ.maxSample());
-    return res;
+    Session session(machine, workload, mem_config, run_config);
+    session.warmup();
+    session.run();
+    return session.finish();
 }
 
 } // namespace kilo::sim

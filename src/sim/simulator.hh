@@ -2,12 +2,17 @@
  * @file
  * Top-level simulation driver: one (machine, workload, memory) run.
  *
- * This is the primary public entry point of the library:
+ * The one-shot entry point:
  *
  *     auto result = sim::Simulator::run(
  *         sim::MachineConfig::dkip2048(), "swim",
  *         mem::MemConfig::mem400(), sim::RunConfig());
  *     std::printf("IPC %.2f\n", result.ipc);
+ *
+ * Simulator::run is a thin wrapper over sim::Session
+ * (src/sim/session.hh), the stepwise run object to use when a run
+ * must be sampled mid-flight, paced against a wall clock, or aborted
+ * on a cycle deadline.
  */
 
 #ifndef KILO_SIM_SIMULATOR_HH
@@ -15,21 +20,43 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/core_stats.hh"
 #include "src/core/pipeline_base.hh"
 #include "src/mem/hierarchy.hh"
 #include "src/sim/config.hh"
+#include "src/stats/snapshot.hh"
 #include "src/wload/workload.hh"
 
 namespace kilo::sim
 {
 
-/** Length of a simulation. */
+/** Length and instrumentation of a simulation. */
 struct RunConfig
 {
     uint64_t warmupInsts = 20000;   ///< committed, stats then reset
     uint64_t measureInsts = 100000; ///< committed, measured region
+
+    /**
+     * Measured-region cycle deadline; 0 means unlimited. A run whose
+     * measured region reaches this many cycles before committing
+     * measureInsts stops and reports RunResult::aborted — the per-job
+     * timeout SweepEngine matrices need for cluster-scale sweeps.
+     * (Enforced between engine quanta: an idle skip over a long
+     * memory stall may overshoot the deadline by that stall.)
+     */
+    uint64_t maxCycles = 0;
+
+    /**
+     * Interval statistics sampling period in committed instructions;
+     * 0 disables. When set, the Session records a stats::IntervalSample
+     * (cumulative snapshot + per-interval IPC) every intervalInsts
+     * committed instructions of the measured region —
+     * RunResult::intervals, emitted as JSONL by writeIntervalRows().
+     * Sampling does not perturb timing.
+     */
+    uint64_t intervalInsts = 0;
 
     /**
      * When non-empty, run-by-name replays this KILOTRC trace file
@@ -51,7 +78,16 @@ struct RunConfig
     }
 };
 
-/** Outcome of one run. */
+/**
+ * Outcome of one run.
+ *
+ * The authoritative payload is `snapshot` — the self-describing
+ * stats::Registry snapshot every component contributed to; JSONL rows
+ * are generated from it generically. The flat convenience fields
+ * below (ipc, memAccesses, ...) are populated for source
+ * compatibility but deprecated for new code; see the MIGRATION note
+ * in README.md.
+ */
 struct RunResult
 {
     std::string machine;
@@ -59,7 +95,17 @@ struct RunResult
     double ipc = 0.0;
     core::CoreStats stats;
 
-    /** Memory-side statistics. @{ */
+    /** True when RunConfig::maxCycles expired before measureInsts
+     *  committed; the stats cover the truncated region. */
+    bool aborted = false;
+
+    /** Every registered stat at the end of the run. */
+    stats::Snapshot snapshot;
+
+    /** Interval samples (RunConfig::intervalInsts; empty when off). */
+    std::vector<stats::IntervalSample> intervals;
+
+    /** Deprecated flat memory-side fields (use snapshot). @{ */
     uint64_t memAccesses = 0;
     uint64_t l2Misses = 0;
     double l2MissRatio = 0.0;

@@ -4,8 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <ostream>
-#include <sstream>
 #include <thread>
+
+#include "src/stats/json.hh"
 
 namespace kilo::sim
 {
@@ -89,6 +90,23 @@ SweepEngine::matrix(const std::vector<MachineConfig> &machines,
     return jobs;
 }
 
+std::vector<SweepJob>
+SweepEngine::matrixByName(const std::vector<std::string> &machines,
+                          const std::vector<std::string> &workloads,
+                          const std::vector<std::string> &mems,
+                          const RunConfig &run_config)
+{
+    std::vector<MachineConfig> machine_cfgs;
+    machine_cfgs.reserve(machines.size());
+    for (const auto &name : machines)
+        machine_cfgs.push_back(MachineConfig::byName(name));
+    std::vector<mem::MemConfig> mem_cfgs;
+    mem_cfgs.reserve(mems.size());
+    for (const auto &name : mems)
+        mem_cfgs.push_back(mem::MemConfig::byName(name));
+    return matrix(machine_cfgs, workloads, mem_cfgs, run_config);
+}
+
 std::vector<RunResult>
 SweepEngine::runSuite(const MachineConfig &machine,
                       const std::vector<std::string> &suite,
@@ -101,27 +119,33 @@ SweepEngine::runSuite(const MachineConfig &machine,
 std::string
 runResultJson(const RunResult &r)
 {
-    std::ostringstream os;
-    os.precision(17); // round-trip exact doubles
-    os << "{\"machine\":\"" << r.machine << "\""
-       << ",\"workload\":\"" << r.workload << "\""
-       << ",\"ipc\":" << r.ipc
-       << ",\"cycles\":" << r.stats.cycles
-       << ",\"committed\":" << r.stats.committed
-       << ",\"branches\":" << r.stats.branches
-       << ",\"mispredict_rate\":" << r.stats.mispredictRate()
-       << ",\"mp_fraction\":" << r.stats.mpFraction()
-       << ",\"mem_accesses\":" << r.memAccesses
-       << ",\"l2_misses\":" << r.l2Misses
-       << ",\"l2_miss_ratio\":" << r.l2MissRatio
-       << ",\"mem_fills\":" << r.memFills
-       << ",\"mshr_merges\":" << r.mshrMerges
-       << ",\"mshr_peak\":" << r.mshrPeak
-       << ",\"mshr_set_p50\":" << r.mshrSetP50
-       << ",\"mshr_set_p99\":" << r.mshrSetP99
-       << ",\"mshr_set_max\":" << r.mshrSetMax
-       << "}";
-    return os.str();
+    // Generated generically: identity fields, then every Row::Yes
+    // stat of the snapshot in registration order — the stable JSONL
+    // schema tools/stats_schema pins (see src/stats/DESIGN.md).
+    stats::JsonRowBuilder row;
+    row.field("machine", r.machine).field("workload", r.workload);
+    if (!r.snapshot.empty()) {
+        row.rowStats(r.snapshot);
+        return row.str();
+    }
+    // A hand-assembled RunResult (no snapshot) still renders from the
+    // deprecated flat fields so aggregation code stays usable.
+    row.field("ipc", r.ipc)
+        .field("cycles", r.stats.cycles)
+        .field("committed", r.stats.committed)
+        .field("branches", r.stats.branches)
+        .field("mispredict_rate", r.stats.mispredictRate())
+        .field("mp_fraction", r.stats.mpFraction())
+        .field("mem_accesses", r.memAccesses)
+        .field("l2_misses", r.l2Misses)
+        .field("l2_miss_ratio", r.l2MissRatio)
+        .field("mem_fills", r.memFills)
+        .field("mshr_merges", r.mshrMerges)
+        .field("mshr_peak", uint64_t(r.mshrPeak))
+        .field("mshr_set_p50", uint64_t(r.mshrSetP50))
+        .field("mshr_set_p99", uint64_t(r.mshrSetP99))
+        .field("mshr_set_max", uint64_t(r.mshrSetMax));
+    return row.str();
 }
 
 void
@@ -129,6 +153,22 @@ writeJsonRows(std::ostream &os, const std::vector<RunResult> &results)
 {
     for (const auto &r : results)
         os << runResultJson(r) << "\n";
+}
+
+void
+writeIntervalRows(std::ostream &os, const RunResult &result)
+{
+    for (const auto &s : result.intervals) {
+        stats::JsonRowBuilder row;
+        row.field("machine", result.machine)
+            .field("workload", result.workload)
+            .field("interval", s.index)
+            .field("interval_cycles", s.deltaCycles)
+            .field("interval_committed", s.deltaCommitted)
+            .field("interval_ipc", s.intervalIpc());
+        row.rowStats(s.snapshot);
+        os << row.str() << "\n";
+    }
 }
 
 } // namespace kilo::sim

@@ -75,6 +75,20 @@ class SweepEngine
            const std::vector<mem::MemConfig> &mems,
            const RunConfig &run_config);
 
+    /**
+     * Same matrix from names alone — machines through
+     * MachineConfig::byName ("r10-64", "kilo", "dkip", ...), memories
+     * through mem::MemConfig::byName ("mem-400", "l2-11", ...) —
+     * which is how externally-described jobs (CLI arguments, sharded
+     * sweep manifests) parse into runnable matrices. Workload names
+     * pass through untouched (presets or "trace:<path>").
+     */
+    static std::vector<SweepJob>
+    matrixByName(const std::vector<std::string> &machines,
+                 const std::vector<std::string> &workloads,
+                 const std::vector<std::string> &mems,
+                 const RunConfig &run_config);
+
     /** Convenience: one machine over a suite on one hierarchy. */
     std::vector<RunResult>
     runSuite(const MachineConfig &machine,
@@ -86,12 +100,26 @@ class SweepEngine
     unsigned numThreads;
 };
 
-/** One machine-readable result row (JSON object, single line). */
+/**
+ * One machine-readable result row (JSON object, single line),
+ * generated generically from RunResult::snapshot: identity fields
+ * (machine, workload) followed by every Row::Yes stat in registration
+ * order. The key set and ordering are the stable JSONL schema pinned
+ * by tools/stats_schema's golden dump.
+ */
 std::string runResultJson(const RunResult &result);
 
 /** Emit every result as one JSON object per line (JSONL). */
 void writeJsonRows(std::ostream &os,
                    const std::vector<RunResult> &results);
+
+/**
+ * Emit one JSONL row per stats::IntervalSample of @p result
+ * (RunConfig::intervalInsts): identity fields, the interval index,
+ * the per-interval cycle/instruction deltas and IPC (the IPC-over-
+ * time series), then the cumulative row stats at the boundary.
+ */
+void writeIntervalRows(std::ostream &os, const RunResult &result);
 
 } // namespace kilo::sim
 

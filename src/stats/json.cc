@@ -1,0 +1,69 @@
+#include "src/stats/json.hh"
+
+namespace kilo::stats
+{
+
+JsonRowBuilder::JsonRowBuilder()
+{
+    os.precision(17); // round-trip exact doubles
+    os << "{";
+}
+
+void
+JsonRowBuilder::key(std::string_view k)
+{
+    if (!first)
+        os << ",";
+    first = false;
+    os << "\"" << k << "\":";
+}
+
+JsonRowBuilder &
+JsonRowBuilder::field(std::string_view k, std::string_view value)
+{
+    key(k);
+    os << "\"" << value << "\"";
+    return *this;
+}
+
+JsonRowBuilder &
+JsonRowBuilder::field(std::string_view k, uint64_t value)
+{
+    key(k);
+    os << value;
+    return *this;
+}
+
+JsonRowBuilder &
+JsonRowBuilder::field(std::string_view k, double value)
+{
+    key(k);
+    os << value;
+    return *this;
+}
+
+JsonRowBuilder &
+JsonRowBuilder::field(const Snapshot::Entry &entry)
+{
+    if (entry.value.real)
+        return field(entry.name, entry.value.d);
+    return field(entry.name, entry.value.u);
+}
+
+JsonRowBuilder &
+JsonRowBuilder::rowStats(const Snapshot &snapshot)
+{
+    for (const auto &entry : snapshot.entries) {
+        if (entry.inRow)
+            field(entry);
+    }
+    return *this;
+}
+
+std::string
+JsonRowBuilder::str() const
+{
+    return os.str() + "}";
+}
+
+} // namespace kilo::stats

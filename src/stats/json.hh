@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Generic JSONL emission from stats snapshots.
+ *
+ * One JsonRowBuilder produces one row: identity fields first (machine,
+ * workload, optionally an interval index), then every Row::Yes entry
+ * of a Snapshot in registration order. Doubles are serialised with
+ * round-trip (precision 17) formatting, integers exactly — the same
+ * bytes the hand-written emitter produced, which is what keeps the
+ * JSONL schema stable across the registry redesign.
+ */
+
+#ifndef KILO_STATS_JSON_HH
+#define KILO_STATS_JSON_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "src/stats/snapshot.hh"
+
+namespace kilo::stats
+{
+
+/** Builds one JSON object, emitted as a single line. */
+class JsonRowBuilder
+{
+  public:
+    JsonRowBuilder();
+
+    /** Append a string field. */
+    JsonRowBuilder &field(std::string_view key, std::string_view value);
+
+    /** Append an integer field. */
+    JsonRowBuilder &field(std::string_view key, uint64_t value);
+
+    /** Append a real field (round-trip precision). */
+    JsonRowBuilder &field(std::string_view key, double value);
+
+    /** Append one snapshot value under its own name. */
+    JsonRowBuilder &field(const Snapshot::Entry &entry);
+
+    /** Append every Row::Yes snapshot entry, in order. */
+    JsonRowBuilder &rowStats(const Snapshot &snapshot);
+
+    /** Finish the object: "{...}". */
+    std::string str() const;
+
+  private:
+    void key(std::string_view k);
+
+    std::ostringstream os;
+    bool first = true;
+};
+
+} // namespace kilo::stats
+
+#endif // KILO_STATS_JSON_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Point-in-time values of a run's registered statistics.
+ *
+ * A Snapshot is a flat, ordered copy of every stat a stats::Registry
+ * knows about: name, kind, row membership and current value. It is
+ * what RunResult carries instead of hand-maintained fields, what the
+ * generic JSONL emitter iterates, and what interval sampling stores
+ * once per RunConfig::intervalInsts committed instructions.
+ */
+
+#ifndef KILO_STATS_SNAPSHOT_HH
+#define KILO_STATS_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kilo::stats
+{
+
+/** What a registered statistic is. */
+enum class Kind : uint8_t
+{
+    Counter,    ///< monotonically incremented integer, zeroed on reset
+    Gauge,      ///< derived value, computed on demand, never reset
+    Histogram,  ///< bucketed distribution (util::Histogram)
+};
+
+/** Name of a Kind for schema dumps. */
+const char *kindName(Kind kind);
+
+/**
+ * One numeric value. Integer-valued stats keep their exact uint64
+ * representation so JSON emission is bit-faithful; real-valued stats
+ * carry a double.
+ */
+struct Value
+{
+    bool real = false;  ///< true: read d; false: read u
+    uint64_t u = 0;
+    double d = 0.0;
+
+    /** Numeric view regardless of representation. */
+    double
+    asDouble() const
+    {
+        return real ? d : double(u);
+    }
+
+    static Value
+    ofInt(uint64_t v)
+    {
+        Value val;
+        val.u = v;
+        return val;
+    }
+
+    static Value
+    ofReal(double v)
+    {
+        Value val;
+        val.real = true;
+        val.d = v;
+        return val;
+    }
+};
+
+/** Ordered point-in-time copy of every registered stat. */
+struct Snapshot
+{
+    struct Entry
+    {
+        std::string name;
+        Kind kind = Kind::Counter;
+        bool inRow = false;  ///< member of the stable JSONL row schema
+        Value value;
+    };
+
+    std::vector<Entry> entries;
+
+    bool empty() const { return entries.empty(); }
+
+    /** Entry by name, nullptr when absent. */
+    const Entry *find(std::string_view name) const;
+
+    /** Numeric value by name; 0.0 when absent. */
+    double value(std::string_view name) const;
+};
+
+/**
+ * One interval-sampling row (RunConfig::intervalInsts): cumulative
+ * measured-region position, the delta since the previous sample, and
+ * a full cumulative Snapshot taken at the boundary.
+ */
+struct IntervalSample
+{
+    uint64_t index = 0;           ///< 0-based interval number
+    uint64_t cycles = 0;          ///< cumulative measured cycles
+    uint64_t committed = 0;       ///< cumulative measured instructions
+    uint64_t deltaCycles = 0;     ///< cycles in this interval
+    uint64_t deltaCommitted = 0;  ///< instructions in this interval
+    Snapshot snapshot;            ///< cumulative stats at the boundary
+
+    /** IPC of this interval alone (the IPC-over-time series). */
+    double
+    intervalIpc() const
+    {
+        return deltaCycles ? double(deltaCommitted) / double(deltaCycles)
+                           : 0.0;
+    }
+};
+
+} // namespace kilo::stats
+
+#endif // KILO_STATS_SNAPSHOT_HH

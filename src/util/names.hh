@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Name-matching helper shared by the preset registries
+ * (sim::MachineConfig::byName, mem::MemConfig::byName): one place
+ * for the comparison rule, so the registries cannot drift apart.
+ */
+
+#ifndef KILO_UTIL_NAMES_HH
+#define KILO_UTIL_NAMES_HH
+
+#include <cctype>
+#include <string>
+
+namespace kilo::util
+{
+
+/** Case-insensitive equality (ASCII; preset names are ASCII). */
+inline bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower((unsigned char)a[i]) !=
+            std::tolower((unsigned char)b[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace kilo::util
+
+#endif // KILO_UTIL_NAMES_HH
