@@ -2,16 +2,22 @@
  * @file
  * Ablation studies on the D-KIP design choices DESIGN.md calls out:
  * the Aging-ROB timer, LLIB capacity, LLRF banking, checkpoint-stack
- * depth and the branch predictor family. Each sweep runs a small
- * representative workload set (one streaming FP, one chasing INT,
- * one branchy INT).
+ * depth, the branch predictor family, the MP reservation queue, and
+ * the finite-MSHR structural hazard (MemConfig::mshrStall). Each
+ * sweep runs a small representative workload set (one streaming FP,
+ * one chasing INT, one branchy INT).
+ *
+ * Every sweep dispatches as one SweepEngine::matrix (inheriting
+ * KILO_SWEEP_THREADS) and emits the standard JSONL rows on stderr
+ * like the figure benches.
  */
 
 #include <cstdio>
 #include <functional>
+#include <iostream>
 #include <vector>
 
-#include "src/sim/simulator.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/sim/table.hh"
 
 using namespace kilo;
@@ -22,27 +28,70 @@ namespace
 
 const std::vector<std::string> kBenches{"swim", "vpr", "gcc"};
 
+SweepEngine &
+engine()
+{
+    static SweepEngine e;
+    return e;
+}
+
+/** Render one machine-major result matrix as a points×benches table. */
+void
+render(const char *title, const char *axis,
+       const std::vector<std::string> &points,
+       const std::vector<RunResult> &results)
+{
+    writeJsonRows(std::cerr, results);
+    std::vector<std::string> headers{axis};
+    for (const auto &b : kBenches)
+        headers.push_back(b);
+    Table table(headers);
+    for (size_t i = 0; i < points.size(); ++i) {
+        std::vector<std::string> row{points[i]};
+        for (size_t b = 0; b < kBenches.size(); ++b)
+            row.push_back(
+                Table::num(results[i * kBenches.size() + b].ipc));
+        table.addRow(row);
+    }
+    std::printf("== %s ==\n%s\n", title, table.render().c_str());
+}
+
+/** Sweep a machine-configuration axis over the bench set. */
 void
 sweep(const char *title, const char *axis,
       const std::vector<std::string> &points,
       const std::function<MachineConfig(size_t)> &make)
 {
-    std::vector<std::string> headers{axis};
-    for (const auto &b : kBenches)
-        headers.push_back(b);
-    Table table(headers);
+    std::vector<MachineConfig> machines;
+    for (size_t i = 0; i < points.size(); ++i)
+        machines.push_back(make(i));
+    auto jobs = SweepEngine::matrix(machines, kBenches,
+                                    {mem::MemConfig::mem400()},
+                                    RunConfig::sweep());
+    render(title, axis, points, engine().run(jobs));
+}
 
-    for (size_t i = 0; i < points.size(); ++i) {
-        std::vector<std::string> row{points[i]};
-        MachineConfig cfg = make(i);
-        for (const auto &b : kBenches) {
-            auto res = Simulator::run(cfg, b, mem::MemConfig::mem400(),
-                                      RunConfig::sweep());
-            row.push_back(Table::num(res.ipc));
-        }
-        table.addRow(row);
+/** Sweep a memory-configuration axis (fixed D-KIP machine). */
+void
+sweepMem(const char *title, const char *axis,
+         const std::vector<std::string> &points,
+         const std::function<mem::MemConfig(size_t)> &make)
+{
+    // One matrix per point keeps the result layout machine-major
+    // like sweep(): matrix() is machine-major with the memory axis
+    // innermost, so a single multi-mem matrix would interleave.
+    std::vector<mem::MemConfig> mems;
+    for (size_t i = 0; i < points.size(); ++i)
+        mems.push_back(make(i));
+    std::vector<RunResult> results;
+    for (const auto &m : mems) {
+        auto jobs =
+            SweepEngine::matrix({MachineConfig::dkip2048()}, kBenches,
+                                {m}, RunConfig::sweep());
+        auto part = engine().run(jobs);
+        results.insert(results.end(), part.begin(), part.end());
     }
-    std::printf("== %s ==\n%s\n", title, table.render().c_str());
+    render(title, axis, points, results);
 }
 
 } // anonymous namespace
@@ -105,6 +154,22 @@ main()
               m.dkip.mpIqSize = sizes[i];
               return m;
           });
+
+    // Finite MSHRs as a structural hazard (MemConfig::mshrStall): at
+    // a generous capacity the stall never fires and IPC matches the
+    // displacement model; shrinking the file back-pressures the MP's
+    // miss streams long before it hurts the branchy INT members.
+    sweepMem("MSHR structural hazard (mshrStall back-pressure)",
+             "mshrs",
+             {"displace-4096", "stall-4096", "stall-64", "stall-32",
+              "stall-16", "stall-8"},
+             [](size_t i) {
+                 uint32_t caps[] = {4096, 4096, 64, 32, 16, 8};
+                 auto m = mem::MemConfig::mem400();
+                 m.numMshrs = caps[i];
+                 m.mshrStall = i != 0;
+                 return m;
+             });
 
     return 0;
 }

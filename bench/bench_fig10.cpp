@@ -9,11 +9,18 @@
  * Expected shape: an out-of-order CP is worth roughly 30% over an
  * in-order one; MP configuration matters little except for the most
  * aggressive CPs; integer codes care only about the CP.
+ *
+ * Each suite is dispatched as one SweepEngine::matrix over the 15
+ * CP×MP machine variants, so the bench inherits the thread pool
+ * (KILO_SWEEP_THREADS) and emits the standard JSONL rows on stderr
+ * like the other figure benches.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "src/sim/sweep.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/sim/table.hh"
 
 using namespace kilo;
@@ -53,25 +60,44 @@ main()
         {"MP OOO-20", core::SchedPolicy::OutOfOrder, 20},
         {"MP OOO-40", core::SchedPolicy::OutOfOrder, 40},
     };
+    constexpr size_t NumMps = std::size(mps);
     RunConfig rc = RunConfig::sweep();
 
+    // One machine per CP×MP point, CP-major — the machine axis of
+    // the per-suite sweep matrix.
+    std::vector<MachineConfig> machines;
+    for (const auto &cp : cps)
+        for (const auto &mp : mps)
+            machines.push_back(MachineConfig::dkipSched(
+                cp.policy, cp.queue, mp.policy, mp.queue));
+
+    SweepEngine engine;
     for (auto suite :
          {std::pair{"Figure 10 (SpecFP-like)", fpSuite()},
           std::pair{"Section 4.3 (SpecINT-like)", intSuite()}}) {
+        auto jobs = SweepEngine::matrix(machines, suite.second,
+                                        {mem::MemConfig::mem400()},
+                                        rc);
+        auto results = engine.run(jobs);
+        writeJsonRows(std::cerr, results);
+
         Table table({"CP config", mps[0].label, mps[1].label,
                      mps[2].label});
+        const size_t B = suite.second.size();
         double ino_ino = 0.0, best = 0.0;
-        for (const auto &cp : cps) {
-            std::vector<std::string> row{cp.label};
-            for (const auto &mp : mps) {
-                auto machine = MachineConfig::dkipSched(
-                    cp.policy, cp.queue, mp.policy, mp.queue);
-                double ipc =
-                    meanIpc(runSuite(machine, suite.second,
-                                     mem::MemConfig::mem400(), rc));
+        for (size_t ci = 0; ci < std::size(cps); ++ci) {
+            std::vector<std::string> row{cps[ci].label};
+            for (size_t mi = 0; mi < NumMps; ++mi) {
+                // matrix() is machine-major: machine (ci*NumMps+mi)
+                // owns the B consecutive per-bench rows.
+                size_t base = (ci * NumMps + mi) * B;
+                std::vector<RunResult> cell(
+                    results.begin() + long(base),
+                    results.begin() + long(base + B));
+                double ipc = meanIpc(cell);
                 row.push_back(Table::num(ipc));
-                if (cp.policy == core::SchedPolicy::InOrder &&
-                    mp.policy == core::SchedPolicy::InOrder) {
+                if (cps[ci].policy == core::SchedPolicy::InOrder &&
+                    mps[mi].policy == core::SchedPolicy::InOrder) {
                     ino_ino = ipc;
                 }
                 if (ipc > best)

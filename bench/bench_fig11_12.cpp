@@ -10,11 +10,17 @@
  * machine; FP IPC on the D-KIP is largely cache-insensitive (the MP
  * processes the extra misses), while the conventional R10-256 gains
  * ~1.5x across the sweep.
+ *
+ * Each suite runs as one SweepEngine::matrix (machines × benches ×
+ * L2 points), inheriting KILO_SWEEP_THREADS and emitting the
+ * standard JSONL rows on stderr like the other figure benches.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "src/sim/sweep.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/sim/table.hh"
 
 using namespace kilo;
@@ -48,38 +54,57 @@ main()
     };
     RunConfig rc = RunConfig::sweep();
 
+    std::vector<MachineConfig> machine_cfgs;
+    for (const auto &m : machines)
+        machine_cfgs.push_back(m.cfg);
+    std::vector<mem::MemConfig> mem_cfgs;
+    for (uint64_t kb : l2_kb)
+        mem_cfgs.push_back(mem::MemConfig::withL2Size(kb * 1024));
+
+    SweepEngine engine;
     for (auto suite :
          {std::pair{"Figure 11 (SpecINT-like)", intSuite()},
           std::pair{"Figure 12 (SpecFP-like)", fpSuite()}}) {
+        auto jobs = SweepEngine::matrix(machine_cfgs, suite.second,
+                                        mem_cfgs, rc);
+        auto results = engine.run(jobs);
+        writeJsonRows(std::cerr, results);
+
         std::vector<std::string> headers{"config"};
         for (uint64_t kb : l2_kb)
             headers.push_back(std::to_string(kb) + "KB");
         headers.push_back("max/min");
         Table table(headers);
 
-        for (const auto &m : machines) {
-            std::vector<std::string> row{m.label};
+        // matrix() is machine-major, then workload, then memory:
+        // results[(mi*B + bi)*M + li] for B benches, M L2 points.
+        const size_t B = suite.second.size();
+        const size_t M = mem_cfgs.size();
+        for (size_t mi = 0; mi < machines.size(); ++mi) {
+            std::vector<std::string> row{machines[mi].label};
             double lo = 1e9, hi = 0.0;
             double cp_frac_small = 0.0, cp_frac_big = 0.0;
-            for (uint64_t kb : l2_kb) {
-                auto results = runSuite(
-                    m.cfg, suite.second,
-                    mem::MemConfig::withL2Size(kb * 1024), rc);
-                double ipc = meanIpc(results);
+            for (size_t li = 0; li < M; ++li) {
+                std::vector<RunResult> cell;
+                cell.reserve(B);
+                for (size_t bi = 0; bi < B; ++bi)
+                    cell.push_back(results[(mi * B + bi) * M + li]);
+                double ipc = meanIpc(cell);
                 row.push_back(Table::num(ipc));
                 lo = std::min(lo, ipc);
                 hi = std::max(hi, ipc);
-                if (kb == l2_kb.front())
-                    cp_frac_small = 1.0 - meanMpFraction(results);
-                if (kb == l2_kb.back())
-                    cp_frac_big = 1.0 - meanMpFraction(results);
+                if (li == 0)
+                    cp_frac_small = 1.0 - meanMpFraction(cell);
+                if (li == M - 1)
+                    cp_frac_big = 1.0 - meanMpFraction(cell);
             }
             row.push_back(Table::num(hi / lo));
             table.addRow(row);
-            if (m.cfg.kind == MachineKind::Dkip) {
+            if (machines[mi].cfg.kind == MachineKind::Dkip) {
                 std::printf("  [%s] CP executes %.0f%% of commits at "
                             "%luKB, %.0f%% at %luKB\n",
-                            m.label.c_str(), 100.0 * cp_frac_small,
+                            machines[mi].label.c_str(),
+                            100.0 * cp_frac_small,
                             (unsigned long)l2_kb.front(),
                             100.0 * cp_frac_big,
                             (unsigned long)l2_kb.back());

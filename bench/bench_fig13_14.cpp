@@ -9,11 +9,17 @@
  * low-locality instructions carry no READY operand); only integer
  * members with long irregular load chains approach the 2048-entry
  * capacity.
+ *
+ * Each suite runs as one SweepEngine::matrixByName job list, so the
+ * bench inherits the thread pool (KILO_SWEEP_THREADS) and emits the
+ * standard JSONL rows on stderr like the other figure benches.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "src/sim/sweep.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/sim/table.hh"
 
 using namespace kilo;
@@ -24,6 +30,7 @@ main()
 {
     RunConfig rc; // full-length runs for credible high-water marks
 
+    SweepEngine engine;
     for (auto suite :
          {std::pair{"Figure 13 (integer LLIB, SpecINT-like)",
                     intSuite()},
@@ -31,16 +38,21 @@ main()
         bool fp_side =
             suite.second.size() == fpSuite().size() &&
             suite.second.front() == fpSuite().front();
+
+        auto jobs = SweepEngine::matrixByName({"dkip"}, suite.second,
+                                              {"mem-400"}, rc);
+        auto results = engine.run(jobs);
+        writeJsonRows(std::cerr, results);
+
         Table table({"bench", "max instructions", "max registers",
                      "regs/instrs"});
-        for (const auto &bench : suite.second) {
-            auto res = Simulator::run(MachineConfig::dkip2048(), bench,
-                                      mem::MemConfig::mem400(), rc);
+        for (size_t bi = 0; bi < suite.second.size(); ++bi) {
+            const RunResult &res = results[bi];
             uint64_t insts = fp_side ? res.stats.maxLlibInstrsFp
                                      : res.stats.maxLlibInstrsInt;
             uint64_t regs = fp_side ? res.stats.maxLlibRegsFp
                                     : res.stats.maxLlibRegsInt;
-            table.addRow({bench, std::to_string(insts),
+            table.addRow({suite.second[bi], std::to_string(insts),
                           std::to_string(regs),
                           insts ? sim::Table::num(double(regs) /
                                                   double(insts))

@@ -333,6 +333,12 @@ PipelineBase::tryIssueInst(InstRef ref, IssueQueue &iq, FuPool &fus)
                 lsq.countForward();
                 ++st.storeForwards;
             } else {
+                if (mem_.wouldBlock(op.effAddr, now)) {
+                    // Finite-MSHR structural hazard: hold the load in
+                    // its slot until a fill lands and frees a way.
+                    iq.requeue(ref);
+                    return false;
+                }
                 auto res = mem_.access(op.effAddr, false, now);
                 latency = res.latency;
                 inst.serviceLevel = res.level;
@@ -341,6 +347,12 @@ PipelineBase::tryIssueInst(InstRef ref, IssueQueue &iq, FuPool &fus)
             ++portsUsed;
             issueCommon(ref, iq, latency);
         } else {
+            if (mem_.wouldBlock(op.effAddr, now)) {
+                // A missing store also needs an MSHR way (write
+                // allocate); back-pressure it the same way.
+                iq.requeue(ref);
+                return false;
+            }
             // Stores drain through the write buffer: the line is
             // installed now, dependents (via forwarding) see the data
             // next cycle, and commit is never blocked on the miss.

@@ -215,6 +215,30 @@ MemoryHierarchy::access(uint64_t addr, bool is_write, uint64_t now)
     return res;
 }
 
+bool
+MemoryHierarchy::wouldBlock(uint64_t addr, uint64_t now)
+{
+    if (!cfg.mshrStall || cfg.perfectL1)
+        return false;
+
+    // Only an access that must start a *new* off-chip fill can need a
+    // free MSHR way: merges ride the existing entry, and on-chip hits
+    // never reach the file. Probes here are read-only (no LRU touch,
+    // no install, no counters) so a false answer followed by access()
+    // is indistinguishable from access() alone.
+    uint64_t line = lineOf(addr);
+    if (mshrs.lookup(line, now) != 0)
+        return false; // merges into the in-flight fill
+    if (l1->probe(addr))
+        return false;
+    if (cfg.hasL2 && (cfg.perfectL2 || l2->probe(addr)))
+        return false;
+    if (!mshrs.setFull(line, now))
+        return false;
+    ++nMshrStalls;
+    return true;
+}
+
 void
 MemoryHierarchy::prewarm(uint64_t base, uint64_t bytes)
 {
@@ -266,6 +290,10 @@ MemoryHierarchy::registerStats(stats::Registry &reg)
 
     // Diagnostics outside the stable row schema.
     reg.counter("l1_misses", "L1 misses", &nL1Misses);
+    reg.counter("mshr_stalls",
+                "Issue attempts back-pressured by a full MSHR set "
+                "(MemConfig::mshrStall structural hazard)",
+                &nMshrStalls);
     reg.gaugeInt("mshr_displacements",
                  "Live fills displaced by a full MSHR set "
                  "(nonzero means merges were lost)",
@@ -286,6 +314,7 @@ MemoryHierarchy::resetStats()
     nL2Misses = 0;
     nMemFills = 0;
     nMerges = 0;
+    nMshrStalls = 0;
     mshrs.resetPeak();
     if (l1)
         l1->resetStats();

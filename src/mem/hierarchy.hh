@@ -80,6 +80,17 @@ struct MemConfig
      */
     uint32_t numMshrs = 4096;
 
+    /**
+     * Model finite MSHRs as a structural hazard: when true, an access
+     * that would start a new off-chip fill while its MSHR set is full
+     * of live fills is refused (MemoryHierarchy::wouldBlock) and the
+     * core back-pressures — the issue slot retries next cycle —
+     * instead of the file displacing the soonest-completing fill.
+     * Off (the default) preserves the displacement model and is
+     * timing-identical to earlier revisions.
+     */
+    bool mshrStall = false;
+
     /** Table 1 presets. @{ */
     static MemConfig l1Only();             ///< L1-2
     static MemConfig l2Perfect11();        ///< L2-11
@@ -127,6 +138,20 @@ class MemoryHierarchy
      * @param now      current cycle (for miss merging)
      */
     AccessResult access(uint64_t addr, bool is_write, uint64_t now);
+
+    /**
+     * Structural-hazard probe (MemConfig::mshrStall): true when an
+     * access to @p addr would have to start a new off-chip fill and
+     * every way of the line's MSHR set is live — the core must hold
+     * the access and retry. Always false when mshrStall is off; never
+     * mutates cache tag or statistics state beyond the MSHR file's
+     * idempotent lazy expiry, so a false result followed by access()
+     * behaves exactly as access() alone.
+     */
+    bool wouldBlock(uint64_t addr, uint64_t now);
+
+    /** Accesses refused by wouldBlock() (mshrStall back-pressure). */
+    uint64_t mshrStalls() const { return nMshrStalls; }
 
     /** Configuration used to build this hierarchy. */
     const MemConfig &config() const { return cfg; }
@@ -201,6 +226,7 @@ class MemoryHierarchy
     uint64_t nL2Misses = 0;
     uint64_t nMemFills = 0;
     uint64_t nMerges = 0;
+    uint64_t nMshrStalls = 0;
 };
 
 } // namespace kilo::mem

@@ -61,6 +61,22 @@ MshrFile::lookup(uint64_t line, uint64_t now)
     return fill_done;
 }
 
+bool
+MshrFile::setFull(uint64_t line, uint64_t now)
+{
+    sweepIfDue(now);
+    Entry *set = setOf(line);
+    uint32_t live = 0;
+    for (uint32_t w = 0; w < numWays; ++w) {
+        Entry &e = set[w];
+        if (e.fillDone != 0 && e.fillDone <= now)
+            freeWay(e); // lazy expiry, same as lookup/allocate
+        if (e.fillDone != 0)
+            ++live;
+    }
+    return live == numWays;
+}
+
 void
 MshrFile::allocate(uint64_t line, uint64_t fill_done, uint64_t now)
 {

@@ -60,6 +60,15 @@ class MshrFile
      *  @pre fill_done > now (a fill takes at least one cycle) */
     void allocate(uint64_t line, uint64_t fill_done, uint64_t now);
 
+    /**
+     * True when every way of @p line's set holds a live fill, i.e. an
+     * allocate() now would displace. Expired ways met along the walk
+     * are reclaimed first. This is the structural-hazard probe of
+     * MemConfig::mshrStall: the core holds the access back instead of
+     * letting the file displace a merge window.
+     */
+    bool setFull(uint64_t line, uint64_t now);
+
     /** Total entries (post-rounding). */
     uint32_t capacity() const { return uint32_t(entries.size()); }
 

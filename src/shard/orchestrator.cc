@@ -1,0 +1,384 @@
+#include "src/shard/orchestrator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KILO_SHARD_HAVE_FORK 1
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace kilo::shard
+{
+
+Orchestrator::Orchestrator(Manifest m, OrchestratorConfig config)
+    : manifest(std::move(m)), cfg(std::move(config))
+{}
+
+#ifdef KILO_SHARD_HAVE_FORK
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** One shard's supervision state across attempts. */
+struct ShardState
+{
+    uint32_t shard = 0;
+    uint32_t attempts = 0;
+    bool done = false;
+    bool running = false;
+    bool killed = false;             ///< this attempt was SIGKILLed
+    pid_t pid = -1;
+    int fd = -1;                     ///< read end of the stdout pipe
+    Clock::time_point deadline = Clock::time_point::max();
+    std::string output;              ///< this attempt's rows
+    std::string lastFailure;
+};
+
+/** Temp file that unlinks itself. */
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const std::string &contents)
+    {
+        const char *tmpdir = std::getenv("TMPDIR");
+        std::string templ =
+            std::string(tmpdir && *tmpdir ? tmpdir : "/tmp") +
+            "/kilo_manifest_XXXXXX";
+        std::vector<char> buf(templ.begin(), templ.end());
+        buf.push_back('\0');
+        int fd = ::mkstemp(buf.data());
+        if (fd < 0)
+            throw ShardError("cannot create temp manifest file");
+        path.assign(buf.data());
+        size_t off = 0;
+        while (off < contents.size()) {
+            ssize_t n = ::write(fd, contents.data() + off,
+                                contents.size() - off);
+            if (n <= 0) {
+                ::close(fd);
+                ::unlink(path.c_str());
+                throw ShardError("temp manifest write failed");
+            }
+            off += size_t(n);
+        }
+        ::close(fd);
+    }
+
+    ~TempFile() { ::unlink(path.c_str()); }
+
+    TempFile(const TempFile &) = delete;
+    TempFile &operator=(const TempFile &) = delete;
+};
+
+std::string
+describeExit(int status)
+{
+    if (WIFEXITED(status))
+        return "exit status " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status))
+        return "killed by signal " + std::to_string(WTERMSIG(status));
+    return "unknown wait status " + std::to_string(status);
+}
+
+void
+spawnAttempt(ShardState &s, const OrchestratorConfig &cfg,
+             uint32_t shard_count, const std::string &manifest_path)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        throw ShardError("pipe() failed for shard " +
+                         std::to_string(s.shard));
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        throw ShardError("fork() failed for shard " +
+                         std::to_string(s.shard));
+    }
+    if (pid == 0) {
+        // Child: stdout -> pipe; stderr passes through for
+        // diagnosability. Process-level sharding replaces thread
+        // fan-out, so workers default to one sweep thread.
+        ::dup2(fds[1], STDOUT_FILENO);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        if (cfg.workerThreads) {
+            ::setenv("KILO_SWEEP_THREADS",
+                     std::to_string(cfg.workerThreads).c_str(), 1);
+        }
+        std::vector<std::string> args;
+        args.push_back(cfg.workerPath);
+        for (const auto &a : cfg.workerArgs)
+            args.push_back(a);
+        args.push_back("--shard");
+        args.push_back(std::to_string(s.shard) + "/" +
+                       std::to_string(shard_count));
+        args.push_back(manifest_path);
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (auto &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(cfg.workerPath.c_str(), argv.data());
+        std::fprintf(stderr, "kilo-shard: cannot exec %s\n",
+                     cfg.workerPath.c_str());
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    s.pid = pid;
+    s.fd = fds[0];
+    s.running = true;
+    s.killed = false;
+    ++s.attempts;
+    s.output.clear();
+    s.deadline = cfg.workerDeadlineMs
+                     ? Clock::now() + std::chrono::milliseconds(
+                                          int64_t(cfg.workerDeadlineMs))
+                     : Clock::time_point::max();
+}
+
+/** Kill and reap every still-running attempt (error unwind). */
+void
+killAll(std::vector<ShardState> &shards)
+{
+    for (auto &s : shards) {
+        if (!s.running)
+            continue;
+        ::kill(s.pid, SIGKILL);
+        ::close(s.fd);
+        int status = 0;
+        ::waitpid(s.pid, &status, 0);
+        s.running = false;
+    }
+}
+
+/** Drain available stdout; returns true when the attempt finished
+ *  (EOF reached and the child reaped). */
+bool
+drainPipe(ShardState &s, int &exit_status)
+{
+    char buf[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(s.fd, buf, sizeof(buf));
+        if (n > 0) {
+            s.output.append(buf, size_t(n));
+            continue;
+        }
+        if (n == 0) {
+            ::close(s.fd);
+            s.fd = -1;
+            ::waitpid(s.pid, &exit_status, 0);
+            s.running = false;
+            return true;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return false;
+        if (errno == EINTR)
+            continue;
+        // A pipe read error is unrecoverable for this attempt; treat
+        // it like a crash.
+        ::close(s.fd);
+        s.fd = -1;
+        ::kill(s.pid, SIGKILL);
+        ::waitpid(s.pid, &exit_status, 0);
+        s.running = false;
+        return true;
+    }
+}
+
+} // anonymous namespace
+
+std::string
+Orchestrator::run()
+{
+    const size_t total_jobs = manifest.jobCount();
+    uint32_t shard_count = cfg.shards ? cfg.shards : 1;
+    shard_count = uint32_t(
+        std::min<uint64_t>(shard_count,
+                           std::max<uint64_t>(total_jobs, 1)));
+    if (cfg.workerPath.empty())
+        throw ShardError("OrchestratorConfig::workerPath is empty");
+    if (cfg.maxAttempts == 0)
+        throw ShardError("OrchestratorConfig::maxAttempts must be "
+                         ">= 1");
+
+    TempFile manifest_file(manifest.serialize());
+
+    std::vector<ShardState> shards(shard_count);
+    for (uint32_t i = 0; i < shard_count; ++i)
+        shards[i].shard = i;
+
+    try {
+        for (auto &s : shards)
+            spawnAttempt(s, cfg, shard_count, manifest_file.path);
+
+        std::vector<pollfd> pfds;
+        std::vector<uint32_t> pfd_shard;
+        for (;;) {
+            pfds.clear();
+            pfd_shard.clear();
+            Clock::time_point next_deadline =
+                Clock::time_point::max();
+            for (auto &s : shards) {
+                if (!s.running)
+                    continue;
+                pfds.push_back({s.fd, POLLIN, 0});
+                pfd_shard.push_back(s.shard);
+                // Attempts already killed only need the EOF that the
+                // SIGKILL guarantees; their past deadline must not
+                // zero the poll timeout into a busy loop.
+                if (!s.killed)
+                    next_deadline = std::min(next_deadline,
+                                             s.deadline);
+            }
+            if (pfds.empty())
+                break; // every shard resolved
+
+            int timeout_ms = -1;
+            if (next_deadline != Clock::time_point::max()) {
+                auto left =
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(next_deadline -
+                                                   Clock::now())
+                        .count();
+                timeout_ms = int(std::clamp<long long>(left + 1, 0,
+                                                       60'000));
+            }
+            ::poll(pfds.data(), nfds_t(pfds.size()), timeout_ms);
+
+            Clock::time_point now = Clock::now();
+            for (size_t p = 0; p < pfds.size(); ++p) {
+                ShardState &s = shards[pfd_shard[p]];
+                if (!s.running)
+                    continue;
+                if (!s.killed && now >= s.deadline) {
+                    // Deadline overrun: SIGKILL (once) closes the
+                    // pipe; the drain below observes EOF and reaps
+                    // the corpse on this or a later iteration.
+                    ::kill(s.pid, SIGKILL);
+                    s.killed = true;
+                    ++nDeadlineKills;
+                    s.lastFailure =
+                        "deadline (" +
+                        std::to_string(cfg.workerDeadlineMs) +
+                        " ms) overrun";
+                }
+                if (!(pfds[p].revents & (POLLIN | POLLHUP | POLLERR))
+                    && !s.killed)
+                    continue;
+                int status = 0;
+                if (!drainPipe(s, status))
+                    continue; // more output later
+                if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                    s.done = true;
+                    continue;
+                }
+                // Failed attempt: its partial rows are excluded
+                // wholesale and a fresh process retries the shard.
+                if (s.lastFailure.empty())
+                    s.lastFailure = describeExit(status);
+                if (s.attempts >= cfg.maxAttempts) {
+                    throw ShardError(
+                        "shard " + std::to_string(s.shard) + "/" +
+                        std::to_string(shard_count) + " failed after " +
+                        std::to_string(s.attempts) + " attempt(s): " +
+                        s.lastFailure);
+                }
+                ++nRetries;
+                s.lastFailure.clear();
+                spawnAttempt(s, cfg, shard_count,
+                             manifest_file.path);
+            }
+        }
+    } catch (...) {
+        killAll(shards);
+        throw;
+    }
+
+    // ----------------------------------------------------------- merge
+    // Workers tag each row "<global-job-index> <json>"; rows are
+    // placed by tag, checked for coverage, and emitted untagged in
+    // global job order — the exact writeJsonRows stream of the full
+    // matrix.
+    std::vector<std::string> rows(total_jobs);
+    std::vector<bool> seen(total_jobs, false);
+    for (const auto &s : shards) {
+        size_t pos = 0;
+        while (pos < s.output.size()) {
+            size_t eol = s.output.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = s.output.size();
+            std::string line = s.output.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.empty())
+                continue;
+            size_t sep = line.find(' ');
+            if (sep == std::string::npos || sep == 0 ||
+                line.find_first_not_of("0123456789") != sep) {
+                throw ShardError("shard " + std::to_string(s.shard) +
+                                 " emitted a malformed row: " + line);
+            }
+            size_t idx = size_t(
+                std::strtoull(line.substr(0, sep).c_str(), nullptr,
+                              10));
+            if (idx >= total_jobs)
+                throw ShardError("shard " + std::to_string(s.shard) +
+                                 " emitted job index " +
+                                 std::to_string(idx) +
+                                 " outside the " +
+                                 std::to_string(total_jobs) +
+                                 "-job matrix");
+            if (idx % shard_count != s.shard)
+                throw ShardError("shard " + std::to_string(s.shard) +
+                                 " emitted job " +
+                                 std::to_string(idx) +
+                                 ", which shard " +
+                                 std::to_string(idx % shard_count) +
+                                 " owns");
+            if (seen[idx])
+                throw ShardError("duplicate row for job " +
+                                 std::to_string(idx));
+            seen[idx] = true;
+            rows[idx] = line.substr(sep + 1);
+        }
+    }
+    for (size_t i = 0; i < total_jobs; ++i) {
+        if (!seen[i])
+            throw ShardError("no row for job " + std::to_string(i) +
+                             " (shard " +
+                             std::to_string(i % shard_count) + ")");
+    }
+
+    std::string merged;
+    for (const auto &row : rows) {
+        merged += row;
+        merged += '\n';
+    }
+    return merged;
+}
+
+#else // !KILO_SHARD_HAVE_FORK
+
+std::string
+Orchestrator::run()
+{
+    throw ShardError("process-level sweep sharding requires a POSIX "
+                     "platform (fork/exec/pipe)");
+}
+
+#endif
+
+} // namespace kilo::shard

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parent side of a multi-process sharded sweep.
+ *
+ * The Orchestrator turns one Manifest into N worker processes
+ * (fork/exec of the kilosim_worker binary, one per shard), collects
+ * their stdout through pipes, enforces a per-attempt wall-clock
+ * deadline, retries failed shards, and merges the job-tagged rows
+ * back into a single JSONL stream ordered by global job index — a
+ * stream byte-identical to what a single-process
+ * SweepEngine::run(manifest.jobs()) + writeJsonRows would produce
+ * (pinned by tests/test_shard.cpp and the CI golden diff).
+ *
+ * Failure semantics (details in src/shard/DESIGN.md):
+ *  - a worker that exits nonzero, dies on a signal, or overruns the
+ *    deadline (SIGKILL) fails its attempt; the attempt's partial
+ *    output is excluded from the merge wholesale;
+ *  - a failed shard is retried with a fresh process up to
+ *    maxAttempts total attempts;
+ *  - a shard exhausting its attempts fails the sweep: remaining
+ *    workers are killed and run() throws ShardError.
+ *
+ * Workers default to one sweep thread each (process-level sharding
+ * replaces thread-level fan-out); all workers replaying a common
+ * trace share its pages through the mmap reader and the page cache.
+ */
+
+#ifndef KILO_SHARD_ORCHESTRATOR_HH
+#define KILO_SHARD_ORCHESTRATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "src/shard/manifest.hh"
+
+namespace kilo::shard
+{
+
+/** Process-level knobs of one sharded sweep. */
+struct OrchestratorConfig
+{
+    /** Worker binary (tools/kilosim_worker); typically argv[0] when
+     *  the orchestrator runs inside that same binary. */
+    std::string workerPath;
+
+    /** Extra argv entries inserted before --shard (test hooks). */
+    std::vector<std::string> workerArgs;
+
+    /** Worker process count; clamped to the job count. */
+    uint32_t shards = 4;
+
+    /** Per-attempt wall-clock deadline in ms; 0 disables. An
+     *  overrunning worker is SIGKILLed and the attempt fails. */
+    uint64_t workerDeadlineMs = 0;
+
+    /** Total spawn attempts per shard (1 = no retry). */
+    uint32_t maxAttempts = 2;
+
+    /** KILO_SWEEP_THREADS exported to workers; 0 inherits the
+     *  parent's environment unchanged. */
+    unsigned workerThreads = 1;
+};
+
+/** Spawns, supervises and merges one sharded sweep. */
+class Orchestrator
+{
+  public:
+    Orchestrator(Manifest manifest, OrchestratorConfig config);
+
+    /**
+     * Execute the sweep: spawn every shard, supervise to completion,
+     * merge. Returns the merged JSONL stream (one row per job of the
+     * full matrix, global job order). Throws ShardError when a shard
+     * exhausts its attempts, a worker emits malformed rows, or the
+     * platform cannot spawn processes.
+     */
+    std::string run();
+
+    /** Shard attempts beyond the first, across all shards. */
+    uint32_t retries() const { return nRetries; }
+
+    /** Workers killed for overrunning the deadline. */
+    uint32_t deadlineKills() const { return nDeadlineKills; }
+
+  private:
+    Manifest manifest;
+    OrchestratorConfig cfg;
+    uint32_t nRetries = 0;
+    uint32_t nDeadlineKills = 0;
+};
+
+} // namespace kilo::shard
+
+#endif // KILO_SHARD_ORCHESTRATOR_HH

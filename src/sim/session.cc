@@ -11,6 +11,14 @@ namespace
 
 constexpr const char TracePrefix[] = "trace:";
 
+/**
+ * Cycle quantum between host-clock checks when RunConfig::maxWallMs
+ * is armed: coarse enough that the clock read never shows up in
+ * profiles, fine enough (a millisecond or two of simulation) that a
+ * deadline is honoured promptly.
+ */
+constexpr uint64_t WallCheckCycles = 1 << 16;
+
 /** Resolve a workload name to a generator or a trace replay. */
 wload::WorkloadPtr
 resolveWorkload(const std::string &name, const RunConfig &run_config)
@@ -49,6 +57,16 @@ Session::Session(const MachineConfig &machine, wload::Workload &workload,
         core_->memory().prewarm(region.base, region.bytes);
 }
 
+bool
+Session::wallExpired() const
+{
+    if (!rc.maxWallMs)
+        return false;
+    auto elapsed = std::chrono::steady_clock::now() - wallStart;
+    return elapsed >=
+           std::chrono::milliseconds(int64_t(rc.maxWallMs));
+}
+
 void
 Session::warmup()
 {
@@ -56,7 +74,21 @@ Session::warmup()
         return;
     warmedUp = true;
     if (rc.warmupInsts) {
-        core_->run(rc.warmupInsts);
+        if (rc.maxWallMs) {
+            // Chunked so a pathological configuration cannot wedge a
+            // deadline-carrying job inside the warm-up region.
+            uint64_t target = core_->stats().committed +
+                              rc.warmupInsts;
+            while (core_->stats().committed < target &&
+                   !wallExpired()) {
+                core_->runUntil(target,
+                                core_->cycle() + WallCheckCycles);
+            }
+            if (core_->stats().committed < target)
+                aborted_ = true;
+        } else {
+            core_->run(rc.warmupInsts);
+        }
         core_->resetStats();
     }
     measureStartCycle = core_->cycle();
@@ -108,11 +140,22 @@ Session::advance(uint64_t target_committed, uint64_t cycle_cap)
         uint64_t stop = target_committed;
         if (nextIntervalAt && nextIntervalAt < stop)
             stop = nextIntervalAt;
-        core_->runUntil(stop, cycle_cap);
+        uint64_t cap = cycle_cap;
+        if (rc.maxWallMs) {
+            uint64_t quantum_end = core_->cycle() + WallCheckCycles;
+            if (quantum_end < cap)
+                cap = quantum_end;
+        }
+        core_->runUntil(stop, cap);
         if (nextIntervalAt &&
             core_->stats().committed >= nextIntervalAt) {
             recordInterval();
             nextIntervalAt += rc.intervalInsts;
+        }
+        if (wallExpired() &&
+            core_->stats().committed < rc.measureInsts) {
+            aborted_ = true;
+            break;
         }
     }
 

@@ -36,6 +36,7 @@
 #ifndef KILO_SIM_SESSION_HH
 #define KILO_SIM_SESSION_HH
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -92,7 +93,8 @@ class Session
     /** Measured region complete — target reached or aborted. */
     bool finished() const;
 
-    /** The RunConfig::maxCycles deadline expired mid-region. */
+    /** A RunConfig::maxCycles or maxWallMs deadline expired before
+     *  the measured region completed. */
     bool aborted() const { return aborted_; }
 
     /** Cycles of the measured region so far (0 before warmup()). */
@@ -134,6 +136,9 @@ class Session
     /** Absolute cycle the measured region must end by. */
     uint64_t deadlineCycle() const;
 
+    /** The RunConfig::maxWallMs host-clock deadline passed. */
+    bool wallExpired() const;
+
     std::string machineName;
     RunConfig rc;
 
@@ -143,6 +148,12 @@ class Session
 
     bool warmedUp = false;
     bool aborted_ = false;
+
+    /** Wall-clock anchor of RunConfig::maxWallMs (set at
+     *  construction, so prewarm and warm-up count against it). */
+    std::chrono::steady_clock::time_point wallStart =
+        std::chrono::steady_clock::now();
+
     uint64_t measureStartCycle = 0;   ///< absolute core cycle
     uint64_t nextIntervalAt = 0;      ///< committed insts, 0 = off
     std::vector<stats::IntervalSample> intervals_;

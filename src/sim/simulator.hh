@@ -49,6 +49,18 @@ struct RunConfig
     uint64_t maxCycles = 0;
 
     /**
+     * Wall-clock deadline in milliseconds for the whole run (warm-up
+     * plus measured region); 0 means unlimited. A run still going
+     * when the host clock passes the deadline stops at the next check
+     * quantum and reports RunResult::aborted — the per-job insurance
+     * sharded sweep workers need against a pathological config
+     * wedging a whole shard. Unlike maxCycles this deadline is
+     * inherently non-deterministic (it depends on host speed); the
+     * simulated timing of the region that did run is unaffected.
+     */
+    uint64_t maxWallMs = 0;
+
+    /**
      * Interval statistics sampling period in committed instructions;
      * 0 disables. When set, the Session records a stats::IntervalSample
      * (cumulative snapshot + per-interval IPC) every intervalInsts

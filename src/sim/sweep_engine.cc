@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "src/stats/json.hh"
+#include "src/util/logging.hh"
 
 namespace kilo::sim
 {
@@ -72,6 +73,36 @@ SweepEngine::run(const std::vector<SweepJob> &jobs) const
     for (auto &th : pool)
         th.join();
     return results;
+}
+
+std::vector<RunResult>
+SweepEngine::runSubset(const std::vector<SweepJob> &jobs,
+                       const std::vector<size_t> &indices) const
+{
+    std::vector<SweepJob> subset;
+    subset.reserve(indices.size());
+    for (size_t idx : indices) {
+        KILO_ASSERT(idx < jobs.size(),
+                    "shard index %zu outside a %zu-job matrix", idx,
+                    jobs.size());
+        subset.push_back(jobs[idx]);
+    }
+    return run(subset);
+}
+
+std::vector<size_t>
+SweepEngine::shardIndices(size_t num_jobs, uint32_t shard_index,
+                          uint32_t shard_count)
+{
+    KILO_ASSERT(shard_count > 0, "shard count must be positive");
+    KILO_ASSERT(shard_index < shard_count,
+                "shard index %u outside count %u", shard_index,
+                shard_count);
+    std::vector<size_t> indices;
+    indices.reserve(num_jobs / shard_count + 1);
+    for (size_t i = shard_index; i < num_jobs; i += shard_count)
+        indices.push_back(i);
+    return indices;
 }
 
 std::vector<SweepJob>

@@ -1,7 +1,16 @@
 #include "src/trace/trace_reader.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KILO_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace kilo::trace
 {
@@ -9,59 +18,127 @@ namespace kilo::trace
 namespace
 {
 
-void
-getBytes(std::FILE *f, void *out, size_t size, const char *what)
+/** Byte sources the header parser runs over: a stdio stream or a
+ *  memory range. Both throw the same truncation diagnostics. @{ */
+struct FileSource
 {
-    if (size && std::fread(out, 1, size, f) != size)
-        throw TraceError(std::string("trace truncated: EOF inside ") +
-                         what);
-}
+    std::FILE *f;
 
-template <typename T>
+    void
+    bytes(void *out, size_t size, const char *what)
+    {
+        if (size && std::fread(out, 1, size, f) != size)
+            throw TraceError(
+                std::string("trace truncated: EOF inside ") + what);
+    }
+};
+
+struct MemSource
+{
+    const uint8_t *p;
+    const uint8_t *end;
+
+    void
+    bytes(void *out, size_t size, const char *what)
+    {
+        if (size_t(end - p) < size)
+            throw TraceError(
+                std::string("trace truncated: EOF inside ") + what);
+        std::memcpy(out, p, size);
+        p += size;
+    }
+};
+/** @} */
+
+template <typename Src, typename T>
 T
-getScalar(std::FILE *f, const char *what)
+getScalar(Src &src, const char *what)
 {
     T v;
-    getBytes(f, &v, sizeof(v), what);
+    src.bytes(&v, sizeof(v), what);
     return v;
+}
+
+template <typename Src>
+void
+parseHeader(Src &src, const std::string &path, TraceMeta &meta,
+            uint64_t &n_ops)
+{
+    char magic[sizeof(Magic)];
+    src.bytes(magic, sizeof(magic), "magic");
+    if (std::memcmp(magic, Magic, sizeof(Magic)) != 0)
+        throw TraceError("not a KILOTRC trace file: " + path);
+    uint32_t version = getScalar<Src, uint32_t>(src, "version");
+    if (version != FormatVersion) {
+        throw TraceError("trace version mismatch: file v" +
+                         std::to_string(version) + ", reader v" +
+                         std::to_string(FormatVersion) + ": " + path);
+    }
+    n_ops = getScalar<Src, uint64_t>(src, "op count");
+    meta.seed = getScalar<Src, uint64_t>(src, "seed");
+    meta.fp = getScalar<Src, uint8_t>(src, "fp flag") != 0;
+    uint16_t name_len = getScalar<Src, uint16_t>(src, "name length");
+    meta.name.resize(name_len);
+    src.bytes(meta.name.data(), name_len, "name");
+    uint32_t num_regions = getScalar<Src, uint32_t>(src,
+                                                    "region count");
+    for (uint32_t i = 0; i < num_regions; ++i) {
+        wload::AddressRegion r;
+        r.base = getScalar<Src, uint64_t>(src, "region base");
+        r.bytes = getScalar<Src, uint64_t>(src, "region size");
+        meta.regions.push_back(r);
+    }
+}
+
+/** The 12-byte header of one block: payload size, record count,
+ *  checksum. */
+struct BlockFrame
+{
+    uint32_t payloadBytes;
+    uint32_t blockOps;
+    uint32_t checksum;
+};
+
+/** Decode and plausibility-check one frame. */
+BlockFrame
+parseFrame(const uint8_t *raw, const std::string &path)
+{
+    BlockFrame f;
+    std::memcpy(&f.payloadBytes, raw + 0, 4);
+    std::memcpy(&f.blockOps, raw + 4, 4);
+    std::memcpy(&f.checksum, raw + 8, 4);
+    if (f.payloadBytes == 0 || f.payloadBytes > BlockMaxBytes ||
+        f.blockOps == 0) {
+        throw TraceError("trace block corrupt: implausible frame "
+                         "(payload " +
+                         std::to_string(f.payloadBytes) + " B, " +
+                         std::to_string(f.blockOps) + " ops): " +
+                         path);
+    }
+    return f;
+}
+
+void
+checkPayload(const BlockFrame &f, const uint8_t *payload,
+             const std::string &path)
+{
+    if (blockChecksum(payload, f.payloadBytes) != f.checksum)
+        throw TraceError("trace block corrupt: checksum mismatch: " +
+                         path);
 }
 
 } // anonymous namespace
 
-Reader::Reader(const std::string &path)
-    : path_(path)
+void
+Reader::openStreaming()
 {
-    file = std::fopen(path.c_str(), "rb");
+    file = std::fopen(path_.c_str(), "rb");
     if (!file)
-        throw TraceError("cannot open trace file: " + path);
-
+        throw TraceError("cannot open trace file: " + path_);
     try {
-        char magic[sizeof(Magic)];
-        getBytes(file, magic, sizeof(magic), "magic");
-        if (std::memcmp(magic, Magic, sizeof(Magic)) != 0)
-            throw TraceError("not a KILOTRC trace file: " + path);
-        uint32_t version = getScalar<uint32_t>(file, "version");
-        if (version != FormatVersion) {
-            throw TraceError(
-                "trace version mismatch: file v" +
-                std::to_string(version) + ", reader v" +
-                std::to_string(FormatVersion) + ": " + path);
-        }
-        nOps = getScalar<uint64_t>(file, "op count");
-        meta_.seed = getScalar<uint64_t>(file, "seed");
-        meta_.fp = getScalar<uint8_t>(file, "fp flag") != 0;
-        uint16_t name_len = getScalar<uint16_t>(file, "name length");
-        meta_.name.resize(name_len);
-        getBytes(file, meta_.name.data(), name_len, "name");
-        uint32_t num_regions =
-            getScalar<uint32_t>(file, "region count");
-        for (uint32_t i = 0; i < num_regions; ++i) {
-            wload::AddressRegion r;
-            r.base = getScalar<uint64_t>(file, "region base");
-            r.bytes = getScalar<uint64_t>(file, "region size");
-            meta_.regions.push_back(r);
-        }
-        firstBlockOffset = std::ftell(file);
+        FileSource src{file};
+        parseHeader(src, path_, meta_, nOps);
+        firstBlockOffset = size_t(std::ftell(file));
     } catch (...) {
         std::fclose(file);
         file = nullptr;
@@ -69,60 +146,143 @@ Reader::Reader(const std::string &path)
     }
 }
 
+void
+Reader::openMapped()
+{
+#ifdef KILO_TRACE_HAVE_MMAP
+    int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw TraceError("cannot open trace file: " + path_);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        throw TraceError("cannot stat trace file: " + path_);
+    }
+    size_t size = size_t(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        throw TraceError("trace truncated: EOF inside magic: " +
+                         path_);
+    }
+    void *m = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping holds its own reference
+    if (m == MAP_FAILED)
+        throw TraceError("cannot mmap trace file: " + path_);
+    map = static_cast<const uint8_t *>(m);
+    mapBytes = size;
+    try {
+        MemSource src{map, map + mapBytes};
+        parseHeader(src, path_, meta_, nOps);
+        firstBlockOffset = size_t(src.p - map);
+    } catch (...) {
+        ::munmap(const_cast<uint8_t *>(map), mapBytes);
+        map = nullptr;
+        throw;
+    }
+    mapOff = firstBlockOffset;
+#else
+    throw TraceError("mmap trace reading unsupported on this "
+                     "platform: " + path_);
+#endif
+}
+
+Reader::Reader(const std::string &path, ReadMode mode)
+    : path_(path)
+{
+    if (mode == ReadMode::Auto) {
+#ifdef KILO_TRACE_HAVE_MMAP
+        const char *env = std::getenv("KILO_TRACE_MMAP");
+        bool want_map = !(env && env[0] == '0');
+        if (want_map) {
+            try {
+                openMapped();
+                return;
+            } catch (const TraceError &) {
+                // A mapping-layer failure falls back to streaming;
+                // a malformed header would fail there identically.
+            }
+        }
+#endif
+        openStreaming();
+        return;
+    }
+    if (mode == ReadMode::Mmap)
+        openMapped();
+    else
+        openStreaming();
+}
+
 Reader::~Reader()
 {
     if (file)
         std::fclose(file);
+#ifdef KILO_TRACE_HAVE_MMAP
+    if (map)
+        ::munmap(const_cast<uint8_t *>(map), mapBytes);
+#endif
 }
 
 uint32_t
-Reader::readBlockRaw(std::vector<uint8_t> &out)
+Reader::nextBlockView(const uint8_t *&payload, size_t &payload_bytes)
 {
-    // A block frame is 12 bytes: payload size, record count,
-    // checksum. Distinguish clean EOF (zero bytes) from a torn frame.
+    payload = nullptr;
+    payload_bytes = 0;
+
+    if (map) {
+        if (mapOff == mapBytes)
+            return 0; // clean end-of-file
+        if (mapBytes - mapOff < 12)
+            throw TraceError("trace truncated: torn block frame: " +
+                             path_);
+        BlockFrame f = parseFrame(map + mapOff, path_);
+        if (mapBytes - mapOff - 12 < f.payloadBytes)
+            throw TraceError("trace truncated: EOF inside block "
+                             "payload: " + path_);
+        checkPayload(f, map + mapOff + 12, path_);
+        payload = map + mapOff + 12;
+        payload_bytes = f.payloadBytes;
+        mapOff += 12 + size_t(f.payloadBytes);
+        return f.blockOps;
+    }
+
+    // Streaming: one frame read, one payload read into the reusable
+    // buffer. Distinguish clean EOF (zero bytes) from a torn frame.
     uint8_t frame[12];
     size_t got = std::fread(frame, 1, sizeof(frame), file);
     if (got == 0) {
         if (std::ferror(file))
             throw TraceError("trace read error: " + path_);
-        return 0; // clean end-of-file
+        return 0;
     }
     if (got != sizeof(frame))
         throw TraceError("trace truncated: torn block frame: " +
                          path_);
-    uint32_t payload_bytes, block_ops, checksum;
-    std::memcpy(&payload_bytes, frame + 0, 4);
-    std::memcpy(&block_ops, frame + 4, 4);
-    std::memcpy(&checksum, frame + 8, 4);
-
-    if (payload_bytes == 0 || payload_bytes > BlockMaxBytes ||
-        block_ops == 0) {
-        throw TraceError("trace block corrupt: implausible frame "
-                         "(payload " + std::to_string(payload_bytes) +
-                         " B, " + std::to_string(block_ops) +
-                         " ops): " + path_);
+    BlockFrame f = parseFrame(frame, path_);
+    streamBuf.resize(f.payloadBytes);
+    if (std::fread(streamBuf.data(), 1, f.payloadBytes, file) !=
+        f.payloadBytes) {
+        throw TraceError("trace truncated: EOF inside block "
+                         "payload: " + path_);
     }
-    out.resize(payload_bytes);
-    getBytes(file, out.data(), payload_bytes, "block payload");
-    if (blockChecksum(out.data(), payload_bytes) != checksum)
-        throw TraceError("trace block corrupt: checksum mismatch: " +
-                         path_);
-    return block_ops;
+    checkPayload(f, streamBuf.data(), path_);
+    payload = streamBuf.data();
+    payload_bytes = f.payloadBytes;
+    return f.blockOps;
 }
 
 bool
 Reader::readBlock(std::vector<isa::MicroOp> &out)
 {
     out.clear();
-    std::vector<uint8_t> raw;
-    uint32_t block_ops = readBlockRaw(raw);
+    const uint8_t *cursor = nullptr;
+    size_t bytes = 0;
+    uint32_t block_ops = nextBlockView(cursor, bytes);
     if (block_ops == 0)
         return false;
 
     out.reserve(block_ops);
     CodecState codec;
-    const uint8_t *cursor = raw.data();
-    const uint8_t *end = cursor + raw.size();
+    const uint8_t *end = cursor + bytes;
     for (uint32_t i = 0; i < block_ops; ++i)
         out.push_back(decodeOp(cursor, end, codec));
     if (cursor != end)
@@ -135,12 +295,16 @@ Reader::readBlock(std::vector<isa::MicroOp> &out)
 void
 Reader::rewind()
 {
-    if (std::fseek(file, firstBlockOffset, SEEK_SET) != 0)
+    if (map) {
+        mapOff = firstBlockOffset;
+        return;
+    }
+    if (std::fseek(file, long(firstBlockOffset), SEEK_SET) != 0)
         throw TraceError("trace rewind failed: " + path_);
 }
 
-TraceWorkload::TraceWorkload(const std::string &path)
-    : reader(path)
+TraceWorkload::TraceWorkload(const std::string &path, ReadMode mode)
+    : reader(path, mode)
 {
     refill();
 }
@@ -151,7 +315,8 @@ TraceWorkload::refill()
     if (remainingOps == 0 && cursor != payloadEnd && cursor != nullptr)
         throw TraceError("trace block corrupt: undecoded trailing "
                          "bytes");
-    remainingOps = reader.readBlockRaw(payload);
+    size_t bytes = 0;
+    remainingOps = reader.nextBlockView(cursor, bytes);
     if (remainingOps == 0) {
         // End of file: the blocks walked must account for exactly the
         // op count the header was sealed with — a file truncated at a
@@ -167,13 +332,12 @@ TraceWorkload::refill()
         // 0, exactly like reset().
         reader.rewind();
         opsThisPass = 0;
-        remainingOps = reader.readBlockRaw(payload);
+        remainingOps = reader.nextBlockView(cursor, bytes);
         if (remainingOps == 0)
             throw TraceError("trace contains no records");
     }
     opsThisPass += remainingOps;
-    cursor = payload.data();
-    payloadEnd = cursor + payload.size();
+    payloadEnd = cursor + bytes;
     codec = CodecState{};
 }
 
@@ -212,9 +376,9 @@ TraceWorkload::reset()
 }
 
 wload::WorkloadPtr
-openTrace(const std::string &path)
+openTrace(const std::string &path, ReadMode mode)
 {
-    return std::make_unique<TraceWorkload>(path);
+    return std::make_unique<TraceWorkload>(path, mode);
 }
 
 } // namespace kilo::trace

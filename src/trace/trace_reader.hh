@@ -2,10 +2,35 @@
  * @file
  * Trace reader and the replay workload built on it.
  *
- * Reader streams a KILOTRC file block by block, validating framing,
+ * Reader serves a KILOTRC file block by block, validating framing,
  * checksums and record encoding as it goes — every way a file can be
  * malformed (bad magic, newer version, truncation, mid-block bit
  * flips) raises TraceError with a specific message, never UB.
+ *
+ * Two backends sit behind one interface (ReadMode):
+ *
+ *  - Streaming: buffered fread of one block at a time — works on
+ *    pipes and non-mappable inputs, owns a single reusable block
+ *    buffer.
+ *  - Mmap: the whole file mapped read-only; nextBlockView() returns
+ *    pointers straight into the mapping, so replay decodes zero-copy
+ *    and N worker processes replaying one file on a host share its
+ *    pages through the page cache (the fan-out mode cluster-scale
+ *    sharded sweeps use — see src/shard/DESIGN.md).
+ *
+ * Auto (the default) tries mmap and silently falls back to streaming
+ * when the platform or the file refuses; KILO_TRACE_MMAP=0 forces the
+ * streaming backend for A/B comparison. Both backends run the same
+ * validation and the same checked/unchecked decode fast paths, and
+ * are bit-for-bit equivalent (pinned by tests/test_trace.cpp).
+ *
+ * The malformation guarantee covers the file's *contents* as mapped
+ * or read. The mapped backend additionally assumes — like any mmap
+ * consumer — that the file is not truncated by another process while
+ * open: shrinking a live mapping yields SIGBUS on the vanished
+ * pages, which no userspace validation can turn into an exception.
+ * Re-recording a trace in place while workers replay it is a usage
+ * error; write to a temp path and rename, or force streaming.
  *
  * TraceWorkload adapts a Reader to the wload::Workload interface:
  * deterministic, endless (the stream wraps to block 0 at EOF, like
@@ -25,13 +50,23 @@
 namespace kilo::trace
 {
 
-/** Streaming block-at-a-time reader of one trace file. */
+/** Which block-serving backend a Reader uses. */
+enum class ReadMode : uint8_t
+{
+    Auto,       ///< mmap when possible, else streaming
+    Streaming,  ///< buffered fread, block-sized copies
+    Mmap,       ///< whole-file read-only mapping, zero-copy views
+};
+
+/** Block-at-a-time reader of one trace file. */
 class Reader
 {
   public:
     /** Open @p path and parse the header; throws TraceError on any
-     *  malformation. */
-    explicit Reader(const std::string &path);
+     *  malformation (and, under ReadMode::Mmap, when the file cannot
+     *  be mapped). */
+    explicit Reader(const std::string &path,
+                    ReadMode mode = ReadMode::Auto);
 
     ~Reader();
 
@@ -44,6 +79,9 @@ class Reader
     /** Total records in the file (from the header). */
     uint64_t opCount() const { return nOps; }
 
+    /** True when the mmap backend is serving blocks. */
+    bool mapped() const { return map != nullptr; }
+
     /**
      * Decode the next block into @p out (replacing its contents).
      * Returns false at a clean end-of-file; throws TraceError on a
@@ -52,20 +90,38 @@ class Reader
     bool readBlock(std::vector<isa::MicroOp> &out);
 
     /**
-     * Load the next block's raw payload into @p out, validating the
-     * frame and checksum but deferring record decode to the caller.
-     * Returns the block's record count, or 0 at a clean end-of-file.
+     * Validate the next block and expose its payload without copying:
+     * under mmap the pointers land straight in the file mapping, under
+     * streaming in a reader-owned buffer reused by the next call.
+     * Returns the block's record count, or 0 at a clean end-of-file
+     * (payload left null). The view is valid until the next read or
+     * rewind.
      */
-    uint32_t readBlockRaw(std::vector<uint8_t> &out);
+    uint32_t nextBlockView(const uint8_t *&payload,
+                           size_t &payload_bytes);
 
     /** Seek back to the first block. */
     void rewind();
 
   private:
+    void openStreaming();
+    void openMapped();
+
     TraceMeta meta_;
     std::string path_;
+
+    /** Streaming backend. @{ */
     std::FILE *file = nullptr;
-    long firstBlockOffset = 0;
+    std::vector<uint8_t> streamBuf;  ///< nextBlockView() storage
+    /** @} */
+
+    /** Mmap backend. @{ */
+    const uint8_t *map = nullptr;
+    size_t mapBytes = 0;
+    size_t mapOff = 0;               ///< next unread byte
+    /** @} */
+
+    size_t firstBlockOffset = 0;
     uint64_t nOps = 0;
 };
 
@@ -74,7 +130,8 @@ class TraceWorkload : public wload::Workload
 {
   public:
     /** Throws TraceError on a malformed or empty trace. */
-    explicit TraceWorkload(const std::string &path);
+    explicit TraceWorkload(const std::string &path,
+                           ReadMode mode = ReadMode::Auto);
 
     isa::MicroOp next() override;
     size_t nextBlock(isa::MicroOp *out, size_t n) override;
@@ -92,16 +149,19 @@ class TraceWorkload : public wload::Workload
     /** Records in the underlying file (one pass, before wrapping). */
     uint64_t traceOps() const { return reader.opCount(); }
 
+    /** True when replay decodes from a zero-copy file mapping. */
+    bool mapped() const { return reader.mapped(); }
+
   private:
     void refill();
     isa::MicroOp decodeNext();
 
     Reader reader;
 
-    /** Current block, decoded on demand: records are parsed straight
-     *  out of the raw payload into the consumer's buffer, so replay
-     *  is one decode pass with no intermediate op vector. @{ */
-    std::vector<uint8_t> payload;
+    /** Current block: records are parsed straight out of the block
+     *  view (mapped pages or the reader's buffer) into the consumer's
+     *  buffer, so replay is one decode pass with no intermediate op
+     *  vector. @{ */
     const uint8_t *cursor = nullptr;
     const uint8_t *payloadEnd = nullptr;
     uint32_t remainingOps = 0;        ///< undecoded records left
@@ -111,7 +171,8 @@ class TraceWorkload : public wload::Workload
 };
 
 /** Convenience: open @p path for replay. */
-wload::WorkloadPtr openTrace(const std::string &path);
+wload::WorkloadPtr openTrace(const std::string &path,
+                             ReadMode mode = ReadMode::Auto);
 
 } // namespace kilo::trace
 

@@ -534,3 +534,84 @@ TEST(Hierarchy, Table1ConfigNames)
     EXPECT_EQ(MemConfig::mem400().name, "MEM-400");
     EXPECT_EQ(MemConfig::mem1000().name, "MEM-1000");
 }
+
+// --------------------------- finite MSHRs as a structural hazard
+
+TEST(MshrStall, WouldBlockOnlyWhenSetIsFullOfLiveFills)
+{
+    // 8 entries at Ways=8 -> one set: easy to saturate exactly.
+    MemConfig cfg = MemConfig::mem400();
+    cfg.numMshrs = 8;
+    cfg.mshrStall = true;
+    MemoryHierarchy m(cfg);
+
+    uint64_t now = 0;
+    // Fill every way with a distinct off-chip miss. Large strides
+    // dodge both caches so each access starts a real fill.
+    auto addr_of = [](uint64_t i) { return 0x40000000ull + (i << 20); };
+    for (uint64_t i = 0; i < 8; ++i) {
+        EXPECT_FALSE(m.wouldBlock(addr_of(i), now));
+        auto res = m.access(addr_of(i), false, now);
+        EXPECT_EQ(res.level, ServiceLevel::Memory);
+    }
+    EXPECT_EQ(m.mshrOccupancy(), 8u);
+
+    // A ninth distinct line is refused ...
+    EXPECT_TRUE(m.wouldBlock(addr_of(8), now));
+    // ... but a merge into an in-flight fill is not ...
+    EXPECT_FALSE(m.wouldBlock(addr_of(0), now));
+    // ... and neither is a line the caches already hold.
+    m.prewarm(0x1000, 64);
+    EXPECT_FALSE(m.wouldBlock(0x1000, now));
+
+    // Once the fills land, the set drains and the access proceeds.
+    now += cfg.memLatency + 1;
+    EXPECT_FALSE(m.wouldBlock(addr_of(8), now));
+    EXPECT_EQ(m.access(addr_of(8), false, now).level,
+              ServiceLevel::Memory);
+
+    // Back-pressure was counted, displacement never happened.
+    EXPECT_EQ(m.mshrStalls(), 1u);
+    EXPECT_EQ(m.mshrDisplacements(), 0u);
+}
+
+TEST(MshrStall, OffByDefaultAndNeverBlocksWhenDisabled)
+{
+    MemConfig cfg = MemConfig::mem400();
+    EXPECT_FALSE(cfg.mshrStall);
+    cfg.numMshrs = 8;
+    MemoryHierarchy m(cfg);
+    uint64_t now = 0;
+    for (uint64_t i = 0; i < 32; ++i) {
+        EXPECT_FALSE(m.wouldBlock(0x40000000ull + (i << 20), now));
+        m.access(0x40000000ull + (i << 20), false, now);
+    }
+    EXPECT_EQ(m.mshrStalls(), 0u);
+    // The displacement model still runs when stalling is off.
+    EXPECT_GT(m.mshrDisplacements(), 0u);
+}
+
+TEST(MshrStall, ProbeDoesNotPerturbTagOrStatState)
+{
+    MemConfig cfg = MemConfig::mem400();
+    cfg.numMshrs = 8;
+    cfg.mshrStall = true;
+    MemoryHierarchy a(cfg), b(cfg);
+    uint64_t now = 0;
+    // b sees a wouldBlock probe before every access, a never does;
+    // the access streams must behave identically.
+    for (uint64_t i = 0; i < 5000; ++i) {
+        uint64_t addr = (i * 2654435761u) & 0x3fffffc0u;
+        (void)b.wouldBlock(addr, now);
+        auto ra = a.access(addr, false, now);
+        auto rb = b.access(addr, false, now);
+        ASSERT_EQ(ra.latency, rb.latency) << "access " << i;
+        ASSERT_EQ(ra.level, rb.level) << "access " << i;
+        now += 3;
+    }
+    EXPECT_EQ(a.accesses(), b.accesses());
+    EXPECT_EQ(a.l1Misses(), b.l1Misses());
+    EXPECT_EQ(a.l2Misses(), b.l2Misses());
+    EXPECT_EQ(a.memFills(), b.memFills());
+    EXPECT_EQ(a.mshrMerges(), b.mshrMerges());
+}

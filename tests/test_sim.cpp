@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/sim/sweep.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/wload/synthetic.hh"
 #include "src/sim/table.hh"
 
@@ -149,4 +150,48 @@ TEST(Table, ShortRowsPadded)
     Table t({"a", "b", "c"});
     t.addRow({"x"});
     EXPECT_NE(t.render().find("x"), std::string::npos);
+}
+
+TEST(MshrStallRun, GenerousCapacityIsTimingIdentical)
+{
+    // With the default 4096-entry file no set ever fills, so the
+    // structural hazard never fires and the opt-in flag must be
+    // timing-invisible: the whole JSONL row matches the displacement
+    // model's.
+    RunConfig rc;
+    rc.warmupInsts = 5000;
+    rc.measureInsts = 20000;
+    auto stalled_cfg = mem::MemConfig::mem400();
+    stalled_cfg.mshrStall = true;
+    auto base = Simulator::run(MachineConfig::dkip2048(), "swim",
+                               mem::MemConfig::mem400(), rc);
+    auto stalled = Simulator::run(MachineConfig::dkip2048(), "swim",
+                                  stalled_cfg, rc);
+    EXPECT_EQ(runResultJson(base), runResultJson(stalled));
+    EXPECT_EQ(stalled.snapshot.value("mshr_stalls"), 0.0);
+}
+
+TEST(MshrStallRun, TinyFileBackPressuresAndStillCompletes)
+{
+    // Four MSHRs under a streaming FP workload: the MP's miss bursts
+    // must hit the hazard (stalls counted), nothing may displace, and
+    // the run must still complete — back-pressure, not deadlock.
+    RunConfig rc;
+    rc.warmupInsts = 5000;
+    rc.measureInsts = 20000;
+    auto tiny = mem::MemConfig::mem400();
+    tiny.numMshrs = 4;
+    tiny.mshrStall = true;
+    auto res = Simulator::run(MachineConfig::dkip2048(), "swim",
+                              tiny, rc);
+    EXPECT_EQ(res.stats.committed, rc.measureInsts);
+    EXPECT_GT(res.snapshot.value("mshr_stalls"), 0.0);
+    EXPECT_EQ(res.snapshot.value("mshr_displacements"), 0.0);
+    // Back-pressure costs cycles: IPC may only drop versus the
+    // displacement model at the same capacity.
+    auto displacing = tiny;
+    displacing.mshrStall = false;
+    auto disp = Simulator::run(MachineConfig::dkip2048(), "swim",
+                               displacing, rc);
+    EXPECT_LE(res.ipc, disp.ipc * 1.0001);
 }

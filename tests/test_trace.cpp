@@ -431,3 +431,140 @@ TEST_F(TraceTest, RejectsMissingFile)
     EXPECT_THROW(Reader r("/nonexistent/path/to/trace.ktrc"),
                  TraceError);
 }
+
+// ------------------------------------- mmap vs streaming backends
+
+/** Every preset decodes op-for-op identically through the mapped and
+ *  the streaming backend (the sharded-replay acceptance property). */
+TEST_F(TraceTest, MmapMatchesStreamingAllPresets)
+{
+    constexpr size_t NumOps = 8192;
+    for (const auto &prof : wload::allProfiles()) {
+        auto path = tracePath("mm_" + prof.name);
+        {
+            wload::SyntheticWorkload live(prof);
+            CapturingWorkload capture(live, path, prof.seed);
+            isa::MicroOp buf[256];
+            for (size_t i = 0; i < NumOps / 256; ++i)
+                capture.nextBlock(buf, 256);
+            capture.finish();
+        }
+        TraceWorkload mapped(path, ReadMode::Mmap);
+        TraceWorkload streamed(path, ReadMode::Streaming);
+        ASSERT_TRUE(mapped.mapped());
+        ASSERT_FALSE(streamed.mapped());
+        // Mixed pull shapes cross block boundaries both ways.
+        isa::MicroOp a[64], b[64];
+        for (size_t pulled = 0; pulled < NumOps; pulled += 64) {
+            mapped.nextBlock(a, 64);
+            streamed.nextBlock(b, 64);
+            for (size_t i = 0; i < 64; ++i)
+                ASSERT_EQ(a[i], b[i])
+                    << prof.name << " op " << pulled + i;
+        }
+    }
+}
+
+TEST_F(TraceTest, MmapReaderValidatesLikeStreaming)
+{
+    auto path = tracePath("mmval");
+    auto inner = wload::makeWorkload("swim");
+    {
+        CapturingWorkload capture(*inner, path, 1);
+        for (int i = 0; i < 5000; ++i)
+            capture.next();
+        capture.finish();
+    }
+    // Flip one payload byte: both backends must report the checksum
+    // mismatch, not replay a wrong stream.
+    auto bytes = slurp(path);
+    bytes[bytes.size() / 2] = char(bytes[bytes.size() / 2] ^ 0x40);
+    rewrite(path, bytes, bytes.size());
+    for (auto mode : {ReadMode::Mmap, ReadMode::Streaming}) {
+        Reader r(path, mode);
+        std::vector<isa::MicroOp> block;
+        try {
+            while (r.readBlock(block)) {
+            }
+            FAIL() << "corruption not detected";
+        } catch (const TraceError &e) {
+            EXPECT_NE(std::string(e.what()).find("corrupt"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+    // Truncation mid-payload is equally fatal in both backends.
+    rewrite(path, bytes, bytes.size() - 7);
+    for (auto mode : {ReadMode::Mmap, ReadMode::Streaming}) {
+        Reader r(path, mode);
+        std::vector<isa::MicroOp> block;
+        EXPECT_THROW(while (r.readBlock(block)) {}, TraceError);
+    }
+}
+
+TEST_F(TraceTest, MmapWrapAndResetMatchStreaming)
+{
+    auto path = tracePath("mmwrap");
+    auto inner = wload::makeWorkload("mcf");
+    {
+        CapturingWorkload capture(*inner, path, 1);
+        for (int i = 0; i < 777; ++i)
+            capture.next();
+        capture.finish();
+    }
+    TraceWorkload mapped(path, ReadMode::Mmap);
+    TraceWorkload streamed(path, ReadMode::Streaming);
+    // Walk two full passes (endless wrap) and a mid-stream reset.
+    for (int i = 0; i < 1800; ++i)
+        ASSERT_EQ(mapped.next(), streamed.next()) << "op " << i;
+    mapped.reset();
+    streamed.reset();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(mapped.next(), streamed.next()) << "post-reset " << i;
+}
+
+TEST_F(TraceTest, AutoModeFallsBackForForcedStreaming)
+{
+    auto path = tracePath("mmenv");
+    auto inner = wload::makeWorkload("gzip");
+    {
+        CapturingWorkload capture(*inner, path, 1);
+        for (int i = 0; i < 100; ++i)
+            capture.next();
+        capture.finish();
+    }
+    {
+        Reader def(path); // Auto picks the mapped backend here
+        EXPECT_TRUE(def.mapped());
+    }
+    setenv("KILO_TRACE_MMAP", "0", 1);
+    {
+        Reader forced(path); // ... unless the env kill-switch is set
+        EXPECT_FALSE(forced.mapped());
+    }
+    unsetenv("KILO_TRACE_MMAP");
+}
+
+/** Replayed simulation rows are byte-identical across backends. */
+TEST_F(TraceTest, SimulatorRowsIdenticalAcrossBackends)
+{
+    auto path = tracePath("mmrow");
+    auto inner = wload::makeWorkload("equake");
+    {
+        CapturingWorkload capture(*inner, path, 1);
+        auto res = sim::Simulator::run(
+            sim::MachineConfig::dkip2048(), capture,
+            mem::MemConfig::mem400(), sim::RunConfig::sweep());
+        capture.finish();
+        (void)res;
+    }
+    auto run_with = [&](ReadMode mode) {
+        TraceWorkload replay(path, mode);
+        auto res = sim::Simulator::run(
+            sim::MachineConfig::dkip2048(), replay,
+            mem::MemConfig::mem400(), sim::RunConfig::sweep());
+        return sim::runResultJson(res);
+    };
+    EXPECT_EQ(run_with(ReadMode::Mmap),
+              run_with(ReadMode::Streaming));
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Sweep-shard worker / orchestration driver (src/shard/).
+ *
+ *     kilosim_worker [--shard I/N] MANIFEST
+ *         execute one shard of the manifest's sweep matrix and print
+ *         one "<job-index> <json>" row per owned job on stdout (the
+ *         tagged form the orchestrator merges). --shard overrides the
+ *         manifest's own shard line.
+ *
+ *     kilosim_worker --single MANIFEST
+ *         run the FULL matrix in this process and print the plain
+ *         JSONL stream (writeJsonRows) — the single-process reference
+ *         a sharded run must reproduce byte-for-byte.
+ *
+ *     kilosim_worker --orchestrate N [--deadline-ms D] MANIFEST
+ *         parent mode: spawn N copies of this binary (one per shard,
+ *         --shard i/N), supervise, merge, and print the merged plain
+ *         JSONL stream. CI diffs this against --single.
+ *
+ *     --crash-token PATH   (test hook, any mode)
+ *         if PATH exists, unlink it and abort before doing any work —
+ *         a deterministic crash-exactly-once switch the retry tests
+ *         use.
+ *
+ * Sweep threads per process default to KILO_SWEEP_THREADS (the
+ * orchestrator exports 1 to its children); trace-backed jobs replay
+ * through the mmap reader, so co-located workers share one file's
+ * pages.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "src/shard/orchestrator.hh"
+#include "src/sim/sweep_engine.hh"
+
+using namespace kilo;
+
+namespace
+{
+
+/**
+ * Path of this executable for re-exec. The orchestrator spawns
+ * children with execv(), which does not search PATH, so a bare
+ * argv[0] from a PATH-based invocation must be resolved first.
+ */
+std::string
+selfPath(const char *argv0)
+{
+    if (std::strchr(argv0, '/'))
+        return argv0;
+#if defined(__linux__)
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+#endif
+    return argv0;
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--shard I/N] MANIFEST\n"
+                 "       %s --single MANIFEST\n"
+                 "       %s --orchestrate N [--deadline-ms D] "
+                 "MANIFEST\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+int
+runShard(const shard::Manifest &manifest)
+{
+    auto jobs = manifest.jobs();
+    auto indices = manifest.shardJobIndices();
+    sim::SweepEngine engine;
+    auto results = engine.runSubset(jobs, indices);
+    for (size_t i = 0; i < indices.size(); ++i) {
+        std::printf("%zu %s\n", indices[i],
+                    sim::runResultJson(results[i]).c_str());
+    }
+    return 0;
+}
+
+int
+runSingle(const shard::Manifest &manifest)
+{
+    sim::SweepEngine engine;
+    auto results = engine.run(manifest.jobs());
+    for (const auto &r : results)
+        std::printf("%s\n", sim::runResultJson(r).c_str());
+    return 0;
+}
+
+int
+runOrchestrate(const shard::Manifest &manifest, const char *argv0,
+               uint32_t shards, uint64_t deadline_ms)
+{
+    shard::OrchestratorConfig cfg;
+    cfg.workerPath = selfPath(argv0);
+    cfg.shards = shards;
+    cfg.workerDeadlineMs = deadline_ms;
+    shard::Orchestrator orch(manifest, cfg);
+    std::string merged = orch.run();
+    std::fwrite(merged.data(), 1, merged.size(), stdout);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool single = false;
+    bool orchestrate = false;
+    uint32_t shards = 0;
+    uint64_t deadline_ms = 0;
+    std::string shard_spec;
+    std::string crash_token;
+    std::string manifest_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--single") {
+            single = true;
+        } else if (arg == "--orchestrate") {
+            orchestrate = true;
+            shards = uint32_t(std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--deadline-ms") {
+            deadline_ms = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--shard") {
+            shard_spec = value();
+        } else if (arg == "--crash-token") {
+            crash_token = value();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (manifest_path.empty()) {
+            manifest_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (manifest_path.empty() || (single && orchestrate) ||
+        (orchestrate && shards == 0)) {
+        return usage(argv[0]);
+    }
+
+    if (!crash_token.empty() &&
+        std::remove(crash_token.c_str()) == 0) {
+        // Deterministic crash-once hook: the first process to claim
+        // the token dies abnormally; retries find it gone and run.
+        std::fprintf(stderr, "kilosim_worker: crash token %s "
+                             "claimed, aborting\n",
+                     crash_token.c_str());
+        std::abort();
+    }
+
+    try {
+        shard::Manifest manifest =
+            shard::Manifest::load(manifest_path);
+        if (!shard_spec.empty()) {
+            shard::parseShardSpec(shard_spec, manifest.shardIndex,
+                                  manifest.shardCount);
+        }
+        if (orchestrate)
+            return runOrchestrate(manifest, argv[0], shards,
+                                  deadline_ms);
+        if (single)
+            return runSingle(manifest);
+        return runShard(manifest);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
