@@ -77,21 +77,16 @@ sweepMem(const char *title, const char *axis,
          const std::vector<std::string> &points,
          const std::function<mem::MemConfig(size_t)> &make)
 {
-    // One matrix per point keeps the result layout machine-major
-    // like sweep(): matrix() is machine-major with the memory axis
-    // innermost, so a single multi-mem matrix would interleave.
+    // matrixMemMajor puts the memory axis outermost, so one matrix
+    // (and one thread-pool dispatch) produces the same point-major
+    // result layout render() expects.
     std::vector<mem::MemConfig> mems;
     for (size_t i = 0; i < points.size(); ++i)
         mems.push_back(make(i));
-    std::vector<RunResult> results;
-    for (const auto &m : mems) {
-        auto jobs =
-            SweepEngine::matrix({MachineConfig::dkip2048()}, kBenches,
-                                {m}, RunConfig::sweep());
-        auto part = engine().run(jobs);
-        results.insert(results.end(), part.begin(), part.end());
-    }
-    render(title, axis, points, results);
+    auto jobs = SweepEngine::matrixMemMajor(
+        {MachineConfig::dkip2048()}, kBenches, mems,
+        RunConfig::sweep());
+    render(title, axis, points, engine().run(jobs));
 }
 
 } // anonymous namespace

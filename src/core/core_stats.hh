@@ -92,6 +92,43 @@ struct CoreStats
         uint64_t total = mpExecuted + cpExecuted;
         return total ? double(mpExecuted) / double(total) : 0.0;
     }
+
+    /** Serialize / restore every counter and the histogram, field by
+     *  field (a new field must be added here too — the checkpoint
+     *  round-trip test catches omissions). @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        for (uint64_t v :
+             {cycles, committed, fetched, dispatched, issued, squashed,
+              branches, mispredicts, loads, stores, loadL1, loadL2,
+              loadMem, storeForwards, llibInsertedInt, llibInsertedFp,
+              mpExecuted, cpExecuted, analyzeStallCycles,
+              llrfConflictStalls, llibFullStalls, llrfFullStalls,
+              checkpointSkips, checkpointsTaken, maxLlibInstrsInt,
+              maxLlibRegsInt, maxLlibInstrsFp, maxLlibRegsFp})
+            s.template scalar<uint64_t>(v);
+        issueLatency.save(s);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        for (uint64_t *v :
+             {&cycles, &committed, &fetched, &dispatched, &issued,
+              &squashed, &branches, &mispredicts, &loads, &stores,
+              &loadL1, &loadL2, &loadMem, &storeForwards,
+              &llibInsertedInt, &llibInsertedFp, &mpExecuted,
+              &cpExecuted, &analyzeStallCycles, &llrfConflictStalls,
+              &llibFullStalls, &llrfFullStalls, &checkpointSkips,
+              &checkpointsTaken, &maxLlibInstrsInt, &maxLlibRegsInt,
+              &maxLlibInstrsFp, &maxLlibRegsFp})
+            *v = s.template scalar<uint64_t>();
+        issueLatency.load(s);
+    }
+    /** @} */
 };
 
 } // namespace kilo::core

@@ -12,30 +12,34 @@
  * flight" answer every dataflow query wants.
  *
  * The record is split hot/cold for cache footprint. DynInst itself
- * holds only what the per-cycle loops touch — opcode, sequence,
- * status flags, wakeup state, structure-residency links — and fits in
- * 96 bytes (1.5 lines, down from the 224 of the unsplit struct).
- * Everything read a bounded number of times per instruction
- * (timestamps past fetch, branch recovery state, producer links, the
- * scoreboard's squash-restore snapshot) lives in a parallel
- * DynInstCold array owned by the arena, reachable through
- * InstArena::cold(). Dataflow edges are arena-pooled intrusive
- * chains (DynInst::depHead) rather than a per-instruction
+ * holds only what the per-cycle loops touch — the hot MicroOp slice,
+ * sequence, status flags, wakeup state, structure-residency links —
+ * and fits in exactly 64 bytes (one cache line, down from the 224 of
+ * the unsplit struct). Everything read a bounded number of times per
+ * instruction (pc and branch target, timestamps past fetch, branch
+ * recovery state, producer links, the scoreboard's squash-restore
+ * snapshot) lives in a parallel DynInstCold array owned by the arena,
+ * reachable through InstArena::cold(). Dataflow edges are arena-pooled
+ * intrusive chains (DynInst::depHead) rather than a per-instruction
  * std::vector, so building and walking them never touches the heap.
+ *
+ * Issue-queue residency is an id (DynInst::iqId) into the owning
+ * core's queue table rather than a pointer, which keeps the record
+ * both compact and position-independent — a prerequisite for the
+ * checkpoint layer's verbatim slab serialization (src/ckpt/).
  */
 
 #ifndef KILO_CORE_DYN_INST_HH
 #define KILO_CORE_DYN_INST_HH
 
 #include <cstdint>
+#include <type_traits>
 
 #include "src/isa/micro_op.hh"
 #include "src/mem/hierarchy.hh"
 
 namespace kilo::core
 {
-
-class IssueQueue;
 
 /**
  * Generation-checked handle to a DynInst slot in an InstArena.
@@ -98,7 +102,7 @@ struct DynInst
     /** Null link of the arena-pooled dependent chains. */
     static constexpr uint32_t NoDep = UINT32_MAX;
 
-    isa::MicroOp op;
+    isa::MicroOpHot op;
     uint64_t seq = 0;            ///< dynamic sequence number
 
     /** Cycle the last source arrived (wakeup). */
@@ -119,8 +123,10 @@ struct DynInst
     /** Next older store in the same LSQ store-index bucket. */
     InstRef lsqBucketNext;
 
-    /** Issue queue currently holding this instruction (or null). */
-    IssueQueue *iq = nullptr;
+    /** Id of the issue queue currently holding this instruction in
+     *  the owning core's queue table (-1 = none); see
+     *  PipelineBase::queueById(). */
+    int8_t iqId = -1;
 
     /** Status flags. @{ */
     bool dispatched : 1 = false;
@@ -135,6 +141,10 @@ struct DynInst
     bool predTaken : 1 = false;
     bool mispredicted : 1 = false;
     /** @} */
+
+    /** Resolved branch direction, recovered from the prediction bits
+     *  (mispredicted == predTaken != taken at fetch). */
+    bool taken() const { return predTaken != mispredicted; }
 
     /** D-KIP / KILO classification state. @{ */
     bool longLatency : 1 = false; ///< classified low execution locality
@@ -169,10 +179,13 @@ struct DynInst
     }
 };
 
-static_assert(sizeof(DynInst) <= 96,
-              "DynInst hot record grew past 1.5 cache lines; move the "
+static_assert(sizeof(DynInst) <= 64,
+              "DynInst hot record grew past one cache line; move the "
               "new field to DynInstCold unless a per-cycle loop needs "
               "it");
+static_assert(std::is_trivially_copyable_v<DynInst>,
+              "DynInst must stay trivially copyable (the checkpoint "
+              "layer serializes arena slabs verbatim)");
 
 /**
  * Cold per-instruction state: written once or twice and read a
@@ -182,6 +195,12 @@ static_assert(sizeof(DynInst) <= 96,
  */
 struct DynInstCold
 {
+    /** Instruction address (debug, predictor training). */
+    uint64_t pc = 0;
+
+    /** Resolved branch target (Branch only). */
+    uint64_t target = 0;
+
     /** Pipeline timestamps past fetch (absolute cycles). @{ */
     uint64_t dispatchCycle = 0;  ///< rename/dispatch (decode time)
     uint64_t issueCycle = 0;
@@ -221,6 +240,10 @@ struct DynInstCold
         producers[1] = InstRef();
     }
 };
+
+static_assert(std::is_trivially_copyable_v<DynInstCold>,
+              "DynInstCold must stay trivially copyable (the "
+              "checkpoint layer serializes arena slabs verbatim)");
 
 } // namespace kilo::core
 

@@ -28,8 +28,12 @@ FetchEngine::fetch(uint64_t now, int max_count,
         inst.fetchCycle = now;
         ++fetchSeq;
 
+        DynInstCold &cold = arena.coldOf(inst);
+        cold.pc = op.pc;
+
         if (op.isBranch()) {
-            arena.coldOf(inst).historySnapshot = ghr;
+            cold.target = op.target;
+            cold.historySnapshot = ghr;
             bool pred_taken = predictor.isPerfect()
                 ? op.taken
                 : predictor.lookup(op.pc, ghr);

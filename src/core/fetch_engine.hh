@@ -68,6 +68,27 @@ class FetchEngine
     /** Current speculative global history (for checkpoint tests). */
     uint64_t history() const { return ghr; }
 
+    /** Serialize / restore fetch position, redirect stall and global
+     *  history. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.template scalar<uint64_t>(fetchSeq);
+        s.template scalar<uint64_t>(redirectCycle);
+        s.template scalar<uint64_t>(ghr);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        fetchSeq = s.template scalar<uint64_t>();
+        redirectCycle = s.template scalar<uint64_t>();
+        ghr = s.template scalar<uint64_t>();
+    }
+    /** @} */
+
   private:
     wload::TraceWindow &window;
     pred::BranchPredictor &predictor;

@@ -70,6 +70,29 @@ class FuPool
     /** Configuration. */
     const FuConfig &config() const { return cfg; }
 
+    /** Serialize / restore per-unit busy-until timestamps (matters
+     *  for the unpipelined FP divider mid-divide). @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.podVector(intAlu.busyUntil);
+        s.podVector(intMul.busyUntil);
+        s.podVector(fpAdd.busyUntil);
+        s.podVector(fpMulDiv.busyUntil);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        s.podVector(intAlu.busyUntil);
+        s.podVector(intMul.busyUntil);
+        s.podVector(fpAdd.busyUntil);
+        s.podVector(fpMulDiv.busyUntil);
+    }
+    /** @} */
+
   private:
     /** Unit group: busyUntil per unit. */
     struct Group

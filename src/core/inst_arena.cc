@@ -68,6 +68,45 @@ InstArena::alloc()
 }
 
 void
+InstArena::save(ckpt::Sink &s) const
+{
+    auto *self = const_cast<InstArena *>(this);
+    s.scalar(uint32_t(numSlots));
+    for (uint32_t base = 0; base < numSlots; base += SlabSize) {
+        s.bytes(&self->slotAt(base), SlabSize * sizeof(DynInst));
+        s.bytes(&self->coldAt(base), SlabSize * sizeof(DynInstCold));
+    }
+    s.podVector(depNodes);
+    s.scalar(uint32_t(depFreeHead));
+    s.scalar(uint32_t(depsLive));
+    slots.save(s);
+    s.scalar(uint64_t(nAllocs));
+    s.scalar(uint64_t(nFrees));
+}
+
+void
+InstArena::load(ckpt::Source &s)
+{
+    uint32_t saved_slots = s.scalar<uint32_t>();
+    if (numSlots > saved_slots)
+        throw ckpt::CheckpointError(
+            "arena checkpoint is smaller than the current arena "
+            "(slots cannot shrink)");
+    while (numSlots < saved_slots)
+        addSlab();
+    for (uint32_t base = 0; base < numSlots; base += SlabSize) {
+        s.bytes(&slotAt(base), SlabSize * sizeof(DynInst));
+        s.bytes(&coldAt(base), SlabSize * sizeof(DynInstCold));
+    }
+    s.podVector(depNodes);
+    depFreeHead = s.scalar<uint32_t>();
+    depsLive = s.scalar<uint32_t>();
+    slots.load(s);
+    nAllocs = s.scalar<uint64_t>();
+    nFrees = s.scalar<uint64_t>();
+}
+
+void
 InstArena::free(InstRef ref)
 {
     DynInst *inst = tryGet(ref);

@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/serial.hh"
 #include "src/core/dyn_inst.hh"
 #include "src/util/free_list.hh"
 #include "src/util/logging.hh"
@@ -197,6 +198,18 @@ class InstArena
 
     /** Lifetime free count. */
     uint64_t totalFrees() const { return nFrees; }
+
+    /**
+     * Serialize / restore the whole pool: every slot (hot and cold
+     * halves, free slots included so generations survive), the
+     * dependent-edge pool and the free list. load() grows a smaller
+     * arena to match and throws CheckpointError when the current
+     * arena is already larger than the image (slots cannot shrink).
+     * @{
+     */
+    void save(ckpt::Sink &s) const;
+    void load(ckpt::Source &s);
+    /** @} */
 
   private:
     DynInst &

@@ -1,5 +1,7 @@
 #include "src/core/issue_queue.hh"
 
+#include <algorithm>
+
 #include "src/util/logging.hh"
 
 namespace kilo::core
@@ -18,11 +20,25 @@ IssueQueue::IssueQueue(std::string name, size_t capacity,
 {}
 
 void
+IssueQueue::heapPush(ReadyEntry entry)
+{
+    readyHeap.push_back(entry);
+    std::push_heap(readyHeap.begin(), readyHeap.end(), OlderSeq());
+}
+
+void
+IssueQueue::heapPop()
+{
+    std::pop_heap(readyHeap.begin(), readyHeap.end(), OlderSeq());
+    readyHeap.pop_back();
+}
+
+void
 IssueQueue::beginCycle()
 {
     stalledThisCycle = false;
     for (auto &entry : deferred)
-        readyHeap.push(entry);
+        heapPush(entry);
     deferred.clear();
 }
 
@@ -32,15 +48,17 @@ IssueQueue::insert(InstRef ref)
     DynInst &inst = arena.get(ref);
     KILO_ASSERT(!full(), "insert into full issue queue %s",
                 label.c_str());
-    KILO_ASSERT(inst.iq == nullptr, "instruction already in a queue");
-    inst.iq = this;
+    KILO_ASSERT(id_ >= 0, "issue queue %s never registered",
+                label.c_str());
+    KILO_ASSERT(inst.iqId < 0, "instruction already in a queue");
+    inst.iqId = id_;
     ++count;
     if (sched == SchedPolicy::InOrder)
         fifo.push_back(ref);
     if (inst.readyFlag && !inst.issued) {
         ++readyCount;
         if (sched == SchedPolicy::OutOfOrder)
-            readyHeap.push({inst.seq, ref});
+            heapPush({inst.seq, ref});
     }
 }
 
@@ -48,12 +66,12 @@ void
 IssueQueue::markReady(InstRef ref)
 {
     DynInst &inst = arena.get(ref);
-    KILO_ASSERT(inst.iq == this, "markReady on non-resident inst");
+    KILO_ASSERT(inst.iqId == id_, "markReady on non-resident inst");
     if (inst.issued)
         return;
     ++readyCount;
     if (sched == SchedPolicy::OutOfOrder)
-        readyHeap.push({inst.seq, ref});
+        heapPush({inst.seq, ref});
 }
 
 InstRef
@@ -75,12 +93,12 @@ IssueQueue::popReady(uint64_t now)
     }
 
     while (!readyHeap.empty()) {
-        InstRef ref = readyHeap.top().second;
-        readyHeap.pop();
+        InstRef ref = readyHeap.front().ref;
+        heapPop();
         // Lazy deletion: skip entries whose instruction issued,
         // left this queue, or was squashed and recycled (stale).
         DynInst *inst = arena.tryGet(ref);
-        if (!inst || inst->iq != this || inst->issued ||
+        if (!inst || inst->iqId != id_ || inst->issued ||
             inst->squashed || !inst->readyFlag) {
             continue;
         }
@@ -111,12 +129,12 @@ void
 IssueQueue::removeIssued(InstRef ref)
 {
     DynInst &inst = arena.get(ref);
-    KILO_ASSERT(inst.iq == this, "removeIssued on non-resident inst");
+    KILO_ASSERT(inst.iqId == id_, "removeIssued on non-resident inst");
     KILO_ASSERT(readyCount > 0, "removeIssued underflow in %s",
                 label.c_str());
     --readyCount;
     --count;
-    inst.iq = nullptr;
+    inst.iqId = -1;
     if (sched == SchedPolicy::InOrder) {
         KILO_ASSERT(!fifo.empty() && fifo.front() == ref,
                     "in-order queue issued non-head instruction");
@@ -142,14 +160,14 @@ void
 IssueQueue::erase(InstRef ref)
 {
     DynInst &inst = arena.get(ref);
-    KILO_ASSERT(inst.iq == this, "erase on non-resident inst");
+    KILO_ASSERT(inst.iqId == id_, "erase on non-resident inst");
     if (inst.readyFlag && !inst.issued) {
         KILO_ASSERT(readyCount > 0, "erase underflow in %s",
                     label.c_str());
         --readyCount;
     }
     --count;
-    inst.iq = nullptr;
+    inst.iqId = -1;
     if (sched == SchedPolicy::InOrder)
         eraseFromFifo(ref);
 }
@@ -164,16 +182,42 @@ void
 IssueQueue::notifySquashed(InstRef ref)
 {
     DynInst &inst = arena.get(ref);
-    KILO_ASSERT(inst.iq == this, "squash notify on non-resident inst");
+    KILO_ASSERT(inst.iqId == id_, "squash notify on non-resident inst");
     if (inst.readyFlag && !inst.issued) {
         KILO_ASSERT(readyCount > 0, "squash underflow in %s",
                     label.c_str());
         --readyCount;
     }
     --count;
-    inst.iq = nullptr;
+    inst.iqId = -1;
     if (sched == SchedPolicy::InOrder)
         eraseFromFifo(ref);
+}
+
+void
+IssueQueue::save(ckpt::Sink &s) const
+{
+    s.scalar(uint64_t(count));
+    s.scalar(uint64_t(readyCount));
+    s.podVector(readyHeap);
+    s.podVector(deferred);
+    fifo.save(s);
+    s.scalar(uint8_t(stalledThisCycle));
+}
+
+void
+IssueQueue::load(ckpt::Source &s)
+{
+    count = size_t(s.scalar<uint64_t>());
+    readyCount = size_t(s.scalar<uint64_t>());
+    if (count > cap)
+        throw ckpt::CheckpointError(
+            "issue queue " + label +
+            " checkpoint exceeds configured capacity");
+    s.podVector(readyHeap);
+    s.podVector(deferred);
+    fifo.load(s);
+    stalledThisCycle = s.scalar<uint8_t>() != 0;
 }
 
 } // namespace kilo::core

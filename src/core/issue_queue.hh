@@ -21,10 +21,10 @@
 #define KILO_CORE_ISSUE_QUEUE_HH
 
 #include <cstdint>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "src/ckpt/serial.hh"
 #include "src/core/dyn_inst.hh"
 #include "src/core/inst_arena.hh"
 #include "src/util/ring_deque.hh"
@@ -51,6 +51,15 @@ class IssueQueue
 
     const std::string &name() const { return label; }
     SchedPolicy policy() const { return sched; }
+
+    /**
+     * Table id of this queue in the owning core (what resident
+     * instructions carry as DynInst::iqId). Assigned once by
+     * PipelineBase::registerIssueQueue before any insert.
+     */
+    int8_t id() const { return id_; }
+    void assignId(int8_t id) { id_ = id; }
+
     size_t capacity() const { return cap; }
     size_t size() const { return count; }
     bool full() const { return count >= cap; }
@@ -62,7 +71,7 @@ class IssueQueue
     /** Reset per-cycle selection state; call once per cycle. */
     void beginCycle();
 
-    /** Add an instruction; sets inst->iq. @pre !full() */
+    /** Add an instruction; sets inst.iqId. @pre !full() */
     void insert(InstRef ref);
 
     /** Wakeup: @p ref (resident here) became ready. */
@@ -98,32 +107,51 @@ class IssueQueue
     /** Oldest entry of an in-order queue, null otherwise (debug). */
     InstRef debugFront() const;
 
+    /** Serialize / restore the complete queue state. Capacity,
+     *  policy and id are configuration; load() asserts they match. @{ */
+    void save(ckpt::Sink &s) const;
+    void load(ckpt::Source &s);
+    /** @} */
+
   private:
+    /** (seq, handle) ready-heap entry; POD so it serializes. */
+    struct ReadyEntry
+    {
+        uint64_t seq = 0;
+        InstRef ref;
+    };
+
     struct OlderSeq
     {
         bool
-        operator()(const std::pair<uint64_t, InstRef> &a,
-                   const std::pair<uint64_t, InstRef> &b) const
+        operator()(const ReadyEntry &a, const ReadyEntry &b) const
         {
-            return a.first > b.first; // min-heap on sequence number
+            return a.seq > b.seq; // min-heap on sequence number
         }
     };
 
     void eraseFromFifo(InstRef ref);
 
+    void heapPush(ReadyEntry entry);
+    void heapPop();
+
     InstArena &arena;
     std::string label;
     size_t cap;
     SchedPolicy sched;
+    int8_t id_ = -1;
     size_t count = 0;
     size_t readyCount = 0;
 
-    /** OutOfOrder: lazy min-heap of (seq, handle) ready entries. */
-    std::priority_queue<std::pair<uint64_t, InstRef>,
-                        std::vector<std::pair<uint64_t, InstRef>>,
-                        OlderSeq>
-        readyHeap;
-    std::vector<std::pair<uint64_t, InstRef>> deferred;
+    /**
+     * OutOfOrder: lazy min-heap of (seq, handle) ready entries, kept
+     * as a raw heap-ordered vector (std::push_heap/pop_heap) so the
+     * checkpoint layer can serialize it verbatim. Sequence numbers
+     * are unique, so pop order — hence simulated behaviour — is
+     * independent of the arrangement of equal-priority entries.
+     */
+    std::vector<ReadyEntry> readyHeap;
+    std::vector<ReadyEntry> deferred;
 
     /** InOrder: entries in program order; head-only selection. */
     RingDeque<InstRef> fifo;

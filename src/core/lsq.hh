@@ -26,6 +26,7 @@
 
 #include "src/core/dyn_inst.hh"
 #include "src/core/inst_arena.hh"
+#include "src/util/logging.hh"
 #include "src/util/ring_deque.hh"
 
 namespace kilo::core
@@ -75,6 +76,29 @@ class Lsq
 
     /** Count one forward (called by the core on a Forward result). */
     void countForward() { ++nForwards; }
+
+    /** Serialize / restore entries, the store index and the forward
+     *  counter. Capacity is configuration. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        entries.save(s);
+        s.podVector(buckets);
+        s.template scalar<uint64_t>(nForwards);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        entries.load(s);
+        s.podVector(buckets);
+        KILO_ASSERT(buckets.size() == NumBuckets,
+                    "Lsq checkpoint bucket-count mismatch");
+        nForwards = s.template scalar<uint64_t>();
+    }
+    /** @} */
 
   private:
     static constexpr size_t NumBuckets = 1024; // power of two

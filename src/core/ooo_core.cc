@@ -12,7 +12,10 @@ OooCore::OooCore(const CoreParams &params, wload::Workload &workload,
       intIq("intIQ", params.intIqSize, params.intPolicy, arena),
       fpIq("fpIQ", params.fpIqSize, params.fpPolicy, arena),
       fus(params.fus)
-{}
+{
+    registerIssueQueue(intIq);
+    registerIssueQueue(fpIq);
+}
 
 IssueQueue &
 OooCore::queueFor(const DynInst &inst)
@@ -102,6 +105,25 @@ OooCore::tick()
     stageDispatch();
     stageFetch();
     endCycle();
+}
+
+
+void
+OooCore::saveDerived(ckpt::Sink &s) const
+{
+    rob.save(s);
+    intIq.save(s);
+    fpIq.save(s);
+    fus.save(s);
+}
+
+void
+OooCore::restoreDerived(ckpt::Source &s)
+{
+    rob.load(s);
+    intIq.load(s);
+    fpIq.load(s);
+    fus.load(s);
 }
 
 } // namespace kilo::core

@@ -38,6 +38,8 @@ class OooCore : public PipelineBase
     void onSquashInst(InstRef inst) override;
     size_t totalReady() const override;
     void beginCycleQueues() override;
+    void saveDerived(ckpt::Sink &s) const override;
+    void restoreDerived(ckpt::Source &s) override;
 
     void stageDispatch();
     void stageIssue();

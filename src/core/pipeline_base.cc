@@ -178,8 +178,8 @@ PipelineBase::wakeDependents(DynInst &inst)
         if (--dep->srcNotReady == 0) {
             dep->readyFlag = true;
             dep->readyCycle = now;
-            if (dep->iq)
-                dep->iq->markReady(depRef);
+            if (IssueQueue *iq = queueById(dep->iqId))
+                iq->markReady(depRef);
         }
     }
 }
@@ -200,8 +200,7 @@ PipelineBase::completeInst(InstRef ref)
 
     if (inst.op.isBranch()) {
         if (!bp->isPerfect())
-            bp->train(inst.op.pc, cold.historySnapshot,
-                      inst.op.taken);
+            bp->train(cold.pc, cold.historySnapshot, inst.taken());
         if (inst.mispredicted)
             resolvedMispredicts.push_back(ref);
         else
@@ -248,8 +247,8 @@ PipelineBase::squashYoungerThan(uint64_t seq)
         globalOrder.pop_back();
         inst.squashed = true;
         ++st.squashed;
-        if (inst.iq)
-            inst.iq->notifySquashed(ref);
+        if (IssueQueue *iq = queueById(inst.iqId))
+            iq->notifySquashed(ref);
         if (inst.inLsq)
             lsq.notifySquashed(ref);
         // A stale saved producer means it already committed; restore
@@ -281,7 +280,7 @@ PipelineBase::recoverFromBranch(InstRef branchRef)
     fetchBuffer.clear();
 
     uint64_t history = (arena.coldOf(branch).historySnapshot << 1) |
-                       (branch.op.taken ? 1 : 0);
+                       (branch.taken() ? 1 : 0);
     uint64_t penalty = uint64_t(prm.mispredictPenalty) +
         uint64_t(recoveryExtraPenalty(branchRef));
     fetchEngine.redirect(branch.seq + 1, now + penalty, history);
@@ -310,7 +309,7 @@ bool
 PipelineBase::tryIssueInst(InstRef ref, IssueQueue &iq, FuPool &fus)
 {
     DynInst &inst = arena.get(ref);
-    const isa::MicroOp &op = inst.op;
+    const isa::MicroOpHot &op = inst.op;
 
     if (op.isMem()) {
         if (!memPortAvailable()) {
@@ -444,6 +443,8 @@ PipelineBase::dispatchCommon(InstRef ref)
 void
 PipelineBase::stageFetch()
 {
+    if (fetchHold)
+        return;
     if (fetchBuffer.size() >= prm.fetchBufferSize)
         return;
     if (fetchEngine.blocked(now))
@@ -488,7 +489,7 @@ PipelineBase::idleSkip()
 
     if (wake == UINT64_MAX) {
         // Fetch can proceed next cycle (the redirect just expired).
-        if (!fetchEngine.blocked(now) &&
+        if (!fetchHold && !fetchEngine.blocked(now) &&
             fetchBuffer.size() < prm.fetchBufferSize) {
             return;
         }
@@ -518,6 +519,7 @@ PipelineBase::runUntil(uint64_t target_committed, uint64_t cycle_limit)
         if (now - lastCommitCycle >= 4000000) {
             if (!globalOrder.empty()) {
                 const DynInst &h = arena.get(globalOrder.front());
+                IssueQueue *hq = queueById(h.iqId);
                 std::fprintf(stderr,
                              "stuck head: seq %lu %s ready=%d "
                              "issued=%d completed=%d srcNotReady=%d "
@@ -526,9 +528,9 @@ PipelineBase::runUntil(uint64_t target_committed, uint64_t cycle_limit)
                              h.op.toString().c_str(), h.readyFlag,
                              h.issued, h.completed, h.srcNotReady,
                              h.inLlib, h.inLsq,
-                             h.iq ? h.iq->name().c_str() : "-");
-                if (h.iq) {
-                    InstRef qh = h.iq->debugFront();
+                             hq ? hq->name().c_str() : "-");
+                if (hq) {
+                    InstRef qh = hq->debugFront();
                     if (qh) {
                         const DynInst &q = arena.get(qh);
                         std::fprintf(
@@ -553,6 +555,106 @@ PipelineBase::runCycles(uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i)
         tick();
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing and fast-forward
+// ---------------------------------------------------------------------
+
+void
+PipelineBase::saveState(ckpt::Sink &s) const
+{
+    // Fixed serialization order; restoreState() mirrors it exactly.
+    // Per-cycle scratch (portsUsed, activity, dueBuf, ...) is reset
+    // at every beginCycle() and checkpoints are only taken at cycle
+    // boundaries, so it is deliberately not stored.
+    s.scalar(uint64_t(now));
+    s.scalar(uint64_t(lastCommitCycle));
+    st.save(s);
+    trace.save(s);
+    fetchEngine.save(s);
+    bp->save(s);
+    arena.save(s);
+    mem_.save(s);
+    scoreboard.save(s);
+    lsq.save(s);
+    wheel.save(s);
+    globalOrder.save(s);
+    fetchBuffer.save(s);
+    saveDerived(s);
+}
+
+void
+PipelineBase::restoreState(ckpt::Source &s)
+{
+    now = s.scalar<uint64_t>();
+    lastCommitCycle = s.scalar<uint64_t>();
+    st.load(s);
+    trace.load(s);
+    fetchEngine.load(s);
+    bp->load(s);
+    arena.load(s);
+    mem_.load(s);
+    scoreboard.load(s);
+    lsq.load(s);
+    wheel.load(s);
+    globalOrder.load(s);
+    fetchBuffer.load(s);
+    restoreDerived(s);
+
+    // Scratch state is clear-at-use but clear it anyway so a restore
+    // into a mid-cycle-abandoned core cannot leak stale handles.
+    portsUsed = 0;
+    activity = 0;
+    fetchHold = false;
+    dueBuf.clear();
+    resolvedMispredicts.clear();
+    fetchScratch.clear();
+}
+
+void
+PipelineBase::drain()
+{
+    fetchHold = true;
+    while (!globalOrder.empty() || !fetchBuffer.empty()) {
+        tick();
+        idleSkip();
+    }
+    fetchHold = false;
+}
+
+void
+PipelineBase::fastForward(uint64_t target_seq, FfMode mode)
+{
+    drain();
+    uint64_t seq = fetchEngine.nextSeq();
+    if (target_seq <= seq)
+        return;
+
+    if (mode == FfMode::Skip) {
+        trace.jumpTo(target_seq);
+        fetchEngine.redirect(target_seq, now, fetchEngine.history());
+        return;
+    }
+
+    // Warm: walk every skipped op, evolving cache tags, predictor
+    // tables and the global history exactly as correct-path execution
+    // would — the structures the next sampled interval depends on.
+    uint64_t ghr = fetchEngine.history();
+    const bool perfect = bp->isPerfect();
+    for (; seq < target_seq; ++seq) {
+        trace.release(seq);
+        const isa::MicroOp &op = trace.op(seq);
+        if (op.isMem()) {
+            mem_.warmAccess(op.effAddr);
+        } else if (op.isBranch()) {
+            if (!perfect)
+                bp->train(op.pc, ghr, op.taken);
+            ghr = (ghr << 1) | (op.taken ? 1 : 0);
+        }
+    }
+    trace.release(target_seq);
+    fetchEngine.redirect(target_seq, now, ghr);
 }
 
 void

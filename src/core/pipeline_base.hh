@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/serial.hh"
 #include "src/core/core_stats.hh"
 #include "src/core/dyn_inst.hh"
 #include "src/core/fetch_engine.hh"
@@ -106,6 +107,47 @@ class PipelineBase
     /** Instruction arena (occupancy and recycling inspection). */
     const InstArena &instArena() const { return arena; }
 
+    /**
+     * Serialize the complete mutable microarchitectural state —
+     * cycle, statistics, arena, hierarchy, predictor, every queue —
+     * in a fixed order. The workload stream position is stored as a
+     * sequence number, not stream bytes: restoreState() repositions
+     * the (deterministic) workload via reset + skip. Restoring and
+     * continuing is bit-identical to never having paused (pinned by
+     * tests/test_checkpoint.cpp). @{
+     */
+    void saveState(ckpt::Sink &s) const;
+    void restoreState(ckpt::Source &s);
+    /** @} */
+
+    /** What functional fast-forward keeps warm. */
+    enum class FfMode : uint8_t
+    {
+        Skip,  ///< advance the stream only (structures go stale)
+        Warm,  ///< train caches and the branch predictor en route
+    };
+
+    /**
+     * Run with fetch held until the pipeline is empty (everything in
+     * flight commits or squashes). The cycle counter advances as the
+     * machine drains; fetch resumes from the next unfetched sequence
+     * afterwards.
+     */
+    void drain();
+
+    /**
+     * Functional fast-forward: drain, then advance the instruction
+     * stream to sequence @p target_seq without timing simulation. In
+     * Warm mode every skipped memory op touches the cache tags
+     * (mem::MemoryHierarchy::warmAccess) and every skipped branch
+     * trains the predictor and shifts the global history, so the
+     * sampled interval that follows starts with warm structures; in
+     * Skip mode the stream jumps block-at-a-time (trace replay skips
+     * without decoding). No-op when @p target_seq is already behind
+     * fetch.
+     */
+    void fastForward(uint64_t target_seq, FfMode mode);
+
   protected:
     /** One simulated cycle; subclasses order their stages here. */
     virtual void tick() = 0;
@@ -139,6 +181,11 @@ class PipelineBase
     virtual void beginCycleQueues() = 0;
     /** Earliest subclass-specific deadline (aging timers etc.). */
     virtual uint64_t nextTimedWake() const;
+    /** Serialize / restore the subclass's own structures (ROB, issue
+     *  queues, LLIBs, checkpoint stack, ...), called after the base
+     *  state inside saveState()/restoreState(). */
+    virtual void saveDerived(ckpt::Sink &s) const = 0;
+    virtual void restoreDerived(ckpt::Source &s) = 0;
     /** @} */
 
     /** Services for subclasses. @{ */
@@ -179,6 +226,27 @@ class PipelineBase
     {
         return portsUsed < prm.memPorts;
     }
+
+    /**
+     * Enter @p iq into the queue table, assigning the id resident
+     * instructions carry as DynInst::iqId. Subclass constructors
+     * register every queue, in a fixed order, before any fetch.
+     */
+    void
+    registerIssueQueue(IssueQueue &iq)
+    {
+        KILO_ASSERT(numIqs < MaxIqs, "issue-queue table full");
+        iq.assignId(int8_t(numIqs));
+        iqTable[numIqs++] = &iq;
+    }
+
+    /** Resolve a DynInst::iqId to its queue (null for -1). */
+    IssueQueue *
+    queueById(int8_t id) const
+    {
+        KILO_ASSERT(id < numIqs, "bad issue-queue id %d", id);
+        return id >= 0 ? iqTable[id] : nullptr;
+    }
     /** @} */
 
     CoreParams prm;
@@ -204,6 +272,11 @@ class PipelineBase
     int portsUsed = 0;
     uint64_t activity = 0;     ///< work units this cycle
 
+    /** Queue table indexed by DynInst::iqId. */
+    static constexpr int MaxIqs = 8;
+    IssueQueue *iqTable[MaxIqs] = {};
+    int numIqs = 0;
+
   private:
     void registerBaseStats();
     void completeInst(InstRef ref);
@@ -218,6 +291,10 @@ class PipelineBase
     std::vector<InstRef> resolvedMispredicts;
     std::vector<InstRef> fetchScratch;
     uint64_t lastCommitCycle = 0;
+
+    /** Fetch gate for drain(): no new instruction enters while the
+     *  pipeline empties ahead of a fast-forward. */
+    bool fetchHold = false;
 };
 
 } // namespace kilo::core

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 
 #include "src/core/dyn_inst.hh"
 #include "src/isa/micro_op.hh"
@@ -64,6 +65,24 @@ class Scoreboard
 
     /** Reset every register to ready-at-cycle-0. */
     void clear();
+
+    /** Serialize / restore all register mappings verbatim. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<RegState>,
+                      "RegState must stay POD for checkpointing");
+        s.bytes(regs.data(), sizeof(regs));
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        s.bytes(regs.data(), sizeof(regs));
+    }
+    /** @} */
 
   private:
     std::array<RegState, isa::NumRegs> regs;

@@ -18,6 +18,7 @@
 #include <deque>
 
 #include "src/util/bit_vector.hh"
+#include "src/util/logging.hh"
 
 namespace kilo::dkip
 {
@@ -55,6 +56,39 @@ class CheckpointStack
 
     /** Drop every checkpoint with sequence >= @p seq (recovery). */
     void squashFrom(uint64_t seq);
+
+    /** Serialize / restore the in-flight checkpoints element-wise
+     *  (each entry carries a BitVector). Capacity is configuration;
+     *  load() asserts the saved count fits. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.template scalar<uint64_t>(entries.size());
+        for (const Checkpoint &c : entries) {
+            s.template scalar<uint64_t>(c.seq);
+            c.llbv.save(s);
+            s.template scalar<uint8_t>(c.resolved ? 1 : 0);
+        }
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        uint64_t n = s.template scalar<uint64_t>();
+        KILO_ASSERT(n <= cap,
+                    "checkpoint-stack checkpoint exceeds capacity");
+        entries.clear();
+        for (uint64_t i = 0; i < n; ++i) {
+            Checkpoint c;
+            c.seq = s.template scalar<uint64_t>();
+            c.llbv.load(s);
+            c.resolved = s.template scalar<uint8_t>() != 0;
+            entries.push_back(std::move(c));
+        }
+    }
+    /** @} */
 
   private:
     size_t cap;

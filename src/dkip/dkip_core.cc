@@ -41,6 +41,10 @@ DkipCore::DkipCore(const DkipParams &params, wload::Workload &workload,
       mpFpFus(params.mpFpFus),
       chkpt(params.checkpointCapacity)
 {
+    registerIssueQueue(mpIntQ);
+    registerIssueQueue(mpFpQ);
+    registerIssueQueue(apQ);
+
     // Decoupled-machine statistics: maintained here, so named and
     // described here (they only appear in the D-KIP stats schema).
     using stats::Row;
@@ -179,8 +183,8 @@ DkipCore::insertIntoLlib(InstRef ref)
         }
     }
 
-    if (inst.iq)
-        inst.iq->erase(ref);
+    if (core::IssueQueue *iq = queueById(inst.iqId))
+        iq->erase(ref);
     if (inst.op.dst != isa::NoReg)
         llbv.set(size_t(inst.op.dst));
     inst.inLlib = true;
@@ -271,8 +275,8 @@ DkipCore::stageAnalyze()
                 // though the LLIB is a FIFO.
                 if (apQ.full())
                     break;
-                if (head.iq)
-                    head.iq->erase(headRef);
+                if (core::IssueQueue *iq = queueById(head.iqId))
+                    iq->erase(headRef);
                 if (head.op.dst != isa::NoReg)
                     llbv.set(size_t(head.op.dst));
                 head.longLatency = true;
@@ -441,6 +445,41 @@ DkipCore::tick()
     stageFetch();
     trackOccupancy();
     endCycle();
+}
+
+
+void
+DkipCore::saveDerived(ckpt::Sink &s) const
+{
+    OooCore::saveDerived(s);
+    llbv.save(s);
+    llibInt.save(s);
+    llibFp.save(s);
+    llrfInt.save(s);
+    llrfFp.save(s);
+    mpIntQ.save(s);
+    mpFpQ.save(s);
+    apQ.save(s);
+    mpIntFus.save(s);
+    mpFpFus.save(s);
+    chkpt.save(s);
+}
+
+void
+DkipCore::restoreDerived(ckpt::Source &s)
+{
+    OooCore::restoreDerived(s);
+    llbv.load(s);
+    llibInt.load(s);
+    llibFp.load(s);
+    llrfInt.load(s);
+    llrfFp.load(s);
+    mpIntQ.load(s);
+    mpFpQ.load(s);
+    apQ.load(s);
+    mpIntFus.load(s);
+    mpFpFus.load(s);
+    chkpt.load(s);
 }
 
 } // namespace kilo::dkip

@@ -53,6 +53,25 @@ class Llib
      */
     bool headBlocked() const;
 
+    /** Serialize / restore the FIFO contents (handles into the shared
+     *  arena, serialized alongside) and the high-water mark. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        q.save(s);
+        s.template scalar<uint64_t>(maxOcc);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        q.load(s);
+        maxOcc = s.template scalar<uint64_t>();
+    }
+    /** @} */
+
   private:
     core::InstArena &arena;
     std::string label;

@@ -61,6 +61,29 @@ class Llrf
     /** Number of banks. */
     int numBanks() const { return int(banks.size()); }
 
+    /** Serialize / restore bank free lists, per-cycle write marks and
+     *  the round-robin cursor. Bank geometry is configuration. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        for (const FreeList &b : banks)
+            b.save(s);
+        s.template scalar<uint64_t>(writtenMask);
+        s.template scalar<int32_t>(int32_t(rrBank));
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        for (FreeList &b : banks)
+            b.load(s);
+        writtenMask = s.template scalar<uint64_t>();
+        rrBank = int(s.template scalar<int32_t>());
+    }
+    /** @} */
+
   private:
     std::vector<FreeList> banks;
     uint64_t writtenMask = 0;

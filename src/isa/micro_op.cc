@@ -66,6 +66,23 @@ MicroOp::toString() const
     return buf;
 }
 
+std::string
+MicroOpHot::toString() const
+{
+    char buf[128];
+    if (isMem()) {
+        std::snprintf(buf, sizeof(buf), "%s r%d <- [r%d] @%#lx",
+                      opClassName(cls), dst, src1,
+                      (unsigned long)effAddr);
+    } else if (isBranch()) {
+        std::snprintf(buf, sizeof(buf), "br r%d", src1);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s r%d <- r%d, r%d",
+                      opClassName(cls), dst, src1, src2);
+    }
+    return buf;
+}
+
 MicroOp
 makeAlu(int16_t dst, int16_t src1, int16_t src2, uint64_t pc)
 {

@@ -127,6 +127,76 @@ struct MicroOp
     std::string toString() const;
 };
 
+/**
+ * The hot subset of a MicroOp carried inside the in-flight DynInst
+ * record: exactly the fields the per-cycle loops read (dataflow,
+ * class, effective address). The cold facts — pc and branch target —
+ * move to the DynInstCold record at fetch, and the resolved branch
+ * direction is recomputed from the prediction bits
+ * (taken == predTaken ^ mispredicted), keeping the hot record inside
+ * one cache line.
+ *
+ * Implicitly convertible from MicroOp so `inst.op = op` keeps working
+ * at every fetch/test site.
+ */
+struct MicroOpHot
+{
+    uint64_t effAddr = 0;     ///< effective address (Load/Store)
+    int16_t src1 = NoReg;     ///< first source register or NoReg
+    int16_t src2 = NoReg;     ///< second source register or NoReg
+    int16_t dst = NoReg;      ///< destination register or NoReg
+    OpClass cls = OpClass::Nop;
+    uint8_t memSize = 8;      ///< access size in bytes (Load/Store)
+
+    constexpr MicroOpHot() = default;
+
+    /** Implicit: slicing a full MicroOp down to the hot fields. */
+    constexpr MicroOpHot(const MicroOp &op)
+        : effAddr(op.effAddr), src1(op.src1), src2(op.src2),
+          dst(op.dst), cls(op.cls), memSize(op.memSize)
+    {}
+
+    /** True for loads and stores. */
+    bool isMem() const
+    {
+        return cls == OpClass::Load || cls == OpClass::Store;
+    }
+
+    /** True for loads. */
+    bool isLoad() const { return cls == OpClass::Load; }
+
+    /** True for stores. */
+    bool isStore() const { return cls == OpClass::Store; }
+
+    /** True for branches. */
+    bool isBranch() const { return cls == OpClass::Branch; }
+
+    /** True when routed to FP structures (FP LLIB / FP MP). */
+    bool
+    isFp() const
+    {
+        if (cls == OpClass::Load || cls == OpClass::Store)
+            return dst != NoReg ? isFpReg(dst)
+                                : (src2 != NoReg && isFpReg(src2));
+        return isFpClass(cls);
+    }
+
+    /** Number of register sources. */
+    int
+    numSrcs() const
+    {
+        return (src1 != NoReg ? 1 : 0) + (src2 != NoReg ? 1 : 0);
+    }
+
+    /** Debug rendering (no pc/target — those live in the cold
+     *  record), e.g. "load r3 <- [r1] @0x1000". */
+    std::string toString() const;
+};
+
+static_assert(sizeof(MicroOpHot) == 16,
+              "MicroOpHot must stay a 16-byte record; the DynInst "
+              "one-cache-line layout depends on it");
+
 /** Convenience builders used by generators and unit tests. @{ */
 MicroOp makeAlu(int16_t dst, int16_t src1, int16_t src2, uint64_t pc = 0);
 MicroOp makeMul(int16_t dst, int16_t src1, int16_t src2, uint64_t pc = 0);

@@ -28,6 +28,8 @@ KiloCore::KiloCore(const KiloParams &params, wload::Workload &workload,
            core::SchedPolicy::OutOfOrder, arena),
       chkpt(params.checkpointCapacity)
 {
+    registerIssueQueue(sliq);
+
     // SLIQ statistics: the KILO baseline stores its slow-lane
     // accounting in the shared llib*/analyze CoreStats fields, but
     // names them for what they measure on this machine (they only
@@ -108,8 +110,8 @@ KiloCore::moveToSliq(InstRef ref)
             ++st.checkpointsTaken;
         }
     }
-    if (inst.iq)
-        inst.iq->erase(ref);
+    if (core::IssueQueue *iq = queueById(inst.iqId))
+        iq->erase(ref);
     if (inst.op.dst != isa::NoReg)
         llbv.set(size_t(inst.op.dst));
     inst.longLatency = true;
@@ -204,7 +206,7 @@ KiloCore::onSquashInst(InstRef inst)
         rob.popBack();
         arena.get(inst).inRob = false;
     }
-    // SLIQ residency is handled through inst->iq by the base.
+    // SLIQ residency is handled through DynInst::iqId by the base.
 }
 
 void
@@ -253,6 +255,25 @@ KiloCore::tick()
     stageDispatch();
     stageFetch();
     endCycle();
+}
+
+
+void
+KiloCore::saveDerived(ckpt::Sink &s) const
+{
+    OooCore::saveDerived(s);
+    llbv.save(s);
+    sliq.save(s);
+    chkpt.save(s);
+}
+
+void
+KiloCore::restoreDerived(ckpt::Source &s)
+{
+    OooCore::restoreDerived(s);
+    llbv.load(s);
+    sliq.load(s);
+    chkpt.load(s);
 }
 
 } // namespace kilo::kilo_proc

@@ -65,6 +65,8 @@ class KiloCore : public core::OooCore
     size_t totalReady() const override;
     void beginCycleQueues() override;
     uint64_t nextTimedWake() const override;
+    void saveDerived(ckpt::Sink &s) const override;
+    void restoreDerived(ckpt::Source &s) override;
 
     void stageAnalyze();
 

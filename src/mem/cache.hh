@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/logging.hh"
+
 namespace kilo::mem
 {
 
@@ -81,6 +83,32 @@ class SetAssocCache
 
     /** Zero the statistics (end of warm-up). */
     void resetStats();
+
+    /** Serialize / restore tag state and statistics. Geometry is
+     *  configuration; load() asserts it matches. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.podVector(store);
+        s.template scalar<uint64_t>(stamp);
+        s.template scalar<uint64_t>(nAccesses);
+        s.template scalar<uint64_t>(nMisses);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        size_t sz = store.size();
+        s.podVector(store);
+        KILO_ASSERT(store.size() == sz,
+                    "cache checkpoint geometry mismatch");
+        stamp = s.template scalar<uint64_t>();
+        nAccesses = s.template scalar<uint64_t>();
+        nMisses = s.template scalar<uint64_t>();
+    }
+    /** @} */
 
   private:
     struct Way

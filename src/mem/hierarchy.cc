@@ -252,6 +252,19 @@ MemoryHierarchy::prewarm(uint64_t base, uint64_t bytes)
 }
 
 void
+MemoryHierarchy::warmAccess(uint64_t addr)
+{
+    if (cfg.perfectL1)
+        return;
+    // Mirror access()'s tag evolution: the L2 only sees the line when
+    // the L1 misses. touch() installs on absence without counting.
+    bool l1_hit = l1->probe(addr);
+    l1->touch(addr);
+    if (!l1_hit && l2)
+        l2->touch(addr);
+}
+
+void
 MemoryHierarchy::registerStats(stats::Registry &reg)
 {
     using stats::Row;

@@ -210,6 +210,52 @@ class MemoryHierarchy
      */
     void prewarm(uint64_t base, uint64_t bytes);
 
+    /**
+     * Functional-warming access: evolve L1/L2 tag state exactly as a
+     * demand access would (LRU refresh on a hit, installation on a
+     * miss) without timing, MSHR tracking or statistics. This is the
+     * per-op fast-forward path of sampled simulation — caches stay
+     * warm across skipped intervals at decode speed.
+     */
+    void warmAccess(uint64_t addr);
+
+    /** Serialize / restore tag state, in-flight fills and counters.
+     *  Geometry is configuration and must match. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        if (l1)
+            l1->save(s);
+        if (l2)
+            l2->save(s);
+        mshrs.save(s);
+        s.template scalar<uint64_t>(nAccesses);
+        s.template scalar<uint64_t>(nL1Misses);
+        s.template scalar<uint64_t>(nL2Misses);
+        s.template scalar<uint64_t>(nMemFills);
+        s.template scalar<uint64_t>(nMerges);
+        s.template scalar<uint64_t>(nMshrStalls);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        if (l1)
+            l1->load(s);
+        if (l2)
+            l2->load(s);
+        mshrs.load(s);
+        nAccesses = s.template scalar<uint64_t>();
+        nL1Misses = s.template scalar<uint64_t>();
+        nL2Misses = s.template scalar<uint64_t>();
+        nMemFills = s.template scalar<uint64_t>();
+        nMerges = s.template scalar<uint64_t>();
+        nMshrStalls = s.template scalar<uint64_t>();
+    }
+    /** @} */
+
   private:
     uint64_t lineOf(uint64_t addr) const { return addr / cfg.lineBytes; }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/util/histogram.hh"
+#include "src/util/logging.hh"
 
 namespace kilo::mem
 {
@@ -103,6 +104,36 @@ class MshrFile
         nDisplaced = 0;
         setOccHist.reset();
     }
+
+    /** Serialize / restore in-flight fills and statistics. Capacity
+     *  and sweep period are configuration. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.podVector(entries);
+        setOccHist.save(s);
+        s.template scalar<uint32_t>(liveCount);
+        s.template scalar<uint32_t>(peak);
+        s.template scalar<uint64_t>(nDisplaced);
+        s.template scalar<uint64_t>(nextSweep);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        size_t sz = entries.size();
+        s.podVector(entries);
+        KILO_ASSERT(entries.size() == sz,
+                    "MSHR checkpoint capacity mismatch");
+        setOccHist.load(s);
+        liveCount = s.template scalar<uint32_t>();
+        peak = s.template scalar<uint32_t>();
+        nDisplaced = s.template scalar<uint64_t>();
+        nextSweep = s.template scalar<uint64_t>();
+    }
+    /** @} */
 
   private:
     /** One tracked fill; fillDone == 0 means the way is free. */

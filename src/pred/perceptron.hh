@@ -45,6 +45,22 @@ class PerceptronPredictor : public BranchPredictor
     /** Training threshold theta. */
     int32_t threshold() const { return theta; }
 
+    void
+    save(ckpt::Sink &s) const override
+    {
+        s.podVector(weights);
+    }
+
+    void
+    load(ckpt::Source &s) override
+    {
+        size_t sz = weights.size();
+        s.podVector(weights);
+        if (weights.size() != sz)
+            throw ckpt::CheckpointError(
+                "predictor checkpoint geometry mismatch");
+    }
+
   private:
     int32_t output(uint64_t pc, uint64_t history) const;
     uint32_t index(uint64_t pc) const;

@@ -15,6 +15,8 @@
 #include <memory>
 #include <string>
 
+#include "src/ckpt/serial.hh"
+
 namespace kilo::pred
 {
 
@@ -53,6 +55,13 @@ class BranchPredictor
 
     /** Kind tag for stat output. */
     virtual BpKind kind() const = 0;
+
+    /** Serialize / restore predictor table state. Stateless
+     *  predictors (always-taken, perfect) keep the no-op default;
+     *  geometry is configuration and must match on load. @{ */
+    virtual void save(ckpt::Sink &) const {}
+    virtual void load(ckpt::Source &) {}
+    /** @} */
 };
 
 /** Build a predictor of the given kind with its default geometry. */

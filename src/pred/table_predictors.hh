@@ -26,6 +26,22 @@ class BimodalPredictor : public BranchPredictor
     void train(uint64_t pc, uint64_t history, bool taken) override;
     BpKind kind() const override { return BpKind::Bimodal; }
 
+    void
+    save(ckpt::Sink &s) const override
+    {
+        s.podVector(counters);
+    }
+
+    void
+    load(ckpt::Source &s) override
+    {
+        size_t sz = counters.size();
+        s.podVector(counters);
+        if (counters.size() != sz)
+            throw ckpt::CheckpointError(
+                "predictor checkpoint geometry mismatch");
+    }
+
   protected:
     uint32_t index(uint64_t pc, uint64_t history) const;
 

@@ -1,0 +1,244 @@
+#include "src/sample/signature.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/logging.hh"
+
+namespace kilo::sample
+{
+
+double
+Signature::distance2(const Signature &other) const
+{
+    double d2 = 0.0;
+    for (int i = 0; i < SigDims; ++i) {
+        double d = v[i] - other.v[i];
+        d2 += d * d;
+    }
+    return d2;
+}
+
+namespace
+{
+
+/** Running per-interval feature counts, folded into a Signature at
+ *  each interval boundary. */
+struct IntervalCounts
+{
+    std::array<uint64_t, isa::NumOpClasses> perClass{};
+    uint64_t insts = 0;
+    uint64_t branches = 0;
+    uint64_t taken = 0;
+    uint64_t mispredicts = 0;
+    uint64_t memOps = 0;
+    uint64_t proxyMisses = 0;
+
+    Signature
+    fold() const
+    {
+        Signature sig;
+        double n = insts ? double(insts) : 1.0;
+        for (int c = 0; c < isa::NumOpClasses; ++c)
+            sig.v[c] = double(perClass[c]) / n;
+        sig.v[isa::NumOpClasses] =
+            branches ? double(taken) / double(branches) : 0.0;
+        sig.v[isa::NumOpClasses + 1] =
+            branches ? double(mispredicts) / double(branches) : 0.0;
+        sig.v[isa::NumOpClasses + 2] =
+            memOps ? double(proxyMisses) / double(memOps) : 0.0;
+        return sig;
+    }
+
+    void
+    clear()
+    {
+        *this = IntervalCounts{};
+    }
+};
+
+/** Direct-mapped tag array; the miss proxy of the signature. */
+class MissProxy
+{
+  public:
+    MissProxy() : tags(ProxyEntries, EmptyTag) {}
+
+    /** Record @p addr; true when it missed. */
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t line = addr >> 6;  // 64-byte lines
+        size_t set = size_t(line & (ProxyEntries - 1));
+        if (tags[set] == line)
+            return false;
+        tags[set] = line;
+        return true;
+    }
+
+  private:
+    static constexpr uint64_t EmptyTag = ~uint64_t(0);
+    std::vector<uint64_t> tags;
+};
+
+/** Shadow gshare; the branch-predictability proxy. */
+class PredictProxy
+{
+  public:
+    PredictProxy() : counters(ProxyEntries, 2) {}
+
+    /** Predict-and-train on one branch; true on a mispredict. */
+    bool
+    access(uint64_t pc, bool taken)
+    {
+        size_t idx =
+            size_t(((pc >> 2) ^ ghr) & (ProxyEntries - 1));
+        uint8_t &ctr = counters[idx];
+        bool predicted = ctr >= 2;
+        if (taken && ctr < 3)
+            ctr++;
+        else if (!taken && ctr > 0)
+            ctr--;
+        ghr = (ghr << 1) | (taken ? 1 : 0);
+        return predicted != taken;
+    }
+
+  private:
+    std::vector<uint8_t> counters;  ///< 2-bit saturating
+    uint64_t ghr = 0;
+};
+
+} // anonymous namespace
+
+SignaturePass
+fingerprintIntervals(wload::Workload &workload, uint64_t skip_insts,
+                     uint64_t measure_insts, uint64_t interval_insts)
+{
+    KILO_ASSERT(interval_insts > 0,
+                "sampling needs a positive interval length");
+    if (skip_insts)
+        workload.skip(skip_insts);
+
+    SignaturePass pass;
+    MissProxy proxy;
+    PredictProxy bp;
+    IntervalCounts counts;
+    isa::MicroOp buf[256];
+
+    uint64_t remaining = measure_insts;
+    uint64_t interval_left = interval_insts;
+    while (remaining) {
+        size_t want = size_t(std::min<uint64_t>(
+            {remaining, interval_left, uint64_t(256)}));
+        size_t got = workload.nextBlock(buf, want);
+        KILO_ASSERT(got > 0, "workload stream ended mid-fingerprint");
+        for (size_t i = 0; i < got; ++i) {
+            const isa::MicroOp &op = buf[i];
+            counts.perClass[size_t(op.cls)]++;
+            if (op.isBranch()) {
+                counts.branches++;
+                counts.taken += op.taken ? 1 : 0;
+                counts.mispredicts +=
+                    bp.access(op.pc, op.taken) ? 1 : 0;
+            } else if (op.isMem()) {
+                counts.memOps++;
+                counts.proxyMisses += proxy.access(op.effAddr) ? 1 : 0;
+            }
+        }
+        counts.insts += got;
+        remaining -= got;
+        interval_left -= got;
+        if (interval_left == 0 || remaining == 0) {
+            pass.signatures.push_back(counts.fold());
+            pass.lengths.push_back(counts.insts);
+            counts.clear();
+            interval_left = interval_insts;
+        }
+    }
+    return pass;
+}
+
+Clustering
+clusterSignatures(const std::vector<Signature> &signatures, uint32_t k,
+                  int iterations)
+{
+    Clustering out;
+    size_t n = signatures.size();
+    if (n == 0)
+        return out;
+    if (k == 0)
+        k = 1;
+    if (uint64_t(k) > n)
+        k = uint32_t(n);
+
+    // Evenly spaced seeding over the time axis: program phases are
+    // contiguous in time, so spreading the seeds across the run
+    // starts every phase near a centroid — and it is deterministic.
+    std::vector<Signature> centroids(k);
+    for (uint32_t c = 0; c < k; ++c)
+        centroids[c] = signatures[size_t(c) * n / k];
+
+    out.assignment.assign(n, 0);
+    for (int iter = 0; iter < iterations; ++iter) {
+        // Assign: nearest centroid, lowest id on ties.
+        bool moved = false;
+        for (size_t i = 0; i < n; ++i) {
+            uint32_t best = 0;
+            double best_d2 = std::numeric_limits<double>::infinity();
+            for (uint32_t c = 0; c < k; ++c) {
+                double d2 = signatures[i].distance2(centroids[c]);
+                if (d2 < best_d2) {
+                    best_d2 = d2;
+                    best = c;
+                }
+            }
+            if (out.assignment[i] != best) {
+                out.assignment[i] = best;
+                moved = true;
+            }
+        }
+        if (!moved && iter > 0)
+            break;
+
+        // Update: centroid = member mean (empty clusters keep their
+        // previous centroid and may re-acquire members later).
+        std::vector<Signature> sums(k);
+        std::vector<uint64_t> members(k, 0);
+        for (size_t i = 0; i < n; ++i) {
+            uint32_t c = out.assignment[i];
+            members[c]++;
+            for (int d = 0; d < SigDims; ++d)
+                sums[c].v[d] += signatures[i].v[d];
+        }
+        for (uint32_t c = 0; c < k; ++c) {
+            if (!members[c])
+                continue;
+            for (int d = 0; d < SigDims; ++d)
+                centroids[c].v[d] = sums[c].v[d] / double(members[c]);
+        }
+    }
+
+    // Drop empty clusters (dense ids) and pick representatives.
+    std::vector<uint32_t> remap(k, 0);
+    std::vector<uint64_t> members(k, 0);
+    for (size_t i = 0; i < n; ++i)
+        members[out.assignment[i]]++;
+    uint32_t dense = 0;
+    for (uint32_t c = 0; c < k; ++c)
+        remap[c] = members[c] ? dense++ : 0;
+    out.representatives.assign(dense, 0);
+    std::vector<double> best_d2(
+        dense, std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t c = out.assignment[i];
+        uint32_t d = remap[c];
+        out.assignment[i] = d;
+        double dist = signatures[i].distance2(centroids[c]);
+        if (dist < best_d2[d]) {  // strict: lowest index wins ties
+            best_d2[d] = dist;
+            out.representatives[d] = uint32_t(i);
+        }
+    }
+    return out;
+}
+
+} // namespace kilo::sample

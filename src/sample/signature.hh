@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Interval behaviour signatures and deterministic k-means clustering
+ * — the offline half of sampled simulation (src/sample/DESIGN.md).
+ *
+ * A run's measured region is split into fixed-size intervals and each
+ * interval is fingerprinted by a small feature vector computed from a
+ * purely functional walk of the instruction stream (no timing):
+ *
+ *   - the fraction of instructions in each OpClass (the SimPoint
+ *     "basic block vector" analogue for a trace-level ISA),
+ *   - the taken rate of its branches (control behaviour),
+ *   - a branch-predictability proxy: the mispredict rate of a small
+ *     shadow gshare run over the stream (two intervals can share a
+ *     taken rate yet differ wildly in predictability), and
+ *   - a cache-miss proxy: the miss rate of its memory accesses
+ *     against a direct-mapped tag array (memory behaviour the
+ *     opcode mix alone cannot see).
+ *
+ * Signatures are clustered with a deterministic k-means (evenly
+ * spaced seeding, fixed iteration cap, lowest-index tie-breaks); one
+ * representative interval per cluster is then simulated in detail and
+ * the whole run's statistics are reconstructed from the weighted
+ * cluster measurements (sample::runSampled).
+ */
+
+#ifndef KILO_SAMPLE_SIGNATURE_HH
+#define KILO_SAMPLE_SIGNATURE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/micro_op.hh"
+#include "src/wload/workload.hh"
+
+namespace kilo::sample
+{
+
+/** Feature-vector dimensions: OpClass fractions + taken rate +
+ *  mispredict-proxy rate + cache-miss proxy rate. Every dimension is
+ *  a fraction in [0, 1], so unweighted Euclidean distance is
+ *  meaningful. */
+constexpr int SigDims = isa::NumOpClasses + 3;
+
+/** Entries in the direct-mapped miss-proxy tag array and the shadow
+ *  gshare counter table. With 64-byte lines the tag array models a
+ *  256 KiB probe filter — coarse on purpose: the proxies only have
+ *  to *separate* interval behaviours, not predict the simulated
+ *  hierarchy's miss rate or the real predictor's accuracy. */
+constexpr size_t ProxyEntries = 4096;
+
+/** One interval's behaviour fingerprint. */
+struct Signature
+{
+    std::array<double, SigDims> v{};
+
+    /** Squared Euclidean distance. */
+    double distance2(const Signature &other) const;
+};
+
+/** Fingerprints of every interval of a measured region. */
+struct SignaturePass
+{
+    std::vector<Signature> signatures;
+    std::vector<uint64_t> lengths;  ///< instructions per interval
+};
+
+/**
+ * Walk @p workload functionally and fingerprint the measured region:
+ * skip @p skip_insts (the warm-up region), then fingerprint
+ * @p measure_insts split into @p interval_insts-sized intervals (the
+ * final interval carries the remainder and may be shorter). The
+ * workload is left mid-stream; callers reset() it before reuse.
+ */
+SignaturePass fingerprintIntervals(wload::Workload &workload,
+                                   uint64_t skip_insts,
+                                   uint64_t measure_insts,
+                                   uint64_t interval_insts);
+
+/** k-means result over a signature set. */
+struct Clustering
+{
+    /** interval index -> cluster id (dense, [0, representatives)). */
+    std::vector<uint32_t> assignment;
+
+    /** cluster id -> representative interval index (the member
+     *  closest to the final centroid; lowest index on ties). */
+    std::vector<uint32_t> representatives;
+};
+
+/**
+ * Deterministic Lloyd k-means: centroids seeded at evenly spaced
+ * signature indices, at most @p iterations refinement passes,
+ * lowest-index winners on every tie. Clusters that end up empty are
+ * dropped, so the returned cluster ids are dense. @p k is clamped to
+ * the signature count; an empty input yields an empty clustering.
+ */
+Clustering clusterSignatures(const std::vector<Signature> &signatures,
+                             uint32_t k, int iterations = 25);
+
+} // namespace kilo::sample
+
+#endif // KILO_SAMPLE_SIGNATURE_HH

@@ -85,6 +85,8 @@ Manifest::parse(std::istream &in, const std::string &where)
     bool saw_magic = false;
     bool saw_warmup = false, saw_measure = false;
     bool saw_max_cycles = false, saw_max_wall = false;
+    bool saw_interval = false, saw_clusters = false;
+    bool saw_sampling = false;
     bool saw_shard = false;
 
     while (std::getline(in, line)) {
@@ -150,6 +152,28 @@ Manifest::parse(std::istream &in, const std::string &where)
         } else if (key == "max_wall_ms") {
             scalar_once(saw_max_wall);
             m.run.maxWallMs = parseU64(where, line_no, key, value);
+        } else if (key == "interval") {
+            scalar_once(saw_interval);
+            m.run.intervalInsts =
+                parseU64(where, line_no, key, value);
+        } else if (key == "clusters") {
+            scalar_once(saw_clusters);
+            uint64_t v = parseU64(where, line_no, key, value);
+            if (v == 0 || v > 1u << 20)
+                fail(where, line_no,
+                     "implausible cluster count: " + value);
+            m.run.numClusters = uint32_t(v);
+        } else if (key == "sampling") {
+            scalar_once(saw_sampling);
+            if (value == "off") {
+                m.run.samplingMode = sim::SamplingMode::Off;
+            } else if (value == "sampled") {
+                m.run.samplingMode = sim::SamplingMode::Sampled;
+            } else {
+                fail(where, line_no,
+                     "sampling must be 'off' or 'sampled', got '" +
+                         value + "'");
+            }
         } else if (key == "shard") {
             scalar_once(saw_shard);
             try {
@@ -204,6 +228,14 @@ Manifest::serialize() const
     os << "measure " << run.measureInsts << "\n";
     os << "max_cycles " << run.maxCycles << "\n";
     os << "max_wall_ms " << run.maxWallMs << "\n";
+    // Sampling directives appear only when they deviate from the
+    // defaults, so pre-sampling manifests round-trip byte-identically.
+    if (run.intervalInsts)
+        os << "interval " << run.intervalInsts << "\n";
+    if (run.numClusters != sim::RunConfig().numClusters)
+        os << "clusters " << run.numClusters << "\n";
+    if (run.samplingMode == sim::SamplingMode::Sampled)
+        os << "sampling sampled\n";
     os << "shard " << shardIndex << "/" << shardCount << "\n";
     return os.str();
 }

@@ -21,6 +21,12 @@
  *     max_wall_ms 0
  *     shard 0/4
  *
+ * Optional sampling directives (`interval N`, `clusters K`,
+ * `sampling sampled`) make every job of the matrix a sampled run
+ * (src/sample/); they are emitted by serialize() only when they
+ * deviate from the RunConfig defaults, so pre-sampling manifests
+ * round-trip unchanged.
+ *
  * Every worker process of a sharded sweep loads the same manifest
  * (the shard line is overridable on the worker command line), expands
  * the same full matrix through SweepEngine::matrixByName, and takes
@@ -69,7 +75,8 @@ struct Manifest
     std::vector<std::string> mems;
     /** @} */
 
-    /** Per-job run scalars (warmup/measure/max_cycles/max_wall_ms). */
+    /** Per-job run scalars (warmup/measure/max_cycles/max_wall_ms
+     *  plus the optional interval/clusters/sampling directives). */
     sim::RunConfig run;
 
     /** Which slice this manifest describes; 0/1 = the whole matrix. @{ */
@@ -115,6 +122,9 @@ struct Manifest
                run.measureInsts == o.run.measureInsts &&
                run.maxCycles == o.run.maxCycles &&
                run.maxWallMs == o.run.maxWallMs &&
+               run.intervalInsts == o.run.intervalInsts &&
+               run.numClusters == o.run.numClusters &&
+               run.samplingMode == o.run.samplingMode &&
                shardIndex == o.shardIndex &&
                shardCount == o.shardCount;
     }

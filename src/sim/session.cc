@@ -32,6 +32,13 @@ resolveWorkload(const std::string &name, const RunConfig &run_config)
 
 } // anonymous namespace
 
+wload::WorkloadPtr
+openWorkload(const std::string &workload_name,
+             const RunConfig &run_config)
+{
+    return resolveWorkload(workload_name, run_config);
+}
+
 Session::Session(const MachineConfig &machine,
                  const std::string &workload_name,
                  const mem::MemConfig &mem_config,
@@ -210,6 +217,61 @@ Session::recordInterval()
     s.deltaCommitted = s.committed - (prev ? prev->committed : 0);
     s.snapshot = core_->statsRegistry().snapshot();
     intervals_.push_back(std::move(s));
+}
+
+ckpt::Checkpoint
+Session::checkpoint() const
+{
+    ckpt::Sink s;
+    s.str(machineName);
+    s.str(wl->name());
+    s.scalar(uint8_t(warmedUp ? 1 : 0));
+    s.scalar(uint8_t(aborted_ ? 1 : 0));
+    s.scalar(uint64_t(measureStartCycle));
+    s.scalar(uint64_t(nextIntervalAt));
+    core_->saveState(s);
+    ckpt::Checkpoint c;
+    c.bytes = s.take();
+    return c;
+}
+
+void
+Session::restore(const ckpt::Checkpoint &c)
+{
+    ckpt::Source s(c.bytes);
+    std::string machine = s.str();
+    if (machine != machineName)
+        throw ckpt::CheckpointError(
+            "checkpoint was taken on machine '" + machine +
+            "', this session runs '" + machineName + "'");
+    std::string workload = s.str();
+    if (workload != wl->name())
+        throw ckpt::CheckpointError(
+            "checkpoint was taken on workload '" + workload +
+            "', this session runs '" + wl->name() + "'");
+    warmedUp = s.scalar<uint8_t>() != 0;
+    aborted_ = s.scalar<uint8_t>() != 0;
+    measureStartCycle = s.scalar<uint64_t>();
+    nextIntervalAt = s.scalar<uint64_t>();
+    core_->restoreState(s);
+    if (!s.atEnd())
+        throw ckpt::CheckpointError(
+            "checkpoint has trailing bytes after the core state");
+    intervals_.clear();
+}
+
+void
+Session::saveCheckpoint(const std::string &path) const
+{
+    ckpt::writeCheckpointFile(path, checkpoint().bytes);
+}
+
+void
+Session::loadCheckpoint(const std::string &path)
+{
+    ckpt::Checkpoint c;
+    c.bytes = ckpt::readCheckpointFile(path);
+    restore(c);
 }
 
 RunResult

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ckpt/serial.hh"
 #include "src/sim/simulator.hh"
 
 namespace kilo::sim
@@ -125,6 +126,27 @@ class Session
      * remains inspectable but should not be advanced further.
      */
     RunResult finish();
+
+    /**
+     * Capture the complete run state — machine and workload identity,
+     * session phase, and every mutable byte of the core (arena,
+     * hierarchy, predictor, queues, workload position) — as an
+     * in-memory snapshot. restore() into a Session built with the
+     * same machine/workload/memory configuration resumes
+     * bit-identically: checkpoint-at-cycle-C-then-restore produces
+     * the same stats row as running straight through (pinned by
+     * tests/test_checkpoint.cpp). A mismatched machine or workload
+     * throws ckpt::CheckpointError. Interval samples are not part of
+     * the image; restore() clears them. @{
+     */
+    ckpt::Checkpoint checkpoint() const;
+    void restore(const ckpt::Checkpoint &c);
+
+    /** Same, through the on-disk KILOCKPT container (versioned,
+     *  checksummed; see src/ckpt/serial.hh). */
+    void saveCheckpoint(const std::string &path) const;
+    void loadCheckpoint(const std::string &path);
+    /** @} */
 
   private:
     /** Advance toward @p target_committed, capped at @p cycle_cap

@@ -3,6 +3,7 @@
 #include "src/core/ooo_core.hh"
 #include "src/dkip/dkip_core.hh"
 #include "src/kilo_proc/kilo_core.hh"
+#include "src/sample/sampled_run.hh"
 #include "src/sim/session.hh"
 #include "src/util/logging.hh"
 
@@ -39,6 +40,10 @@ Simulator::run(const MachineConfig &machine,
                const mem::MemConfig &mem_config,
                const RunConfig &run_config)
 {
+    if (run_config.samplingMode == SamplingMode::Sampled)
+        return sample::runSampled(machine, workload_name, mem_config,
+                                  run_config)
+            .result;
     Session session(machine, workload_name, mem_config, run_config);
     session.warmup();
     session.run();
@@ -50,6 +55,10 @@ Simulator::run(const MachineConfig &machine, wload::Workload &workload,
                const mem::MemConfig &mem_config,
                const RunConfig &run_config)
 {
+    if (run_config.samplingMode == SamplingMode::Sampled)
+        return sample::runSampled(machine, workload, mem_config,
+                                  run_config)
+            .result;
     Session session(machine, workload, mem_config, run_config);
     session.warmup();
     session.run();

@@ -32,6 +32,13 @@
 namespace kilo::sim
 {
 
+/** How a run's measured region is simulated. */
+enum class SamplingMode : uint8_t
+{
+    Off,      ///< exact: every instruction in detail
+    Sampled,  ///< cluster representatives only (src/sample/)
+};
+
 /** Length and instrumentation of a simulation. */
 struct RunConfig
 {
@@ -69,6 +76,23 @@ struct RunConfig
      * Sampling does not perturb timing.
      */
     uint64_t intervalInsts = 0;
+
+    /**
+     * SamplingMode::Sampled makes Simulator::run (and therefore
+     * SweepEngine matrices and sharded sweeps) estimate the measured
+     * region by simulating only cluster-representative intervals —
+     * see src/sample/DESIGN.md. intervalInsts is the sampling
+     * interval length (0 picks a default of measureInsts / 50),
+     * numClusters bounds how many representatives are simulated, and
+     * warmupInsts doubles as the functional-warming span replayed
+     * before each representative. Deterministic: a sampled job
+     * produces the same JSONL row in any process or thread.
+     */
+    SamplingMode samplingMode = SamplingMode::Off;
+
+    /** Behaviour clusters (= representative intervals simulated) of
+     *  a SamplingMode::Sampled run. */
+    uint32_t numClusters = 8;
 
     /**
      * When non-empty, run-by-name replays this KILOTRC trace file
@@ -134,6 +158,15 @@ struct RunResult
     /** @} */
     /** @} */
 };
+
+/**
+ * Resolve @p workload_name exactly as Session's by-name constructor
+ * does: RunConfig::tracePath wins, then a "trace:<path>" name, then
+ * the synthetic preset registry. The sampling layer and benches use
+ * this to walk the same instruction stream a Session would run.
+ */
+wload::WorkloadPtr openWorkload(const std::string &workload_name,
+                                const RunConfig &run_config);
 
 /** Builds cores and executes runs. */
 class Simulator

@@ -122,6 +122,23 @@ SweepEngine::matrix(const std::vector<MachineConfig> &machines,
 }
 
 std::vector<SweepJob>
+SweepEngine::matrixMemMajor(
+    const std::vector<MachineConfig> &machines,
+    const std::vector<std::string> &workloads,
+    const std::vector<mem::MemConfig> &mems,
+    const RunConfig &run_config)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(machines.size() * workloads.size() * mems.size());
+    for (const auto &mem : mems)
+        for (const auto &machine : machines)
+            for (const auto &workload : workloads)
+                jobs.push_back(
+                    SweepJob{machine, workload, mem, run_config});
+    return jobs;
+}
+
+std::vector<SweepJob>
 SweepEngine::matrixByName(const std::vector<std::string> &machines,
                           const std::vector<std::string> &workloads,
                           const std::vector<std::string> &mems,

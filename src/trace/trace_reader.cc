@@ -292,6 +292,54 @@ Reader::readBlock(std::vector<isa::MicroOp> &out)
     return true;
 }
 
+uint64_t
+Reader::skipOps(uint64_t n)
+{
+    uint64_t skipped = 0;
+    while (n > 0) {
+        uint8_t frame[12];
+        if (map) {
+            if (mapOff == mapBytes)
+                break; // clean end-of-file
+            if (mapBytes - mapOff < sizeof(frame))
+                throw TraceError("trace truncated: torn block "
+                                 "frame: " + path_);
+            std::memcpy(frame, map + mapOff, sizeof(frame));
+        } else {
+            size_t got = std::fread(frame, 1, sizeof(frame), file);
+            if (got == 0) {
+                if (std::ferror(file))
+                    throw TraceError("trace read error: " + path_);
+                break;
+            }
+            if (got != sizeof(frame))
+                throw TraceError("trace truncated: torn block "
+                                 "frame: " + path_);
+        }
+        BlockFrame f = parseFrame(frame, path_);
+        if (f.blockOps > n) {
+            // This block overshoots; leave it for the decode path.
+            if (!map &&
+                std::fseek(file, -long(sizeof(frame)), SEEK_CUR) != 0)
+                throw TraceError("trace seek failed: " + path_);
+            break;
+        }
+        if (map) {
+            if (mapBytes - mapOff - sizeof(frame) < f.payloadBytes)
+                throw TraceError("trace truncated: EOF inside block "
+                                 "payload: " + path_);
+            mapOff += sizeof(frame) + size_t(f.payloadBytes);
+        } else {
+            if (std::fseek(file, long(f.payloadBytes), SEEK_CUR) != 0)
+                throw TraceError("trace truncated: EOF inside block "
+                                 "payload: " + path_);
+        }
+        n -= f.blockOps;
+        skipped += f.blockOps;
+    }
+    return skipped;
+}
+
 void
 Reader::rewind()
 {
@@ -362,6 +410,36 @@ TraceWorkload::nextBlock(isa::MicroOp *out, size_t n)
     for (size_t i = 0; i < n; ++i)
         out[i] = decodeNext();
     return n;
+}
+
+void
+TraceWorkload::skip(uint64_t n)
+{
+    while (n > 0) {
+        if (remainingOps > 0) {
+            // Mid-block: the delta codec is sequential, so records up
+            // to the block boundary (or the target) decode-discard.
+            uint64_t take =
+                n < remainingOps ? n : uint64_t(remainingOps);
+            for (uint64_t i = 0; i < take; ++i)
+                (void)decodeOp(cursor, payloadEnd, codec);
+            remainingOps -= uint32_t(take);
+            n -= take;
+            continue;
+        }
+        if (cursor != payloadEnd)
+            throw TraceError("trace block corrupt: undecoded "
+                             "trailing bytes");
+        // Block boundary: leap whole blocks without decoding.
+        uint64_t skipped = reader.skipOps(n);
+        opsThisPass += skipped;
+        n -= skipped;
+        if (n > 0) {
+            // Either the next block overshoots (decode into it) or
+            // we hit end-of-file (refill() wraps to block 0).
+            refill();
+        }
+    }
 }
 
 void

@@ -100,6 +100,18 @@ class Reader
     uint32_t nextBlockView(const uint8_t *&payload,
                            size_t &payload_bytes);
 
+    /**
+     * Skip forward past whole blocks totalling at most @p n records,
+     * without decoding or checksumming their payloads — under mmap
+     * this is pure pointer arithmetic, under streaming one fseek per
+     * block. Stops before a block that would overshoot @p n and at a
+     * clean end-of-file; returns the records actually skipped
+     * (<= @p n). Frame plausibility and truncation are still
+     * validated; payload corruption inside a skipped block goes
+     * undetected by design (fast-forward never consumes it).
+     */
+    uint64_t skipOps(uint64_t n);
+
     /** Seek back to the first block. */
     void rewind();
 
@@ -135,6 +147,7 @@ class TraceWorkload : public wload::Workload
 
     isa::MicroOp next() override;
     size_t nextBlock(isa::MicroOp *out, size_t n) override;
+    void skip(uint64_t n) override;
     const std::string &name() const override
     {
         return reader.meta().name;

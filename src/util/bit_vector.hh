@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/logging.hh"
+
 namespace kilo
 {
 
@@ -45,6 +47,29 @@ class BitVector
 
     /** True when no bit is set. */
     bool none() const { return popcount() == 0; }
+
+    /** Serialize / restore. load() adopts the saved width so that
+     *  default-constructed vectors (e.g. checkpoint-stack entries
+     *  being rebuilt) restore correctly. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.template scalar<uint64_t>(bits);
+        s.podVector(words);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        uint64_t n = s.template scalar<uint64_t>();
+        s.podVector(words);
+        KILO_ASSERT(words.size() == size_t((n + 63) / 64),
+                    "BitVector checkpoint width/word mismatch");
+        bits = size_t(n);
+    }
+    /** @} */
 
   private:
     size_t bits;

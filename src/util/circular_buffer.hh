@@ -12,6 +12,7 @@
 #define KILO_UTIL_CIRCULAR_BUFFER_HH
 
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 #include "src/util/logging.hh"
@@ -128,6 +129,37 @@ class CircularBuffer
         while (!empty())
             popFront();
     }
+
+    /**
+     * Serialize / restore contents in logical (head-first) order.
+     * Capacity is configuration, not state: load() asserts the
+     * restored population fits the configured capacity. @{
+     */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "CircularBuffer::save requires a POD element");
+        std::vector<T> linear(count);
+        for (size_t i = 0; i < count; ++i)
+            linear[i] = at(i);
+        s.podVector(linear);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        std::vector<T> linear;
+        s.podVector(linear);
+        KILO_ASSERT(linear.size() <= cap,
+                    "CircularBuffer checkpoint exceeds capacity");
+        clear();
+        for (const T &value : linear)
+            pushBack(value);
+    }
+    /** @} */
 
   private:
     std::vector<T> store;

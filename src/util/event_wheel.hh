@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "src/util/logging.hh"
@@ -157,6 +158,47 @@ class EventWheel
         count = 0;
         cachedNext = NoCycle;
     }
+
+    /**
+     * Serialize / restore the pending-event set. Events are saved as
+     * one flat (payload, cycle) list in pop order — ring slots in
+     * frontier order, then overflow — and re-scheduled on load, which
+     * reconstructs identical slot vectors. The horizon is
+     * configuration and is not part of the image. @{
+     */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<Event>,
+                      "EventWheel::save requires a POD payload");
+        s.template scalar<uint64_t>(popFrontier);
+        std::vector<Event> events;
+        events.reserve(count);
+        for (uint64_t c = popFrontier; c < popFrontier + horizon();
+             ++c) {
+            for (const auto &ev : ring[slotOf(c)])
+                events.push_back(ev);
+        }
+        for (const auto &ev : overflow)
+            events.push_back(ev);
+        KILO_ASSERT(events.size() == count,
+                    "EventWheel lost events during save");
+        s.podVector(events);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        clear();
+        popFrontier = s.template scalar<uint64_t>();
+        std::vector<Event> events;
+        s.podVector(events);
+        for (const auto &ev : events)
+            schedule(ev.cycle, ev.payload);
+    }
+    /** @} */
 
   private:
     static constexpr uint64_t NoCycle = UINT64_MAX;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/logging.hh"
 #include "src/util/ring_deque.hh"
 
 namespace kilo
@@ -60,6 +61,41 @@ class FreeList
 
     /** Add @p extra new slots [total, total + extra), all free. */
     void grow(uint32_t extra);
+
+    /**
+     * Serialize / restore: free-queue order and the allocated mask.
+     * The slot count must already match (the arena grows itself
+     * before loading); load() asserts it. @{
+     */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.template scalar<uint32_t>(total);
+        free.save(s);
+        std::vector<uint8_t> mask((total + 7) / 8, 0);
+        for (uint32_t i = 0; i < total; ++i) {
+            if (allocated[i])
+                mask[i / 8] |= uint8_t(1u << (i % 8));
+        }
+        s.podVector(mask);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        uint32_t n = s.template scalar<uint32_t>();
+        KILO_ASSERT(n == total, "FreeList checkpoint size mismatch");
+        free.load(s);
+        std::vector<uint8_t> mask;
+        s.podVector(mask);
+        KILO_ASSERT(mask.size() == size_t((total + 7) / 8),
+                    "FreeList checkpoint mask mismatch");
+        for (uint32_t i = 0; i < total; ++i)
+            allocated[i] = (mask[i / 8] >> (i % 8)) & 1u;
+    }
+    /** @} */
 
   private:
     void pushInitialRange(uint32_t lo, uint32_t hi);

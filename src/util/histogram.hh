@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/logging.hh"
+
 namespace kilo
 {
 
@@ -70,6 +72,37 @@ class Histogram
 
     /** Render an ASCII table: one "lo-hi count pct" row per bucket. */
     std::string render(size_t max_rows = 64) const;
+
+    /** Serialize / restore. Bucket geometry is configuration; load()
+     *  asserts it matches. @{ */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.template scalar<uint64_t>(width);
+        s.podVector(counts);
+        s.template scalar<uint64_t>(overflow);
+        s.template scalar<uint64_t>(total);
+        s.template scalar<uint64_t>(maxSeen);
+        s.template scalar<double>(sum);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        size_t buckets = counts.size();
+        uint64_t w = s.template scalar<uint64_t>();
+        KILO_ASSERT(w == width, "Histogram checkpoint width mismatch");
+        s.podVector(counts);
+        KILO_ASSERT(counts.size() == buckets,
+                    "Histogram checkpoint bucket-count mismatch");
+        overflow = s.template scalar<uint64_t>();
+        total = s.template scalar<uint64_t>();
+        maxSeen = s.template scalar<uint64_t>();
+        sum = s.template scalar<double>();
+    }
+    /** @} */
 
   private:
     uint64_t width;

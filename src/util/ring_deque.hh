@@ -14,6 +14,7 @@
 #define KILO_UTIL_RING_DEQUE_HH
 
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -124,6 +125,37 @@ class RingDeque
         while (count)
             pop_front();
     }
+
+    /**
+     * Serialize / restore contents in logical (head-first) order.
+     * Capacity is not part of the image; load() re-grows as needed,
+     * so the restored deque is behaviourally identical even when its
+     * ring happens to be a different size. Templated on the sink /
+     * source type to keep src/util free of ckpt dependencies. @{
+     */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "RingDeque::save requires a POD element");
+        std::vector<T> linear(count);
+        for (size_t i = 0; i < count; ++i)
+            linear[i] = (*this)[i];
+        s.podVector(linear);
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        std::vector<T> linear;
+        s.podVector(linear);
+        clear();
+        for (const T &value : linear)
+            push_back(value);
+    }
+    /** @} */
 
   private:
     size_t mask() const { return store.size() - 1; }

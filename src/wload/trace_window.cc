@@ -37,4 +37,23 @@ TraceWindow::release(uint64_t seq)
     }
 }
 
+void
+TraceWindow::jumpTo(uint64_t seq)
+{
+    KILO_ASSERT(seq >= baseSeq,
+                "TraceWindow: cannot jump to released sequence %lu "
+                "(base %lu)",
+                (unsigned long)seq, (unsigned long)baseSeq);
+    if (seq <= frontier()) {
+        release(seq);
+        return;
+    }
+    // Past the read-ahead: drop the buffer and let the workload leap
+    // the gap without materialising the skipped ops.
+    uint64_t gap = seq - frontier();
+    buf.clear();
+    workload.skip(gap);
+    baseSeq = seq;
+}
+
 } // namespace kilo::wload

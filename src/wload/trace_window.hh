@@ -49,6 +49,43 @@ class TraceWindow
     /** One past the youngest generated sequence number. */
     uint64_t frontier() const { return baseSeq + buf.size(); }
 
+    /**
+     * Reposition the window so the next op() serves @p seq, skipping
+     * the underlying workload forward without buffering the ops in
+     * between (functional fast-forward). @p seq must be >= base();
+     * jumping backwards within the buffer just releases.
+     */
+    void jumpTo(uint64_t seq);
+
+    /**
+     * Serialize / restore the window position. Buffered ops are NOT
+     * stored: the stream is deterministic, so load() repositions the
+     * workload (reset + skip) and re-pulls the buffered span —
+     * byte-for-byte the ops the saved window held. @{
+     */
+    template <typename Sink>
+    void
+    save(Sink &s) const
+    {
+        s.template scalar<uint64_t>(baseSeq);
+        s.template scalar<uint64_t>(buf.size());
+    }
+
+    template <typename Source>
+    void
+    load(Source &s)
+    {
+        uint64_t base = s.template scalar<uint64_t>();
+        uint64_t count = s.template scalar<uint64_t>();
+        buf.clear();
+        baseSeq = base;
+        workload.reset();
+        workload.skip(base);
+        if (count)
+            (void)op(base + count - 1);
+    }
+    /** @} */
+
   private:
     Workload &workload;
     RingDeque<isa::MicroOp> buf;

@@ -54,6 +54,24 @@ class Workload
         return n;
     }
 
+    /**
+     * Advance the stream past the next @p n micro-ops without
+     * handing them to the caller. Semantically identical to @p n
+     * next() calls; the default decodes and discards, while seekable
+     * workloads (trace replay) override it to jump whole blocks —
+     * that is the fast-forward primitive of sampled simulation.
+     */
+    virtual void
+    skip(uint64_t n)
+    {
+        isa::MicroOp buf[64];
+        while (n) {
+            size_t take = n < 64 ? size_t(n) : size_t(64);
+            size_t got = nextBlock(buf, take);
+            n -= got;
+        }
+    }
+
     /** Benchmark name (e.g. "mcf", "swim"). */
     virtual const std::string &name() const = 0;
 

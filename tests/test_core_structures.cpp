@@ -208,6 +208,7 @@ TEST(IssueQueue, OooSelectsOldestReady)
 {
     Arena ar;
     IssueQueue q("q", 8, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     auto b = ar.inst(2);
     auto c = ar.inst(3);
@@ -224,6 +225,7 @@ TEST(IssueQueue, OooWakeupMakesSelectable)
 {
     Arena ar;
     IssueQueue q("q", 8, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     q.insert(a);
     EXPECT_FALSE(q.popReady(0));
@@ -236,6 +238,7 @@ TEST(IssueQueue, InOrderHeadOnly)
 {
     Arena ar;
     IssueQueue q("q", 8, SchedPolicy::InOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     auto b = ar.inst(2);
     ar[b].readyFlag = true;
@@ -249,6 +252,7 @@ TEST(IssueQueue, InOrderIssuesContiguousPrefix)
 {
     Arena ar;
     IssueQueue q("q", 8, SchedPolicy::InOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     auto b = ar.inst(2);
     ar[a].readyFlag = true;
@@ -268,6 +272,7 @@ TEST(IssueQueue, InOrderStructuralHazardStallsCycle)
 {
     Arena ar;
     IssueQueue q("q", 8, SchedPolicy::InOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     ar[a].readyFlag = true;
     q.insert(a);
@@ -283,6 +288,7 @@ TEST(IssueQueue, OooRequeueRetriesNextCycle)
 {
     Arena ar;
     IssueQueue q("q", 8, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     ar[a].readyFlag = true;
     q.insert(a);
@@ -297,6 +303,7 @@ TEST(IssueQueue, CapacityAndFull)
 {
     Arena ar;
     IssueQueue q("q", 2, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     q.insert(ar.inst(1));
     q.insert(ar.inst(2));
     EXPECT_TRUE(q.full());
@@ -307,17 +314,19 @@ TEST(IssueQueue, EraseFreesSlotWithoutIssue)
 {
     Arena ar;
     IssueQueue q("q", 2, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     q.insert(a);
     q.erase(a);
     EXPECT_TRUE(q.empty());
-    EXPECT_EQ(ar[a].iq, nullptr);
+    EXPECT_EQ(ar[a].iqId, -1);
 }
 
 TEST(IssueQueue, SquashRemovesYoungest)
 {
     Arena ar;
     IssueQueue q("q", 4, SchedPolicy::InOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     auto b = ar.inst(2);
     q.insert(a);
@@ -332,6 +341,7 @@ TEST(IssueQueue, ReadyCountConsistentThroughLifecycle)
 {
     Arena ar;
     IssueQueue q("q", 4, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     ar[a].readyFlag = true;
     q.insert(a);
@@ -347,6 +357,7 @@ TEST(IssueQueue, DroppedNotReadyReturnsViaWakeup)
 {
     Arena ar;
     IssueQueue q("q", 4, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     ar[a].readyFlag = true;
     q.insert(a);
@@ -363,6 +374,7 @@ TEST(IssueQueue, StaleHeapEntrySkippedAfterRecycle)
 {
     Arena ar;
     IssueQueue q("q", 4, SchedPolicy::OutOfOrder, ar.arena);
+    q.assignId(0);
     auto a = ar.inst(1);
     ar[a].readyFlag = true;
     q.insert(a);
