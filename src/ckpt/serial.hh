@@ -22,8 +22,7 @@
  * checkpoints are rejected, not converted.
  */
 
-#ifndef KILO_CKPT_SERIAL_HH
-#define KILO_CKPT_SERIAL_HH
+#pragma once
 
 #include <cstdint>
 #include <cstring>
@@ -50,12 +49,24 @@ class Sink
 {
   public:
     /** Append @p n raw bytes. */
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12 flags the reallocation move inside vector::insert with an
+// impossible size when the call is inlined into large callers
+// (stringop-overflow false positive, GCC PR 107852 family).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
     void
     bytes(const void *p, size_t n)
     {
+        if (!n)
+            return; // empty strings may pass a null/dangling data()
         const uint8_t *b = static_cast<const uint8_t *>(p);
         buf.insert(buf.end(), b, b + n);
     }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
     /** Append one trivially-copyable value verbatim. */
     template <typename T>
@@ -195,4 +206,3 @@ struct Checkpoint
 
 } // namespace kilo::ckpt
 
-#endif // KILO_CKPT_SERIAL_HH

@@ -15,8 +15,7 @@
  * so histogram bucket configuration is never silently reconstructed.
  */
 
-#ifndef KILO_CORE_CORE_STATS_HH
-#define KILO_CORE_CORE_STATS_HH
+#pragma once
 
 #include <cstdint>
 
@@ -133,4 +132,3 @@ struct CoreStats
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_CORE_STATS_HH

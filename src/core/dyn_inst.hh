@@ -29,8 +29,7 @@
  * checkpoint layer's verbatim slab serialization (src/ckpt/).
  */
 
-#ifndef KILO_CORE_DYN_INST_HH
-#define KILO_CORE_DYN_INST_HH
+#pragma once
 
 #include <cstdint>
 #include <type_traits>
@@ -247,4 +246,3 @@ static_assert(std::is_trivially_copyable_v<DynInstCold>,
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_DYN_INST_HH

@@ -3,11 +3,12 @@
 namespace kilo::core
 {
 
-FetchEngine::FetchEngine(wload::TraceWindow &window,
-                         pred::BranchPredictor &predictor,
-                         const CoreParams &params, InstArena &arena)
-    : window(window), predictor(predictor), params(params),
-      arena(arena)
+FetchEngine::FetchEngine(wload::TraceWindow &trace_window,
+                         pred::BranchPredictor &branch_predictor,
+                         const CoreParams &core_params,
+                         InstArena &inst_arena)
+    : window(trace_window), predictor(branch_predictor),
+      params(core_params), arena(inst_arena)
 {}
 
 int

@@ -15,8 +15,7 @@
  * core's InstArena so that commit/squash recycling is total.
  */
 
-#ifndef KILO_CORE_FETCH_ENGINE_HH
-#define KILO_CORE_FETCH_ENGINE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -102,4 +101,3 @@ class FetchEngine
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_FETCH_ENGINE_HH

@@ -5,8 +5,8 @@
 namespace kilo::core
 {
 
-FuPool::FuPool(const FuConfig &cfg)
-    : cfg(cfg)
+FuPool::FuPool(const FuConfig &config)
+    : cfg(config)
 {
     intAlu.busyUntil.assign(size_t(cfg.intAlu), 0);
     intMul.busyUntil.assign(size_t(cfg.intMul), 0);

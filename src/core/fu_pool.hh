@@ -8,8 +8,7 @@
  * unpipelined and blocks its unit for the full latency.
  */
 
-#ifndef KILO_CORE_FU_POOL_HH
-#define KILO_CORE_FU_POOL_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -113,4 +112,3 @@ class FuPool
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_FU_POOL_HH

@@ -27,8 +27,7 @@
  * move.
  */
 
-#ifndef KILO_CORE_INST_ARENA_HH
-#define KILO_CORE_INST_ARENA_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -248,4 +247,3 @@ class InstArena
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_INST_ARENA_HH

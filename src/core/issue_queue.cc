@@ -14,8 +14,8 @@ schedPolicyName(SchedPolicy policy)
 }
 
 IssueQueue::IssueQueue(std::string name, size_t capacity,
-                       SchedPolicy policy, InstArena &arena)
-    : arena(arena), label(std::move(name)),
+                       SchedPolicy policy, InstArena &inst_arena)
+    : arena(inst_arena), label(std::move(name)),
       cap(capacity ? capacity : 1), sched(policy)
 {}
 

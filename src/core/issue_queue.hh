@@ -17,8 +17,7 @@
  * handles that went stale after a squash recycled their slots.
  */
 
-#ifndef KILO_CORE_ISSUE_QUEUE_HH
-#define KILO_CORE_ISSUE_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -160,4 +159,3 @@ class IssueQueue
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_ISSUE_QUEUE_HH

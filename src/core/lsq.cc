@@ -5,8 +5,8 @@
 namespace kilo::core
 {
 
-Lsq::Lsq(size_t capacity, InstArena &arena)
-    : arena(arena), cap(capacity ? capacity : 1),
+Lsq::Lsq(size_t capacity, InstArena &inst_arena)
+    : arena(inst_arena), cap(capacity ? capacity : 1),
       buckets(NumBuckets)
 {}
 

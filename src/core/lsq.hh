@@ -18,8 +18,7 @@
  * instructions that commit while still holding an entry.
  */
 
-#ifndef KILO_CORE_LSQ_HH
-#define KILO_CORE_LSQ_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -125,4 +124,3 @@ class Lsq
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_LSQ_HH

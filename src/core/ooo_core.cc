@@ -5,9 +5,9 @@
 namespace kilo::core
 {
 
-OooCore::OooCore(const CoreParams &params, wload::Workload &workload,
+OooCore::OooCore(const CoreParams &params, wload::Workload &wl,
                  const mem::MemConfig &mem_config)
-    : PipelineBase(params, workload, mem_config),
+    : PipelineBase(params, wl, mem_config),
       rob(params.robSize),
       intIq("intIQ", params.intIqSize, params.intPolicy, arena),
       fpIq("fpIQ", params.fpIqSize, params.fpPolicy, arena),

@@ -8,8 +8,7 @@
  * ROB-limited cores of the paper's Figures 1-3 limit study.
  */
 
-#ifndef KILO_CORE_OOO_CORE_HH
-#define KILO_CORE_OOO_CORE_HH
+#pragma once
 
 #include "src/core/pipeline_base.hh"
 #include "src/util/circular_buffer.hh"
@@ -56,4 +55,3 @@ class OooCore : public PipelineBase
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_OOO_CORE_HH

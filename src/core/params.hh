@@ -7,8 +7,7 @@
  * (R10-64, R10-256, KILO-1024, D-KIP-2048, ...) from this block.
  */
 
-#ifndef KILO_CORE_PARAMS_HH
-#define KILO_CORE_PARAMS_HH
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -60,4 +59,3 @@ struct CoreParams
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_PARAMS_HH

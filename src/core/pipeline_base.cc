@@ -8,9 +8,9 @@ namespace kilo::core
 {
 
 PipelineBase::PipelineBase(const CoreParams &params,
-                           wload::Workload &workload,
+                           wload::Workload &wl,
                            const mem::MemConfig &mem_config)
-    : prm(params), workload(workload), trace(workload),
+    : prm(params), workload(wl), trace(wl),
       bp(pred::makePredictor(params.predictor)),
       fetchEngine(trace, *bp, prm, arena), mem_(mem_config),
       lsq(params.lsqSize, arena)

@@ -23,8 +23,7 @@
  * generation-checked handles.
  */
 
-#ifndef KILO_CORE_PIPELINE_BASE_HH
-#define KILO_CORE_PIPELINE_BASE_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -299,4 +298,3 @@ class PipelineBase
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_PIPELINE_BASE_HH

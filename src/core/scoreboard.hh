@@ -15,8 +15,7 @@
  * producer" at the consumer, which is exactly the rename answer.
  */
 
-#ifndef KILO_CORE_SCOREBOARD_HH
-#define KILO_CORE_SCOREBOARD_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -90,4 +89,3 @@ class Scoreboard
 
 } // namespace kilo::core
 
-#endif // KILO_CORE_SCOREBOARD_HH

@@ -11,8 +11,7 @@
  * carries no separate timing state.
  */
 
-#ifndef KILO_DKIP_CHECKPOINT_STACK_HH
-#define KILO_DKIP_CHECKPOINT_STACK_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -97,4 +96,3 @@ class CheckpointStack
 
 } // namespace kilo::dkip
 
-#endif // KILO_DKIP_CHECKPOINT_STACK_HH

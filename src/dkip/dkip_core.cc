@@ -24,9 +24,9 @@ DkipParams::dkip2048()
     return p;
 }
 
-DkipCore::DkipCore(const DkipParams &params, wload::Workload &workload,
+DkipCore::DkipCore(const DkipParams &params, wload::Workload &wl,
                    const mem::MemConfig &mem_config)
-    : core::OooCore(params.cp, workload, mem_config),
+    : core::OooCore(params.cp, wl, mem_config),
       dprm(params),
       llbv(isa::NumRegs),
       llibInt("llibInt", params.llibCapacity, arena),

@@ -23,8 +23,7 @@
  *     machine (CP + LLIBs + MPs) through its checkpoint.
  */
 
-#ifndef KILO_DKIP_DKIP_CORE_HH
-#define KILO_DKIP_DKIP_CORE_HH
+#pragma once
 
 #include "src/core/ooo_core.hh"
 #include "src/dkip/checkpoint_stack.hh"
@@ -132,4 +131,3 @@ class DkipCore : public core::OooCore
 
 } // namespace kilo::dkip
 
-#endif // KILO_DKIP_DKIP_CORE_HH

@@ -5,8 +5,9 @@
 namespace kilo::dkip
 {
 
-Llib::Llib(std::string name, size_t capacity, core::InstArena &arena)
-    : arena(arena), label(std::move(name)), q(capacity)
+Llib::Llib(std::string name, size_t capacity,
+           core::InstArena &inst_arena)
+    : arena(inst_arena), label(std::move(name)), q(capacity)
 {}
 
 void

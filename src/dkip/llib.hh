@@ -8,8 +8,7 @@
  * long-latency load(s) they directly depend on have completed.
  */
 
-#ifndef KILO_DKIP_LLIB_HH
-#define KILO_DKIP_LLIB_HH
+#pragma once
 
 #include <string>
 
@@ -81,4 +80,3 @@ class Llib
 
 } // namespace kilo::dkip
 
-#endif // KILO_DKIP_LLIB_HH

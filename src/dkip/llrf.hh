@@ -11,8 +11,7 @@
  * we model the timing consequences (bank conflicts, fill-up stalls).
  */
 
-#ifndef KILO_DKIP_LLRF_HH
-#define KILO_DKIP_LLRF_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -92,4 +91,3 @@ class Llrf
 
 } // namespace kilo::dkip
 
-#endif // KILO_DKIP_LLRF_HH

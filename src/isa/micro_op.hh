@@ -11,8 +11,7 @@
  * one-READY-operand-per-instruction pre-allocation relies on.
  */
 
-#ifndef KILO_ISA_MICRO_OP_HH
-#define KILO_ISA_MICRO_OP_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -217,4 +216,3 @@ MicroOp makeNop(uint64_t pc = 0);
 
 } // namespace kilo::isa
 
-#endif // KILO_ISA_MICRO_OP_HH

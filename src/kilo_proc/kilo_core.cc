@@ -19,9 +19,9 @@ KiloParams::kilo1024()
     return p;
 }
 
-KiloCore::KiloCore(const KiloParams &params, wload::Workload &workload,
+KiloCore::KiloCore(const KiloParams &params, wload::Workload &wl,
                    const mem::MemConfig &mem_config)
-    : core::OooCore(params.cp, workload, mem_config),
+    : core::OooCore(params.cp, wl, mem_config),
       kprm(params),
       llbv(isa::NumRegs),
       sliq("sliq", params.sliqCapacity,

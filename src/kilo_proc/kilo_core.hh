@@ -13,8 +13,7 @@
  * CAM and the ephemeral-register machinery.
  */
 
-#ifndef KILO_KILO_PROC_KILO_CORE_HH
-#define KILO_KILO_PROC_KILO_CORE_HH
+#pragma once
 
 #include "src/core/ooo_core.hh"
 #include "src/dkip/checkpoint_stack.hh"
@@ -82,4 +81,3 @@ class KiloCore : public core::OooCore
 
 } // namespace kilo::kilo_proc
 
-#endif // KILO_KILO_PROC_KILO_CORE_HH

@@ -1,0 +1,215 @@
+#include "src/lint/linter.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/logging.hh"
+
+namespace kilo::lint
+{
+
+const char *
+severityName(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+std::string
+findingLine(const Finding &f)
+{
+    return f.path + ":" + std::to_string(f.line) + ": [kilolint-" +
+           f.rule + "] " + f.message;
+}
+
+void
+Rule::report(std::vector<Finding> &out, const SourceFile &f,
+             int line, std::string message) const
+{
+    Finding fd;
+    fd.path = f.path;
+    fd.line = line;
+    fd.rule = name_;
+    fd.severity = severity_;
+    fd.message = std::move(message);
+    out.push_back(std::move(fd));
+}
+
+void
+RuleRegistry::add(std::unique_ptr<Rule> rule)
+{
+    KILO_ASSERT(rule != nullptr, "null rule registered");
+    for (const auto &r : rules_) {
+        if (r->name() == rule->name())
+            KILO_PANIC("duplicate lint rule '%s'",
+                       rule->name().c_str());
+    }
+    rules_.push_back(std::move(rule));
+}
+
+const Rule *
+RuleRegistry::find(const std::string &name) const
+{
+    for (const auto &r : rules_)
+        if (r->name() == name)
+            return r.get();
+    return nullptr;
+}
+
+void
+Linter::lintSource(const std::string &path,
+                   const std::string &content,
+                   LintReport &report) const
+{
+    SourceFile f = lex(path, content);
+    ++report.filesScanned;
+
+    std::vector<Finding> raw;
+    for (const auto &rule : rules_.rules()) {
+        if (rule->appliesTo(f))
+            rule->check(f, raw);
+    }
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const Finding &a, const Finding &b) {
+                         return a.line < b.line;
+                     });
+
+    // Apply per-line suppressions, tracking which annotations fired
+    // so stale ones can be reported below.
+    std::map<int, std::set<std::string>> used;
+    for (auto &fd : raw) {
+        if (f.allowed(fd.line, fd.rule)) {
+            auto &entry = f.allows.find(fd.line)->second;
+            used[fd.line].insert(entry.count("*") ? "*" : fd.rule);
+            continue;
+        }
+        report.findings.push_back(std::move(fd));
+    }
+
+    for (const auto &[line, rules] : f.allows) {
+        report.suppressionsTotal += int(rules.size());
+        auto it = used.find(line);
+        for (const auto &r : rules) {
+            bool fired = it != used.end() && it->second.count(r);
+            if (fired) {
+                ++report.suppressionsUsed;
+                continue;
+            }
+            Finding fd;
+            fd.path = f.path;
+            fd.line = line;
+            fd.rule = "unused-suppression";
+            fd.severity = Severity::Warning;
+            fd.message = "kilolint: allow(" + r +
+                         ") suppressed nothing; remove it";
+            report.findings.push_back(std::move(fd));
+        }
+    }
+}
+
+void
+Linter::lintPath(const std::string &path, LintReport &report) const
+{
+    namespace fs = std::filesystem;
+
+    auto lintable = [](const fs::path &p) {
+        std::string ext = p.extension().string();
+        return ext == ".hh" || ext == ".h" || ext == ".hpp" ||
+               ext == ".cc" || ext == ".cpp";
+    };
+    auto lintFile = [&](const fs::path &p) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("kilolint: cannot read " +
+                                     p.string());
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        lintSource(p.generic_string(), buf.str(), report);
+    };
+
+    fs::path root(path);
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+        std::vector<fs::path> files;
+        for (fs::recursive_directory_iterator it(root), end;
+             it != end; ++it) {
+            if (it->is_regular_file() && lintable(it->path()))
+                files.push_back(it->path());
+        }
+        std::sort(files.begin(), files.end());
+        for (const auto &p : files)
+            lintFile(p);
+        return;
+    }
+    if (fs::is_regular_file(root, ec)) {
+        lintFile(root);
+        return;
+    }
+    throw std::runtime_error("kilolint: no such file or directory: " +
+                             path);
+}
+
+namespace
+{
+
+void
+jsonEscape(std::ostringstream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+std::string
+reportJson(const LintReport &report)
+{
+    std::ostringstream os;
+    os << "{\"files\":" << report.filesScanned
+       << ",\"suppressions\":{\"total\":" << report.suppressionsTotal
+       << ",\"used\":" << report.suppressionsUsed
+       << "},\"findings\":[";
+    bool first = true;
+    for (const auto &f : report.findings) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"file\":\"";
+        jsonEscape(os, f.path);
+        os << "\",\"line\":" << f.line << ",\"rule\":\"";
+        jsonEscape(os, f.rule);
+        os << "\",\"severity\":\"" << severityName(f.severity)
+           << "\",\"message\":\"";
+        jsonEscape(os, f.message);
+        os << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace kilo::lint

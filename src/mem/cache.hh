@@ -7,8 +7,7 @@
  * L2 of the paper's memory subsystems.
  */
 
-#ifndef KILO_MEM_CACHE_HH
-#define KILO_MEM_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -147,4 +146,3 @@ class SetAssocCache
 
 } // namespace kilo::mem
 
-#endif // KILO_MEM_CACHE_HH

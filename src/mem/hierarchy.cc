@@ -125,8 +125,8 @@ MemConfig::names()
     return out;
 }
 
-MemoryHierarchy::MemoryHierarchy(const MemConfig &cfg)
-    : cfg(cfg),
+MemoryHierarchy::MemoryHierarchy(const MemConfig &config)
+    : cfg(config),
       // Sweeping once per fill latency keeps lazy expiry exact to
       // within one fill lifetime at negligible amortised cost.
       mshrs(cfg.numMshrs, cfg.memLatency)

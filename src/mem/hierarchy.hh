@@ -9,8 +9,7 @@
  * gives streaming FP codes their memory-level parallelism.
  */
 
-#ifndef KILO_MEM_HIERARCHY_HH
-#define KILO_MEM_HIERARCHY_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -277,4 +276,3 @@ class MemoryHierarchy
 
 } // namespace kilo::mem
 
-#endif // KILO_MEM_HIERARCHY_HH

@@ -21,8 +21,7 @@
  *    workload is visible in the stats instead of silently wrong.
  */
 
-#ifndef KILO_MEM_MSHR_HH
-#define KILO_MEM_MSHR_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -166,4 +165,3 @@ class MshrFile
 
 } // namespace kilo::mem
 
-#endif // KILO_MEM_MSHR_HH

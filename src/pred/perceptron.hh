@@ -4,8 +4,7 @@
  * predictor the paper's Cache Processor uses (Table 2).
  */
 
-#ifndef KILO_PRED_PERCEPTRON_HH
-#define KILO_PRED_PERCEPTRON_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -76,4 +75,3 @@ class PerceptronPredictor : public BranchPredictor
 
 } // namespace kilo::pred
 
-#endif // KILO_PRED_PERCEPTRON_HH

@@ -8,8 +8,7 @@
  * per in-flight branch.
  */
 
-#ifndef KILO_PRED_PREDICTOR_HH
-#define KILO_PRED_PREDICTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -70,4 +69,3 @@ std::unique_ptr<BranchPredictor> makePredictor(BpKind kind,
 
 } // namespace kilo::pred
 
-#endif // KILO_PRED_PREDICTOR_HH

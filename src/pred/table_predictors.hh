@@ -5,8 +5,7 @@
  * baselines against the perceptron default.
  */
 
-#ifndef KILO_PRED_TABLE_PREDICTORS_HH
-#define KILO_PRED_TABLE_PREDICTORS_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -81,4 +80,3 @@ class PerfectPredictor : public BranchPredictor
 
 } // namespace kilo::pred
 
-#endif // KILO_PRED_TABLE_PREDICTORS_HH

@@ -29,8 +29,7 @@
  * runSampled() directly to also get the clustering and error bars.
  */
 
-#ifndef KILO_SAMPLE_SAMPLED_RUN_HH
-#define KILO_SAMPLE_SAMPLED_RUN_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -93,4 +92,3 @@ SampledResult runSampled(const sim::MachineConfig &machine,
 
 } // namespace kilo::sample
 
-#endif // KILO_SAMPLE_SAMPLED_RUN_HH

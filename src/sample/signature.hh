@@ -24,8 +24,7 @@
  * cluster measurements (sample::runSampled).
  */
 
-#ifndef KILO_SAMPLE_SIGNATURE_HH
-#define KILO_SAMPLE_SIGNATURE_HH
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -101,4 +100,3 @@ Clustering clusterSignatures(const std::vector<Signature> &signatures,
 
 } // namespace kilo::sample
 
-#endif // KILO_SAMPLE_SIGNATURE_HH

@@ -40,8 +40,7 @@
  * the canonical byName registries report unknown presets.
  */
 
-#ifndef KILO_SHARD_MANIFEST_HH
-#define KILO_SHARD_MANIFEST_HH
+#pragma once
 
 #include <iosfwd>
 #include <stdexcept>
@@ -139,4 +138,3 @@ void parseShardSpec(const std::string &spec, uint32_t &index,
 
 } // namespace kilo::shard
 
-#endif // KILO_SHARD_MANIFEST_HH

@@ -145,6 +145,7 @@ spawnAttempt(ShardState &s, const OrchestratorConfig &cfg,
     ++s.attempts;
     s.output.clear();
     s.deadline = cfg.workerDeadlineMs
+                     // kilolint: allow(nondeterminism) worker deadline
                      ? Clock::now() + std::chrono::milliseconds(
                                           int64_t(cfg.workerDeadlineMs))
                      : Clock::time_point::max();
@@ -252,6 +253,7 @@ Orchestrator::run()
                 auto left =
                     std::chrono::duration_cast<
                         std::chrono::milliseconds>(next_deadline -
+                                                   // kilolint: allow(nondeterminism) poll timeout
                                                    Clock::now())
                         .count();
                 timeout_ms = int(std::clamp<long long>(left + 1, 0,
@@ -259,6 +261,7 @@ Orchestrator::run()
             }
             ::poll(pfds.data(), nfds_t(pfds.size()), timeout_ms);
 
+            // kilolint: allow(nondeterminism) deadline enforcement
             Clock::time_point now = Clock::now();
             for (size_t p = 0; p < pfds.size(); ++p) {
                 ShardState &s = shards[pfd_shard[p]];

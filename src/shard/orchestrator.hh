@@ -25,8 +25,7 @@
  * trace share its pages through the mmap reader and the page cache.
  */
 
-#ifndef KILO_SHARD_ORCHESTRATOR_HH
-#define KILO_SHARD_ORCHESTRATOR_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -91,4 +90,3 @@ class Orchestrator
 
 } // namespace kilo::shard
 
-#endif // KILO_SHARD_ORCHESTRATOR_HH

@@ -8,8 +8,7 @@
  * 4.2-4.4.
  */
 
-#ifndef KILO_SIM_CONFIG_HH
-#define KILO_SIM_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -93,4 +92,3 @@ struct MachineConfig
 
 } // namespace kilo::sim
 
-#endif // KILO_SIM_CONFIG_HH

@@ -69,6 +69,7 @@ Session::wallExpired() const
 {
     if (!rc.maxWallMs)
         return false;
+    // kilolint: allow(nondeterminism) wall-deadline check
     auto elapsed = std::chrono::steady_clock::now() - wallStart;
     return elapsed >=
            std::chrono::milliseconds(int64_t(rc.maxWallMs));

@@ -33,8 +33,7 @@
  * RunConfig::intervalInsts committed instructions.
  */
 
-#ifndef KILO_SIM_SESSION_HH
-#define KILO_SIM_SESSION_HH
+#pragma once
 
 #include <chrono>
 #include <memory>
@@ -174,6 +173,7 @@ class Session
     /** Wall-clock anchor of RunConfig::maxWallMs (set at
      *  construction, so prewarm and warm-up count against it). */
     std::chrono::steady_clock::time_point wallStart =
+        // kilolint: allow(nondeterminism) wall-deadline anchor
         std::chrono::steady_clock::now();
 
     uint64_t measureStartCycle = 0;   ///< absolute core cycle
@@ -183,4 +183,3 @@ class Session
 
 } // namespace kilo::sim
 
-#endif // KILO_SIM_SESSION_HH

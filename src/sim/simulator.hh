@@ -15,8 +15,7 @@
  * on a cycle deadline.
  */
 
-#ifndef KILO_SIM_SIMULATOR_HH
-#define KILO_SIM_SIMULATOR_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -192,4 +191,3 @@ class Simulator
 
 } // namespace kilo::sim
 
-#endif // KILO_SIM_SIMULATOR_HH

@@ -7,8 +7,7 @@
  * the results the same way.
  */
 
-#ifndef KILO_SIM_SWEEP_HH
-#define KILO_SIM_SWEEP_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -45,4 +44,3 @@ double meanMpFraction(const std::vector<RunResult> &results);
 
 } // namespace kilo::sim
 
-#endif // KILO_SIM_SWEEP_HH

@@ -17,8 +17,7 @@
  *     sim::writeJsonRows(std::cout, results);
  */
 
-#ifndef KILO_SIM_SWEEP_ENGINE_HH
-#define KILO_SIM_SWEEP_ENGINE_HH
+#pragma once
 
 #include <iosfwd>
 #include <string>
@@ -159,4 +158,3 @@ void writeIntervalRows(std::ostream &os, const RunResult &result);
 
 } // namespace kilo::sim
 
-#endif // KILO_SIM_SWEEP_ENGINE_HH

@@ -5,8 +5,8 @@
 namespace kilo::sim
 {
 
-Table::Table(std::vector<std::string> headers)
-    : headers(std::move(headers))
+Table::Table(std::vector<std::string> header_cells)
+    : headers(std::move(header_cells))
 {}
 
 void

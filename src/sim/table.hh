@@ -4,8 +4,7 @@
  * emit paper-style rows.
  */
 
-#ifndef KILO_SIM_TABLE_HH
-#define KILO_SIM_TABLE_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -36,4 +35,3 @@ class Table
 
 } // namespace kilo::sim
 
-#endif // KILO_SIM_TABLE_HH

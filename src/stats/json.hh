@@ -10,8 +10,7 @@
  * JSONL schema stable across the registry redesign.
  */
 
-#ifndef KILO_STATS_JSON_HH
-#define KILO_STATS_JSON_HH
+#pragma once
 
 #include <cstdint>
 #include <sstream>
@@ -56,4 +55,3 @@ class JsonRowBuilder
 
 } // namespace kilo::stats
 
-#endif // KILO_STATS_JSON_HH

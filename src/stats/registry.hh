@@ -33,8 +33,7 @@
  * simulator bug, never a runtime condition.
  */
 
-#ifndef KILO_STATS_REGISTRY_HH
-#define KILO_STATS_REGISTRY_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -125,4 +124,3 @@ class Registry
 
 } // namespace kilo::stats
 
-#endif // KILO_STATS_REGISTRY_HH

@@ -9,8 +9,7 @@
  * once per RunConfig::intervalInsts committed instructions.
  */
 
-#ifndef KILO_STATS_SNAPSHOT_HH
-#define KILO_STATS_SNAPSHOT_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -114,4 +113,3 @@ struct IntervalSample
 
 } // namespace kilo::stats
 
-#endif // KILO_STATS_SNAPSHOT_HH

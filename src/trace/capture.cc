@@ -19,10 +19,10 @@ metaOf(const wload::Workload &inner, uint64_t seed)
 
 } // anonymous namespace
 
-CapturingWorkload::CapturingWorkload(wload::Workload &inner,
+CapturingWorkload::CapturingWorkload(wload::Workload &source,
                                      const std::string &path,
                                      uint64_t seed)
-    : inner(inner), writer(path, metaOf(inner, seed))
+    : inner(source), writer(path, metaOf(source, seed))
 {}
 
 isa::MicroOp

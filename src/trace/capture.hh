@@ -14,8 +14,7 @@
  * trace is the honest concatenation of everything that was pulled.
  */
 
-#ifndef KILO_TRACE_CAPTURE_HH
-#define KILO_TRACE_CAPTURE_HH
+#pragma once
 
 #include "src/trace/trace_writer.hh"
 
@@ -57,4 +56,3 @@ class CapturingWorkload : public wload::Workload
 
 } // namespace kilo::trace
 
-#endif // KILO_TRACE_CAPTURE_HH

@@ -14,8 +14,7 @@
  * the versioning policy.
  */
 
-#ifndef KILO_TRACE_TRACE_FORMAT_HH
-#define KILO_TRACE_TRACE_FORMAT_HH
+#pragma once
 
 #include <cstdint>
 #include <stdexcept>
@@ -216,4 +215,3 @@ decodeOp(const uint8_t *&cursor, const uint8_t *end,
 
 } // namespace kilo::trace
 
-#endif // KILO_TRACE_TRACE_FORMAT_HH

@@ -39,8 +39,7 @@
  * virtual call per batch.
  */
 
-#ifndef KILO_TRACE_TRACE_READER_HH
-#define KILO_TRACE_TRACE_READER_HH
+#pragma once
 
 #include <cstdio>
 #include <vector>
@@ -189,4 +188,3 @@ wload::WorkloadPtr openTrace(const std::string &path,
 
 } // namespace kilo::trace
 
-#endif // KILO_TRACE_TRACE_READER_HH

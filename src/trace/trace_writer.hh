@@ -9,8 +9,7 @@
  * destructor calls it for you (best-effort) if you forget.
  */
 
-#ifndef KILO_TRACE_TRACE_WRITER_HH
-#define KILO_TRACE_TRACE_WRITER_HH
+#pragma once
 
 #include <cstdio>
 #include <vector>
@@ -61,4 +60,3 @@ class Writer
 
 } // namespace kilo::trace
 
-#endif // KILO_TRACE_TRACE_WRITER_HH

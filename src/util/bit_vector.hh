@@ -8,8 +8,7 @@
  * checkpoint recovery performs.
  */
 
-#ifndef KILO_UTIL_BIT_VECTOR_HH
-#define KILO_UTIL_BIT_VECTOR_HH
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -78,4 +77,3 @@ class BitVector
 
 } // namespace kilo
 
-#endif // KILO_UTIL_BIT_VECTOR_HH

@@ -8,8 +8,7 @@
  * modelled naturally.
  */
 
-#ifndef KILO_UTIL_CIRCULAR_BUFFER_HH
-#define KILO_UTIL_CIRCULAR_BUFFER_HH
+#pragma once
 
 #include <cstddef>
 #include <type_traits>
@@ -170,4 +169,3 @@ class CircularBuffer
 
 } // namespace kilo
 
-#endif // KILO_UTIL_CIRCULAR_BUFFER_HH

@@ -16,8 +16,7 @@
  * distinct completion cycle.
  */
 
-#ifndef KILO_UTIL_EVENT_WHEEL_HH
-#define KILO_UTIL_EVENT_WHEEL_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -269,4 +268,3 @@ class EventWheel
 
 } // namespace kilo
 
-#endif // KILO_UTIL_EVENT_WHEEL_HH

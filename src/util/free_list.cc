@@ -5,8 +5,9 @@
 namespace kilo
 {
 
-FreeList::FreeList(uint32_t num_slots, Order order)
-    : total(num_slots), order(order), allocated(num_slots, false)
+FreeList::FreeList(uint32_t num_slots, Order alloc_order)
+    : total(num_slots), order(alloc_order),
+      allocated(num_slots, false)
 {
     pushInitialRange(0, num_slots);
 }

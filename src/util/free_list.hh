@@ -11,8 +11,7 @@
  * distance between generation reuses of any one slot.
  */
 
-#ifndef KILO_UTIL_FREE_LIST_HH
-#define KILO_UTIL_FREE_LIST_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -108,4 +107,3 @@ class FreeList
 
 } // namespace kilo
 
-#endif // KILO_UTIL_FREE_LIST_HH

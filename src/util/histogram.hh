@@ -4,8 +4,7 @@
  * (Figure 3 of the paper) and general latency distributions.
  */
 
-#ifndef KILO_UTIL_HISTOGRAM_HH
-#define KILO_UTIL_HISTOGRAM_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -115,4 +114,3 @@ class Histogram
 
 } // namespace kilo
 
-#endif // KILO_UTIL_HISTOGRAM_HH

@@ -7,8 +7,7 @@
  * warn()   — something is modelled approximately; execution continues.
  */
 
-#ifndef KILO_UTIL_LOGGING_HH
-#define KILO_UTIL_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -52,4 +51,3 @@ namespace kilo
 
 } // namespace kilo
 
-#endif // KILO_UTIL_LOGGING_HH

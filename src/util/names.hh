@@ -5,8 +5,7 @@
  * for the comparison rule, so the registries cannot drift apart.
  */
 
-#ifndef KILO_UTIL_NAMES_HH
-#define KILO_UTIL_NAMES_HH
+#pragma once
 
 #include <cctype>
 #include <string>
@@ -30,4 +29,3 @@ iequals(const std::string &a, const std::string &b)
 
 } // namespace kilo::util
 
-#endif // KILO_UTIL_NAMES_HH

@@ -10,8 +10,7 @@
  * zero times.
  */
 
-#ifndef KILO_UTIL_RING_DEQUE_HH
-#define KILO_UTIL_RING_DEQUE_HH
+#pragma once
 
 #include <cstddef>
 #include <type_traits>
@@ -177,4 +176,3 @@ class RingDeque
 
 } // namespace kilo
 
-#endif // KILO_UTIL_RING_DEQUE_HH

@@ -7,8 +7,7 @@
  * than the implementation-defined std:: distributions.
  */
 
-#ifndef KILO_UTIL_RNG_HH
-#define KILO_UTIL_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -73,4 +72,3 @@ class Rng
 
 } // namespace kilo
 
-#endif // KILO_UTIL_RNG_HH

@@ -9,8 +9,7 @@
  * suite the paper evaluates.
  */
 
-#ifndef KILO_WLOAD_PROFILE_HH
-#define KILO_WLOAD_PROFILE_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -128,4 +127,3 @@ std::vector<WorkloadProfile> allProfiles();
 
 } // namespace kilo::wload
 
-#endif // KILO_WLOAD_PROFILE_HH

@@ -10,8 +10,7 @@
  * template slot so branch predictors see a real static branch set.
  */
 
-#ifndef KILO_WLOAD_SYNTHETIC_HH
-#define KILO_WLOAD_SYNTHETIC_HH
+#pragma once
 
 #include <deque>
 #include <vector>
@@ -88,4 +87,3 @@ WorkloadPtr makeWorkload(const WorkloadProfile &profile);
 
 } // namespace kilo::wload
 
-#endif // KILO_WLOAD_SYNTHETIC_HH

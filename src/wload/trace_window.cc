@@ -5,8 +5,8 @@
 namespace kilo::wload
 {
 
-TraceWindow::TraceWindow(Workload &workload)
-    : workload(workload)
+TraceWindow::TraceWindow(Workload &wl)
+    : workload(wl)
 {}
 
 const isa::MicroOp &

@@ -10,8 +10,7 @@
  * identical micro-ops.
  */
 
-#ifndef KILO_WLOAD_TRACE_WINDOW_HH
-#define KILO_WLOAD_TRACE_WINDOW_HH
+#pragma once
 
 #include <cstdint>
 
@@ -94,4 +93,3 @@ class TraceWindow
 
 } // namespace kilo::wload
 
-#endif // KILO_WLOAD_TRACE_WINDOW_HH

@@ -11,8 +11,7 @@
  * parameterisations and DESIGN.md for the substitution rationale.
  */
 
-#ifndef KILO_WLOAD_WORKLOAD_HH
-#define KILO_WLOAD_WORKLOAD_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -95,4 +94,3 @@ using WorkloadPtr = std::unique_ptr<Workload>;
 
 } // namespace kilo::wload
 
-#endif // KILO_WLOAD_WORKLOAD_HH

@@ -48,25 +48,25 @@ operator new[](std::size_t size)
     throw std::bad_alloc();
 }
 
-void
+__attribute__((noinline)) void
 operator delete(void *p) noexcept
 {
     std::free(p);
 }
 
-void
+__attribute__((noinline)) void
 operator delete[](void *p) noexcept
 {
     std::free(p);
 }
 
-void
+__attribute__((noinline)) void
 operator delete(void *p, std::size_t) noexcept
 {
     std::free(p);
 }
 
-void
+__attribute__((noinline)) void
 operator delete[](void *p, std::size_t) noexcept
 {
     std::free(p);

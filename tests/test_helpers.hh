@@ -20,13 +20,13 @@ namespace kilo::test
 class VectorWorkload : public wload::Workload
 {
   public:
-    explicit VectorWorkload(std::vector<isa::MicroOp> ops,
+    explicit VectorWorkload(std::vector<isa::MicroOp> op_seq,
                             std::string name = "vector")
-        : ops(std::move(ops)), label(std::move(name))
+        : ops(std::move(op_seq)), label(std::move(name))
     {
-        for (size_t i = 0; i < this->ops.size(); ++i) {
-            if (this->ops[i].pc == 0)
-                this->ops[i].pc = 0x1000 + i * 4;
+        for (size_t i = 0; i < ops.size(); ++i) {
+            if (ops[i].pc == 0)
+                ops[i].pc = 0x1000 + i * 4;
         }
     }
 

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests of the kilolint static-analysis pass: per-rule good/bad
+ * fixtures run through Linter::lintSource on in-memory buffers,
+ * suppression semantics (trailing and standalone annotations, the
+ * unused-suppression backstop), the machine-readable JSON report,
+ * and — the point of the whole exercise — a self-scan asserting the
+ * live source tree under KILO_SOURCE_DIR lints clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/lint/linter.hh"
+
+using namespace kilo::lint;
+
+namespace
+{
+
+/** Lint one in-memory buffer with the built-in rule set. */
+LintReport
+lintText(const std::string &path, const std::string &content)
+{
+    RuleRegistry reg = RuleRegistry::builtin();
+    Linter linter(reg);
+    LintReport report;
+    linter.lintSource(path, content, report);
+    return report;
+}
+
+/** The rule names present in @p report, in finding order. */
+std::vector<std::string>
+ruleNames(const LintReport &report)
+{
+    std::vector<std::string> names;
+    for (const auto &f : report.findings)
+        names.push_back(f.rule);
+    return names;
+}
+
+bool
+hasRule(const LintReport &report, const std::string &rule)
+{
+    auto names = ruleNames(report);
+    return std::find(names.begin(), names.end(), rule) !=
+           names.end();
+}
+
+} // anonymous namespace
+
+// ------------------------------------------------------- registry
+
+TEST(LintRegistry, BuiltinCatalogIsCompleteAndEnumerable)
+{
+    RuleRegistry reg = RuleRegistry::builtin();
+    std::vector<std::string> names;
+    for (const auto &r : reg.rules()) {
+        names.push_back(r->name());
+        EXPECT_FALSE(r->description().empty())
+            << r->name() << " has no description";
+    }
+    std::vector<std::string> expect = {
+        "hot-path-alloc",    "nondeterminism",
+        "stat-name-style",   "raw-serialization",
+        "header-hygiene",    "unused-suppression",
+    };
+    EXPECT_EQ(names, expect);
+}
+
+TEST(LintRegistry, FindLocatesRulesByName)
+{
+    RuleRegistry reg = RuleRegistry::builtin();
+    ASSERT_NE(reg.find("nondeterminism"), nullptr);
+    EXPECT_EQ(reg.find("nondeterminism")->name(), "nondeterminism");
+    EXPECT_EQ(reg.find("no-such-rule"), nullptr);
+}
+
+namespace
+{
+
+/** Inert rule used to probe registry behaviour. */
+class DummyRule : public Rule
+{
+  public:
+    explicit DummyRule(std::string rule_name)
+        : Rule(std::move(rule_name), "inert test rule",
+               Severity::Warning)
+    {}
+    void
+    check(const SourceFile &, std::vector<Finding> &) const override
+    {}
+};
+
+} // anonymous namespace
+
+TEST(LintRegistryDeathTest, DuplicateRuleNamePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            RuleRegistry reg;
+            reg.add(std::make_unique<DummyRule>("twice"));
+            reg.add(std::make_unique<DummyRule>("twice"));
+        },
+        "duplicate lint rule");
+}
+
+// ------------------------------------------------- hot-path-alloc
+
+TEST(LintHotPathAlloc, FlagsNewInsideTick)
+{
+    LintReport r = lintText("src/core/foo.cc",
+                            "void Core::tick() {\n"
+                            "    int *p = new int(3);\n"
+                            "}\n");
+    ASSERT_TRUE(hasRule(r, "hot-path-alloc"));
+    EXPECT_EQ(r.findings[0].line, 2);
+}
+
+TEST(LintHotPathAlloc, FlagsResizeAndMakeUniqueInIssueStage)
+{
+    LintReport r = lintText(
+        "src/dkip/engine.cc",
+        "void Engine::issueReady() {\n"
+        "    buf.resize(64);\n"
+        "    auto q = std::make_unique<Entry>();\n"
+        "}\n");
+    auto names = ruleNames(r);
+    EXPECT_EQ(std::count(names.begin(), names.end(),
+                         "hot-path-alloc"),
+              2);
+}
+
+TEST(LintHotPathAlloc, ConstructorsAndSetupAreExempt)
+{
+    LintReport r = lintText(
+        "src/core/foo.cc",
+        "Core::Core(size_t n) {\n"
+        "    slots.resize(n);\n"
+        "    table = new Entry[n];\n"
+        "}\n"
+        "void Core::configure() { buf.reserve(128); }\n");
+    EXPECT_FALSE(hasRule(r, "hot-path-alloc")) << r.findings.size();
+}
+
+TEST(LintHotPathAlloc, ScopeIsHotDirectoriesOnly)
+{
+    // Same code outside the hot directories is not in scope.
+    LintReport r = lintText("tools/report.cc",
+                            "void tick() { auto p = new int; }\n");
+    EXPECT_FALSE(hasRule(r, "hot-path-alloc"));
+}
+
+TEST(LintHotPathAlloc, MemberNamedFreeIsNotTheLibcCall)
+{
+    LintReport r = lintText("src/util/arena.cc",
+                            "void Arena::advanceHead() {\n"
+                            "    pool.free(node);\n"
+                            "}\n");
+    EXPECT_FALSE(hasRule(r, "hot-path-alloc"));
+}
+
+// ------------------------------------------------- nondeterminism
+
+TEST(LintNondeterminism, FlagsUnorderedContainers)
+{
+    LintReport r = lintText(
+        "src/stats/agg.cc",
+        "std::unordered_map<int, int> counts;\n");
+    EXPECT_TRUE(hasRule(r, "nondeterminism"));
+}
+
+TEST(LintNondeterminism, FlagsWallClockAndRand)
+{
+    LintReport r = lintText(
+        "src/sim/x.cc",
+        "void f() {\n"
+        "    auto t = std::chrono::steady_clock::now();\n"
+        "    int v = rand();\n"
+        "}\n");
+    auto names = ruleNames(r);
+    EXPECT_EQ(std::count(names.begin(), names.end(),
+                         "nondeterminism"),
+              2);
+}
+
+TEST(LintNondeterminism, SeededProjectRngIsFine)
+{
+    LintReport r = lintText("src/wload/gen.cc",
+                            "kilo::util::Rng rng(seed);\n"
+                            "uint64_t v = rng.next();\n");
+    EXPECT_FALSE(hasRule(r, "nondeterminism"));
+}
+
+// ------------------------------------------------ stat-name-style
+
+TEST(LintStatNameStyle, FlagsNonSnakeCaseRegistration)
+{
+    LintReport r = lintText(
+        "src/core/foo.cc",
+        "void f(kilo::stats::Registry &reg) {\n"
+        "    reg.counter(\"CamelName\", \"desc\");\n"
+        "    reg.gauge(\"trailing_\", \"desc\");\n"
+        "    reg.histogram(\"has__double\", \"desc\", 4);\n"
+        "}\n");
+    auto names = ruleNames(r);
+    EXPECT_EQ(std::count(names.begin(), names.end(),
+                         "stat-name-style"),
+              3);
+}
+
+TEST(LintStatNameStyle, SnakeCaseIsClean)
+{
+    LintReport r = lintText(
+        "src/core/foo.cc",
+        "void f(kilo::stats::Registry &reg) {\n"
+        "    reg.counter(\"commit_insts\", \"desc\");\n"
+        "    reg.gaugeInt(\"l2_hit_rate_x1000\", \"desc\");\n"
+        "}\n");
+    EXPECT_FALSE(hasRule(r, "stat-name-style"));
+}
+
+// ---------------------------------------------- raw-serialization
+
+TEST(LintRawSerialization, FlagsFwriteOutsideSerializationLayers)
+{
+    LintReport r = lintText(
+        "src/sim/dump.cc",
+        "void f(FILE *fp) { fwrite(buf, 1, n, fp); }\n");
+    EXPECT_TRUE(hasRule(r, "raw-serialization"));
+}
+
+TEST(LintRawSerialization, CkptAndTraceLayersAreExempt)
+{
+    const char *code =
+        "void f(FILE *fp) { std::fwrite(buf, 1, n, fp); }\n";
+    EXPECT_FALSE(
+        hasRule(lintText("src/ckpt/serial.cc", code),
+                "raw-serialization"));
+    EXPECT_FALSE(
+        hasRule(lintText("src/trace/capture.cc", code),
+                "raw-serialization"));
+}
+
+// ------------------------------------------------- header-hygiene
+
+TEST(LintHeaderHygiene, FlagsMissingPragmaOnce)
+{
+    LintReport r = lintText("src/core/foo.hh",
+                            "struct Foo { int x; };\n");
+    EXPECT_TRUE(hasRule(r, "header-hygiene"));
+}
+
+TEST(LintHeaderHygiene, FlagsUsingNamespaceInHeader)
+{
+    LintReport r = lintText("src/core/foo.hh",
+                            "#pragma once\n"
+                            "using namespace std;\n");
+    EXPECT_TRUE(hasRule(r, "header-hygiene"));
+}
+
+TEST(LintHeaderHygiene, FlagsStdEndlEverywhere)
+{
+    LintReport r = lintText(
+        "tools/report.cc",
+        "void f(std::ostream &os) { os << std::endl; }\n");
+    EXPECT_TRUE(hasRule(r, "header-hygiene"));
+}
+
+TEST(LintHeaderHygiene, CleanHeaderPasses)
+{
+    LintReport r = lintText("src/core/foo.hh",
+                            "#pragma once\n"
+                            "namespace kilo { struct Foo {}; }\n");
+    EXPECT_TRUE(r.clean()) << findingLine(r.findings[0]);
+}
+
+// --------------------------------------------------- suppressions
+
+TEST(LintSuppression, TrailingAnnotationSuppressesSameLine)
+{
+    LintReport r = lintText(
+        "src/sim/x.cc",
+        "auto t = std::chrono::steady_clock::now();"
+        " // kilolint: allow(nondeterminism) deadline\n");
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.suppressionsTotal, 1);
+    EXPECT_EQ(r.suppressionsUsed, 1);
+}
+
+TEST(LintSuppression, StandaloneAnnotationSuppressesNextLine)
+{
+    LintReport r = lintText(
+        "src/sim/x.cc",
+        "// kilolint: allow(nondeterminism) wall deadline\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.suppressionsUsed, 1);
+}
+
+TEST(LintSuppression, UnusedAnnotationIsItselfReported)
+{
+    LintReport r = lintText(
+        "src/sim/x.cc",
+        "// kilolint: allow(nondeterminism)\n"
+        "int x = 3;\n");
+    ASSERT_EQ(r.findings.size(), 1u);
+    EXPECT_EQ(r.findings[0].rule, "unused-suppression");
+    EXPECT_EQ(r.findings[0].severity, Severity::Warning);
+    EXPECT_EQ(r.suppressionsTotal, 1);
+    EXPECT_EQ(r.suppressionsUsed, 0);
+}
+
+TEST(LintSuppression, SuppressionIsRuleSpecific)
+{
+    // An allow() for one rule must not blanket others on the line.
+    LintReport r = lintText(
+        "src/sim/x.cc",
+        "// kilolint: allow(raw-serialization)\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+    EXPECT_TRUE(hasRule(r, "nondeterminism"));
+    EXPECT_TRUE(hasRule(r, "unused-suppression"));
+}
+
+TEST(LintSuppression, DocCommentMentioningSyntaxIsNotAnAnnotation)
+{
+    LintReport r = lintText(
+        "src/sim/x.cc",
+        "// Suppress findings with `kilolint: allow(rule)`.\n"
+        "int x = 3;\n");
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.suppressionsTotal, 0);
+}
+
+// --------------------------------------------------- report shape
+
+TEST(LintReportFormat, FindingLineMatchesContract)
+{
+    Finding f;
+    f.path = "src/core/foo.cc";
+    f.line = 12;
+    f.rule = "nondeterminism";
+    f.message = "wall clock read";
+    EXPECT_EQ(findingLine(f),
+              "src/core/foo.cc:12: [kilolint-nondeterminism] "
+              "wall clock read");
+}
+
+TEST(LintReportFormat, JsonHasSchemaKeysAndEscapes)
+{
+    LintReport r = lintText(
+        "src/sim/x.cc",
+        "auto t = std::chrono::steady_clock::now();\n");
+    std::string js = reportJson(r);
+    EXPECT_NE(js.find("\"files\":1"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"suppressions\":{\"total\":0,\"used\":0}"),
+              std::string::npos)
+        << js;
+    EXPECT_NE(js.find("\"findings\":[{\"file\":\"src/sim/x.cc\""),
+              std::string::npos)
+        << js;
+    EXPECT_NE(js.find("\"line\":1"), std::string::npos) << js;
+    EXPECT_NE(js.find("\"rule\":\"nondeterminism\""),
+              std::string::npos)
+        << js;
+    EXPECT_NE(js.find("\"severity\":\"error\""), std::string::npos)
+        << js;
+}
+
+TEST(LintReportFormat, JsonEscapesQuotesAndBackslashes)
+{
+    LintReport r;
+    Finding f;
+    f.path = "a\"b\\c.cc";
+    f.line = 1;
+    f.rule = "x";
+    f.message = "tab\there";
+    r.findings.push_back(f);
+    std::string js = reportJson(r);
+    EXPECT_NE(js.find("a\\\"b\\\\c.cc"), std::string::npos) << js;
+    EXPECT_NE(js.find("tab\\there"), std::string::npos) << js;
+}
+
+// ------------------------------------------------------ self-scan
+
+#ifdef KILO_SOURCE_DIR
+TEST(LintSelfScan, LiveTreeLintsClean)
+{
+    RuleRegistry reg = RuleRegistry::builtin();
+    Linter linter(reg);
+    LintReport report;
+    linter.lintPath(std::string(KILO_SOURCE_DIR) + "/src", report);
+    linter.lintPath(std::string(KILO_SOURCE_DIR) + "/tools", report);
+
+    std::string all;
+    for (const auto &f : report.findings)
+        all += findingLine(f) + "\n";
+    EXPECT_TRUE(report.clean()) << all;
+    EXPECT_GT(report.filesScanned, 100);
+    // Every sanctioned suppression must still be load-bearing; the
+    // count is pinned so exemptions cannot silently accumulate (CI
+    // enforces the same cap via kilolint --max-suppressions).
+    EXPECT_EQ(report.suppressionsTotal, 9);
+    EXPECT_EQ(report.suppressionsUsed, report.suppressionsTotal);
+}
+#endif

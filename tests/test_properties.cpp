@@ -112,7 +112,7 @@ sampleNames()
 
 INSTANTIATE_TEST_SUITE_P(Representative, BenchProperty,
                          ::testing::ValuesIn(sampleNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &name_info) { return name_info.param; });
 
 // ------------------------------------------- window-size properties
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Concurrency stress cases aimed at the ThreadSanitizer CI job: the
+ * SweepEngine thread pool oversubscribed in both directions (far
+ * more workers than jobs, and far more jobs than workers), repeated
+ * back-to-back pool construction/teardown, and the
+ * shard::Orchestrator fork/poll/merge loop including its crash-retry
+ * path. The assertions re-check determinism (parallel == serial
+ * byte-for-byte); the real verdict comes from TSan, which fails the
+ * run on any data race these schedules expose.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/shard/orchestrator.hh"
+#include "src/sim/sweep_engine.hh"
+
+using namespace kilo;
+
+namespace
+{
+
+const char *kWorkerPath = "./kilosim_worker";
+
+bool
+workerAvailable()
+{
+    std::ifstream f(kWorkerPath);
+    return f.good();
+}
+
+/** A short two-job matrix (quick; stresses idle workers). */
+std::vector<sim::SweepJob>
+tinyMatrix()
+{
+    sim::RunConfig rc;
+    rc.warmupInsts = 500;
+    rc.measureInsts = 2000;
+    return sim::SweepEngine::matrix(
+        {sim::MachineConfig::byName("r10-64")}, {"swim", "mcf"},
+        {mem::MemConfig::mem400()}, rc);
+}
+
+/** A wide matrix (many short jobs; stresses the job queue). */
+std::vector<sim::SweepJob>
+wideMatrix()
+{
+    sim::RunConfig rc;
+    rc.warmupInsts = 200;
+    rc.measureInsts = 1000;
+    std::vector<std::string> wl;
+    for (int i = 0; i < 16; ++i)
+        wl.push_back(i % 2 ? "swim" : "mcf");
+    return sim::SweepEngine::matrix(
+        {sim::MachineConfig::byName("r10-64"),
+         sim::MachineConfig::byName("dkip")},
+        wl, {mem::MemConfig::mem400()}, rc);
+}
+
+std::string
+jsonl(const std::vector<sim::RunResult> &results)
+{
+    std::ostringstream os;
+    sim::writeJsonRows(os, results);
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(TsanStress, ManyWorkersFewJobs)
+{
+    // 8 workers racing over 2 jobs: most threads start, find the
+    // queue drained and exit — exercises pool startup/teardown
+    // against a near-empty queue.
+    auto jobs = tinyMatrix();
+    std::string serial = jsonl(sim::SweepEngine(1).run(jobs));
+    EXPECT_EQ(jsonl(sim::SweepEngine(8).run(jobs)), serial);
+}
+
+TEST(TsanStress, FewWorkersManyJobs)
+{
+    // 2 workers self-scheduling 32 jobs off the shared atomic
+    // cursor: maximal contention on the claim counter and the
+    // result-slot writes.
+    auto jobs = wideMatrix();
+    ASSERT_EQ(jobs.size(), 32u);
+    std::string serial = jsonl(sim::SweepEngine(1).run(jobs));
+    EXPECT_EQ(jsonl(sim::SweepEngine(2).run(jobs)), serial);
+}
+
+TEST(TsanStress, RepeatedPoolTeardown)
+{
+    // Construct/join the pool repeatedly; races between a finishing
+    // worker and the joining destructor only show up across many
+    // iterations.
+    auto jobs = tinyMatrix();
+    std::string serial = jsonl(sim::SweepEngine(1).run(jobs));
+    for (int i = 0; i < 8; ++i) {
+        sim::SweepEngine engine(4);
+        EXPECT_EQ(jsonl(engine.run(jobs)), serial);
+    }
+}
+
+TEST(TsanStress, OrchestratorPollLoopUnderRetry)
+{
+    if (!workerAvailable())
+        GTEST_SKIP() << "kilosim_worker not in CWD";
+
+    shard::Manifest m;
+    m.machines = {"r10-64", "dkip"};
+    m.workloads = {"swim", "mcf"};
+    m.mems = {"mem-400"};
+    m.run.warmupInsts = 500;
+    m.run.measureInsts = 2000;
+
+    // Single-process reference.
+    std::string serial = jsonl(sim::SweepEngine(1).run(m.jobs()));
+
+    // Crash token: the first worker to claim it aborts, its retry
+    // succeeds — drives the respawn path inside the poll loop.
+    std::string token = ::testing::TempDir() + "kilo_tsan_token";
+    { std::ofstream(token) << "boom\n"; }
+
+    shard::OrchestratorConfig cfg;
+    cfg.workerPath = kWorkerPath;
+    cfg.workerArgs = {"--crash-token", token};
+    cfg.shards = 4;
+    cfg.maxAttempts = 3;
+    shard::Orchestrator orch(m, cfg);
+    std::string merged = orch.run();
+    std::remove(token.c_str());
+
+    EXPECT_EQ(merged, serial);
+    EXPECT_EQ(orch.retries(), 1u);
+}

@@ -317,4 +317,4 @@ allNames()
 
 INSTANTIATE_TEST_SUITE_P(Suite, EveryBenchmark,
                          ::testing::ValuesIn(allNames()),
-                         [](const auto &info) { return info.param; });
+                         [](const auto &name_info) { return name_info.param; });

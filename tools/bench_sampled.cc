@@ -41,6 +41,7 @@ namespace
 double
 wallMs(const std::chrono::steady_clock::time_point &t0)
 {
+    // kilolint: allow(nondeterminism) wall-clock benchmark timing
     auto dt = std::chrono::steady_clock::now() - t0;
     return std::chrono::duration<double, std::milli>(dt).count();
 }
@@ -171,11 +172,13 @@ main(int argc, char **argv)
     for (size_t m = 0; m < opt.machines.size(); ++m) {
         auto machine = sim::MachineConfig::byName(opt.machines[m]);
 
+        // kilolint: allow(nondeterminism) wall-clock benchmark timing
         auto t0 = std::chrono::steady_clock::now();
         sim::RunResult exact =
             sim::Simulator::run(machine, wl_name, mem, exact_rc);
         double exact_ms = wallMs(t0);
 
+        // kilolint: allow(nondeterminism) wall-clock benchmark timing
         t0 = std::chrono::steady_clock::now();
         sample::SampledResult sampled = sample::runSampled(
             machine, wl_name, mem, sampled_rc);

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * kilolint — project-invariant static analysis CLI.
+ *
+ *     kilolint [options] <file-or-dir>...
+ *
+ *     --list                 print the rule catalog and exit
+ *     --json                 emit the machine-readable report on
+ *                            stdout instead of file:line text
+ *     --max-suppressions N   fail (exit 3) when the tree carries
+ *                            more than N allow() annotations, even
+ *                            if every one of them fires — the CI
+ *                            cap that keeps exemptions scarce
+ *     --rule NAME            run only rule NAME (repeatable);
+ *                            unused-suppression stays active
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage/IO error,
+ * 3 suppression cap exceeded.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/linter.hh"
+
+using namespace kilo::lint;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: kilolint [--list] [--json] [--max-suppressions N]\n"
+        "                [--rule NAME]... <file-or-dir>...\n");
+    return 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    bool list = false;
+    long maxSuppressions = -1;
+    std::set<std::string> only;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--max-suppressions") {
+            if (++i >= argc)
+                return usage();
+            char *end = nullptr;
+            maxSuppressions = std::strtol(argv[i], &end, 10);
+            if (!end || *end || maxSuppressions < 0)
+                return usage();
+        } else if (arg == "--rule") {
+            if (++i >= argc)
+                return usage();
+            only.insert(argv[i]);
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else {
+            paths.push_back(std::move(arg));
+        }
+    }
+
+    RuleRegistry all = RuleRegistry::builtin();
+
+    if (list) {
+        for (const auto &r : all.rules()) {
+            std::printf("%-20s %-8s %s\n", r->name().c_str(),
+                        severityName(r->severity()),
+                        r->description().c_str());
+        }
+        return 0;
+    }
+    if (paths.empty())
+        return usage();
+
+    for (const auto &name : only) {
+        if (!all.find(name)) {
+            std::fprintf(stderr, "kilolint: unknown rule '%s'\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+
+    // --rule filters findings after the run (suppressions still
+    // resolve per rule); the unused-suppression pass always runs.
+    Linter linter(all);
+    LintReport report;
+    try {
+        for (const auto &p : paths)
+            linter.lintPath(p, report);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    if (!only.empty()) {
+        std::vector<Finding> kept;
+        for (auto &f : report.findings) {
+            if (only.count(f.rule) ||
+                f.rule == "unused-suppression")
+                kept.push_back(std::move(f));
+        }
+        report.findings = std::move(kept);
+    }
+
+    if (json) {
+        std::printf("%s\n", reportJson(report).c_str());
+    } else {
+        for (const auto &f : report.findings)
+            std::printf("%s\n", findingLine(f).c_str());
+        std::fprintf(stderr,
+                     "kilolint: %d file(s), %zu finding(s), "
+                     "%d/%d suppression(s) used\n",
+                     report.filesScanned, report.findings.size(),
+                     report.suppressionsUsed,
+                     report.suppressionsTotal);
+    }
+
+    if (maxSuppressions >= 0 &&
+        report.suppressionsTotal > maxSuppressions) {
+        std::fprintf(stderr,
+                     "kilolint: %d suppression(s) exceed the cap of "
+                     "%ld — remove one or raise the documented cap\n",
+                     report.suppressionsTotal, maxSuppressions);
+        return 3;
+    }
+    return report.findings.empty() ? 0 : 1;
+}
