@@ -135,6 +135,7 @@ BM_IssueQueueInsertPop(benchmark::State &state)
     core::InstArena arena;
     core::IssueQueue q("bench", 4096, core::SchedPolicy::OutOfOrder,
                        arena);
+    q.assignId(0);
     uint64_t seq = 0;
     for (auto _ : state) {
         core::InstRef ref = arena.alloc();

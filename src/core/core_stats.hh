@@ -24,6 +24,35 @@
 namespace kilo::core
 {
 
+/**
+ * Why a commit slot went unused (Plane 2 of the observability layer,
+ * src/obs/DESIGN.md). Commit is in-order, so the window head's state
+ * explains every slot the cycle left on the table; PipelineBase
+ * classifies once per stalled cycle and charges all unused slots to
+ * that reason. Over any exactly-simulated region the slots balance:
+ *
+ *     sum(stallSlots) + committed == commitWidth * cycles
+ *
+ * (pinned by tests/test_obs.cpp on all three machines; sampled-run
+ * reconstructions are weighted estimates and only balance
+ * approximately).
+ */
+enum class StallReason : uint8_t
+{
+    Frontend = 0, ///< window empty, fetch blocked on a redirect
+    Empty,        ///< window empty, front end still refilling
+    Mem,          ///< head issued memory op, data not back yet
+    Exec,         ///< head issued non-memory op, still executing
+    Depend,       ///< head unissued, waiting on source operands
+    Issue,        ///< head ready but unissued (issue bandwidth / FU)
+    Mshr,         ///< head ready memory op held by MSHR back-pressure
+    Decoupled,    ///< head parked in a slow-lane structure
+                  ///< (LLIB / SLIQ / MP queues; D-KIP and KILO only)
+    NumReasons
+};
+
+constexpr size_t NumStallReasons = size_t(StallReason::NumReasons);
+
 /** Counters and distributions collected during simulation. */
 struct CoreStats
 {
@@ -48,6 +77,17 @@ struct CoreStats
     uint64_t loadL2 = 0;
     uint64_t loadMem = 0;
     uint64_t storeForwards = 0;
+    /** @} */
+
+    /** Commit-slot stall attribution, indexed by StallReason. @{ */
+    uint64_t stallSlots[NumStallReasons] = {};
+    /** @} */
+
+    /** Dispatch-blocked cycle diagnostics: stageDispatch gave up on a
+     *  full structure with instructions still waiting. @{ */
+    uint64_t dispatchBlockedRob = 0;
+    uint64_t dispatchBlockedIq = 0;
+    uint64_t dispatchBlockedLsq = 0;
     /** @} */
 
     /** Decoupled-machine statistics (D-KIP / KILO only). @{ */
@@ -106,7 +146,11 @@ struct CoreStats
               mpExecuted, cpExecuted, analyzeStallCycles,
               llrfConflictStalls, llibFullStalls, llrfFullStalls,
               checkpointSkips, checkpointsTaken, maxLlibInstrsInt,
-              maxLlibRegsInt, maxLlibInstrsFp, maxLlibRegsFp})
+              maxLlibRegsInt, maxLlibInstrsFp, maxLlibRegsFp,
+              dispatchBlockedRob, dispatchBlockedIq,
+              dispatchBlockedLsq})
+            s.template scalar<uint64_t>(v);
+        for (uint64_t v : stallSlots)
             s.template scalar<uint64_t>(v);
         issueLatency.save(s);
     }
@@ -123,8 +167,11 @@ struct CoreStats
               &cpExecuted, &analyzeStallCycles, &llrfConflictStalls,
               &llibFullStalls, &llrfFullStalls, &checkpointSkips,
               &checkpointsTaken, &maxLlibInstrsInt, &maxLlibRegsInt,
-              &maxLlibInstrsFp, &maxLlibRegsFp})
+              &maxLlibInstrsFp, &maxLlibRegsFp, &dispatchBlockedRob,
+              &dispatchBlockedIq, &dispatchBlockedLsq})
             *v = s.template scalar<uint64_t>();
+        for (uint64_t &v : stallSlots)
+            v = s.template scalar<uint64_t>();
         issueLatency.load(s);
     }
     /** @} */

@@ -52,14 +52,20 @@ OooCore::stageDispatch()
         DynInst &inst = arena.get(ref);
         if (now < inst.fetchCycle + uint64_t(prm.frontEndDepth))
             break;
-        if (rob.full())
+        if (rob.full()) {
+            ++st.dispatchBlockedRob;
             break;
-        if (inst.op.isMem() && lsq.full())
+        }
+        if (inst.op.isMem() && lsq.full()) {
+            ++st.dispatchBlockedLsq;
             break;
+        }
         IssueQueue &iq = queueFor(inst);
         bool needs_iq = inst.op.cls != isa::OpClass::Nop;
-        if (needs_iq && iq.full())
+        if (needs_iq && iq.full()) {
+            ++st.dispatchBlockedIq;
             break;
+        }
 
         fetchBuffer.pop_front();
         dispatchCommon(ref);

@@ -41,6 +41,54 @@ PipelineBase::registerBaseStats()
             [this] { return st.mpFraction(); }, Row::Yes);
     mem_.registerStats(r);
 
+    // Commit-slot stall attribution (Plane 2, src/obs/DESIGN.md):
+    // every commit slot a cycle leaves unused is charged to the head's
+    // stall reason, so over an exactly-simulated region
+    // sum(stall_*) + committed == commitWidth * cycles. Appended after
+    // the memory block so the pre-existing row prefix is unchanged.
+    r.counter("stall_frontend",
+              "Commit slots idle with an empty window while fetch "
+              "waited out a redirect",
+              &st.stallSlots[size_t(StallReason::Frontend)], Row::Yes);
+    r.counter("stall_empty",
+              "Commit slots idle with an empty window while the "
+              "front end refilled",
+              &st.stallSlots[size_t(StallReason::Empty)], Row::Yes);
+    r.counter("stall_mem",
+              "Commit slots lost to the head waiting on memory data",
+              &st.stallSlots[size_t(StallReason::Mem)], Row::Yes);
+    r.counter("stall_exec",
+              "Commit slots lost to the head still executing a "
+              "non-memory op",
+              &st.stallSlots[size_t(StallReason::Exec)], Row::Yes);
+    r.counter("stall_depend",
+              "Commit slots lost to the head waiting on source "
+              "operands",
+              &st.stallSlots[size_t(StallReason::Depend)], Row::Yes);
+    r.counter("stall_issue",
+              "Commit slots lost to a ready head starved of issue "
+              "bandwidth or a functional unit",
+              &st.stallSlots[size_t(StallReason::Issue)], Row::Yes);
+    r.counter("stall_mshr",
+              "Commit slots lost to a ready head memory op held by "
+              "MSHR back-pressure",
+              &st.stallSlots[size_t(StallReason::Mshr)], Row::Yes);
+    r.counter("stall_decoupled",
+              "Commit slots lost to the head parked in a slow-lane "
+              "structure (LLIB/SLIQ/MP)",
+              &st.stallSlots[size_t(StallReason::Decoupled)],
+              Row::Yes);
+
+    r.counter("dispatch_blocked_rob",
+              "Dispatch cycles cut short by a full ROB",
+              &st.dispatchBlockedRob);
+    r.counter("dispatch_blocked_iq",
+              "Dispatch cycles cut short by a full issue queue",
+              &st.dispatchBlockedIq);
+    r.counter("dispatch_blocked_lsq",
+              "Dispatch cycles cut short by a full LSQ",
+              &st.dispatchBlockedLsq);
+
     r.counter("fetched", "Instructions fetched", &st.fetched);
     r.counter("dispatched", "Instructions dispatched", &st.dispatched);
     r.counter("issued", "Instructions issued", &st.issued);
@@ -121,6 +169,8 @@ PipelineBase::stageCommit()
         else
             ++st.cpExecuted;
         st.issueLatency.sample(arena.coldOf(inst).issueLatency());
+        obsEvent(obs::EventKind::Commit, inst.seq, 0,
+                 uint8_t(inst.execInMp));
 
         onCommitInst(ref);
 
@@ -133,6 +183,12 @@ PipelineBase::stageCommit()
         if (!inst.inLsq && !inst.inRob)
             arena.free(ref);
     }
+    // Commit-slot accounting: the loop above exits early only when
+    // the head is incomplete or the window is empty; every slot it
+    // left unused is charged to that single cause (commit is
+    // in-order, so nothing younger could have used them either).
+    if (budget > 0)
+        st.stallSlots[size_t(classifyStall())] += uint64_t(budget);
     // Ops may only be reclaimed once nothing can replay them: they
     // must be older than every in-flight instruction, everything in
     // the fetch buffer, and the (possibly rewound) fetch point.
@@ -142,6 +198,28 @@ PipelineBase::stageCommit()
     if (!globalOrder.empty())
         keep = std::min(keep, arena.get(globalOrder.front()).seq);
     trace.release(keep);
+}
+
+StallReason
+PipelineBase::classifyStall()
+{
+    if (globalOrder.empty()) {
+        return fetchEngine.blocked(now) ? StallReason::Frontend
+                                        : StallReason::Empty;
+    }
+    const DynInst &head = arena.get(globalOrder.front());
+    StallReason r;
+    if (head.issued) {
+        r = head.op.isMem() ? StallReason::Mem : StallReason::Exec;
+    } else if (!head.readyFlag) {
+        r = StallReason::Depend;
+    } else if (head.op.isMem() &&
+               mem_.wouldBlockProbe(head.op.effAddr, now)) {
+        r = StallReason::Mshr;
+    } else {
+        r = StallReason::Issue;
+    }
+    return refineStallReason(head, r);
 }
 
 // ---------------------------------------------------------------------
@@ -197,6 +275,8 @@ PipelineBase::completeInst(InstRef ref)
     wakeDependents(inst);
     cold.dropProducers();
     ++activity;
+    obsEvent(obs::EventKind::Complete, inst.seq, 0,
+             uint8_t(inst.mispredicted));
 
     if (inst.op.isBranch()) {
         if (!bp->isPerfect())
@@ -247,6 +327,7 @@ PipelineBase::squashYoungerThan(uint64_t seq)
         globalOrder.pop_back();
         inst.squashed = true;
         ++st.squashed;
+        obsEvent(obs::EventKind::Squash, inst.seq);
         if (IssueQueue *iq = queueById(inst.iqId))
             iq->notifySquashed(ref);
         if (inst.inLsq)
@@ -275,8 +356,11 @@ PipelineBase::recoverFromBranch(InstRef branchRef)
 
     // Everything in the fetch buffer is younger than the branch and
     // owns no pipeline state yet; recycle the records directly.
-    for (size_t i = 0; i < fetchBuffer.size(); ++i)
+    for (size_t i = 0; i < fetchBuffer.size(); ++i) {
+        obsEvent(obs::EventKind::Squash,
+                 arena.get(fetchBuffer[i]).seq);
         arena.free(fetchBuffer[i]);
+    }
     fetchBuffer.clear();
 
     uint64_t history = (arena.coldOf(branch).historySnapshot << 1) |
@@ -303,6 +387,8 @@ PipelineBase::issueCommon(InstRef ref, IssueQueue &iq,
     scheduleCompletion(ref, latency);
     ++st.issued;
     ++activity;
+    obsEvent(obs::EventKind::Issue, inst.seq, latency,
+             uint8_t(inst.serviceLevel));
 }
 
 bool
@@ -438,6 +524,7 @@ PipelineBase::dispatchCommon(InstRef ref)
         lsq.insert(ref);
     ++st.dispatched;
     ++activity;
+    obsEvent(obs::EventKind::Rename, inst.seq);
 }
 
 void
@@ -457,6 +544,12 @@ PipelineBase::stageFetch()
         fetchBuffer.push_back(ref);
         ++st.fetched;
         ++activity;
+        if (timeline) {
+            const DynInst &inst = arena.get(ref);
+            timeline->record(now, obs::EventKind::Fetch, inst.seq,
+                             arena.coldOf(inst).pc,
+                             uint8_t(inst.op.cls));
+        }
     }
 }
 
@@ -499,6 +592,12 @@ PipelineBase::idleSkip()
                    fetchBuffer.size(), lsq.size());
     }
     if (wake > now) {
+        // Skipped cycles never reach stageCommit, so their commit
+        // slots are attributed here — same classifier, whole cycles
+        // at a time — keeping the slot-sum invariant exact under
+        // event-assisted simulation.
+        st.stallSlots[size_t(classifyStall())] +=
+            (wake - now) * uint64_t(prm.commitWidth);
         st.cycles += wake - now;
         now = wake;
     }

@@ -40,6 +40,7 @@
 #include "src/core/params.hh"
 #include "src/core/scoreboard.hh"
 #include "src/mem/hierarchy.hh"
+#include "src/obs/timeline.hh"
 #include "src/stats/registry.hh"
 #include "src/util/event_wheel.hh"
 #include "src/util/ring_deque.hh"
@@ -105,6 +106,19 @@ class PipelineBase
 
     /** Instruction arena (occupancy and recycling inspection). */
     const InstArena &instArena() const { return arena; }
+
+    /**
+     * Attach (or detach, with null) an instruction-event timeline
+     * (src/obs/timeline.hh). While attached, every lifecycle point —
+     * fetch, rename, issue, complete, commit, squash, slow-lane
+     * divert, checkpoint create/restore — is recorded into the ring.
+     * Recording is pure observation: it never changes the simulated
+     * schedule or any statistic, and with no timeline attached (the
+     * default) every site is a single null test, so runs are
+     * bit-identical either way (pinned by tests/test_obs.cpp). The
+     * timeline must outlive the core or be detached first.
+     */
+    void attachTimeline(obs::Timeline *t) { timeline = t; }
 
     /**
      * Serialize the complete mutable microarchitectural state —
@@ -246,6 +260,29 @@ class PipelineBase
         KILO_ASSERT(id < numIqs, "bad issue-queue id %d", id);
         return id >= 0 ? iqTable[id] : nullptr;
     }
+
+    /** Record a timeline event when observability is attached; a
+     *  single null test otherwise. */
+    void
+    obsEvent(obs::EventKind kind, uint64_t seq, uint64_t payload = 0,
+             uint8_t a = 0)
+    {
+        if (timeline)
+            timeline->record(now, kind, seq, payload, a);
+    }
+
+    /**
+     * Machine-specific refinement of the base commit-slot stall
+     * classification: D-KIP/KILO reclassify a head parked in a
+     * slow-lane structure (LLIB, SLIQ, MP queues) as
+     * StallReason::Decoupled.
+     */
+    virtual StallReason
+    refineStallReason(const DynInst &head, StallReason r) const
+    {
+        (void)head;
+        return r;
+    }
     /** @} */
 
     CoreParams prm;
@@ -271,6 +308,9 @@ class PipelineBase
     int portsUsed = 0;
     uint64_t activity = 0;     ///< work units this cycle
 
+    /** Attached instruction-event ring; null (off) by default. */
+    obs::Timeline *timeline = nullptr;
+
     /** Queue table indexed by DynInst::iqId. */
     static constexpr int MaxIqs = 8;
     IssueQueue *iqTable[MaxIqs] = {};
@@ -278,6 +318,18 @@ class PipelineBase
 
   private:
     void registerBaseStats();
+
+    /**
+     * Classify why the commit head is not retiring this cycle
+     * (Plane 2, src/obs/DESIGN.md). Called only when commit slots
+     * went unused; stageCommit and idleSkip charge every unused slot
+     * to the returned reason, which is what makes the
+     * "sum(stall_*) + committed == commitWidth * cycles" invariant
+     * exact. Non-const for the MSHR probe's lazy expiry only; never
+     * changes timing or any statistic.
+     */
+    StallReason classifyStall();
+
     void completeInst(InstRef ref);
     void wakeDependents(DynInst &inst);
     void recoverFromBranch(InstRef branch);

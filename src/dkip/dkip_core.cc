@@ -106,6 +106,21 @@ DkipCore::totalReady() const
            mpFpQ.numReady() + apQ.numReady();
 }
 
+core::StallReason
+DkipCore::refineStallReason(const core::DynInst &head,
+                            core::StallReason r) const
+{
+    using R = core::StallReason;
+    // A head sitting unissued in a slow-lane structure (LLIB FIFO,
+    // MP reservation queue, AP window) is stalled on the decoupled
+    // machinery itself — checkpointed slow-lane execution — not on
+    // the CP's dataflow or issue bandwidth.
+    if ((r == R::Depend || r == R::Issue) &&
+        (head.inLlib || head.execInMp))
+        return R::Decoupled;
+    return r;
+}
+
 uint64_t
 DkipCore::nextTimedWake() const
 {
@@ -180,6 +195,8 @@ DkipCore::insertIntoLlib(InstRef ref)
         } else {
             chkpt.push(inst.seq, llbv);
             ++st.checkpointsTaken;
+            obsEvent(obs::EventKind::CkptCreate, inst.seq,
+                     chkpt.size());
         }
     }
 
@@ -190,6 +207,7 @@ DkipCore::insertIntoLlib(InstRef ref)
     inst.inLlib = true;
     inst.longLatency = true;
     inst.execInMp = true;
+    obsEvent(obs::EventKind::Park, inst.seq, 0, fp ? 1 : 0);
     q.push(ref);
     if (fp)
         ++st.llibInsertedFp;
@@ -281,6 +299,7 @@ DkipCore::stageAnalyze()
                     llbv.set(size_t(head.op.dst));
                 head.longLatency = true;
                 head.execInMp = true;
+                obsEvent(obs::EventKind::Park, head.seq, 0, 2);
                 apQ.insert(headRef);
             } else if (!insertIntoLlib(headRef)) {
                 break;
@@ -415,6 +434,8 @@ DkipCore::onRecovered(InstRef ref)
             // semantics) when no checkpoint is available.
             llbv.clearAll();
         }
+        obsEvent(obs::EventKind::CkptRestore, branch.seq,
+                 cp ? 1 : 0);
     }
     chkpt.squashFrom(branch.seq);
 }

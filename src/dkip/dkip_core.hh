@@ -91,6 +91,9 @@ class DkipCore : public core::OooCore
     size_t totalReady() const override;
     void beginCycleQueues() override;
     uint64_t nextTimedWake() const override;
+    core::StallReason
+    refineStallReason(const core::DynInst &head,
+                      core::StallReason r) const override;
     void saveDerived(ckpt::Sink &s) const override;
     void restoreDerived(ckpt::Source &s) override;
 

@@ -73,6 +73,19 @@ KiloCore::totalReady() const
     return core::OooCore::totalReady() + sliq.numReady();
 }
 
+core::StallReason
+KiloCore::refineStallReason(const core::DynInst &head,
+                            core::StallReason r) const
+{
+    using R = core::StallReason;
+    // A head waiting in the SLIQ belongs to the checkpointed slow
+    // lane; charge its slots to the decoupled machinery rather than
+    // the front core's dataflow or issue bandwidth.
+    if ((r == R::Depend || r == R::Issue) && head.execInMp)
+        return R::Decoupled;
+    return r;
+}
+
 uint64_t
 KiloCore::nextTimedWake() const
 {
@@ -108,6 +121,8 @@ KiloCore::moveToSliq(InstRef ref)
         } else {
             chkpt.push(inst.seq, llbv);
             ++st.checkpointsTaken;
+            obsEvent(obs::EventKind::CkptCreate, inst.seq,
+                     chkpt.size());
         }
     }
     if (core::IssueQueue *iq = queueById(inst.iqId))
@@ -116,6 +131,8 @@ KiloCore::moveToSliq(InstRef ref)
         llbv.set(size_t(inst.op.dst));
     inst.longLatency = true;
     inst.execInMp = true;       // "slow lane" execution
+    obsEvent(obs::EventKind::Park, inst.seq, 0,
+             inst.op.isFp() ? 1 : 0);
     sliq.insert(ref);
     if (inst.op.isFp())
         ++st.llibInsertedFp;
@@ -238,6 +255,8 @@ KiloCore::onRecovered(InstRef ref)
             llbv = cp->llbv;
         else
             llbv.clearAll();
+        obsEvent(obs::EventKind::CkptRestore, branch.seq,
+                 cp ? 1 : 0);
     }
     chkpt.squashFrom(branch.seq);
 }

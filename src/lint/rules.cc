@@ -216,12 +216,12 @@ enclosingFunctions(const SourceFile &f)
 bool
 isHotFunction(const std::string &name)
 {
-    static constexpr std::array<sv, 18> exact = {
+    static constexpr std::array<sv, 19> exact = {
         "tick", "access", "warmAccess", "wouldBlock", "lookup",
         "allocate", "alloc", "free", "next", "nextBlock", "op",
         "endCycle", "idleSkip", "scheduleCompletion",
         "addDependence", "addDependent", "releaseDependents",
-        "addSample",
+        "addSample", "record",
     };
     static constexpr std::array<sv, 14> prefix = {
         "stage", "issue", "dispatch", "commit", "wake", "complete",
@@ -249,7 +249,7 @@ class HotPathAllocRule : public Rule
         : Rule("hot-path-alloc",
                "no heap allocation in tick/issue/commit-class "
                "functions of src/core, src/dkip, src/kilo_proc, "
-               "src/mem, src/util (static twin of the "
+               "src/mem, src/obs, src/util (static twin of the "
                "counting-operator-new zero-allocation test)",
                Severity::Error)
     {}
@@ -261,6 +261,7 @@ class HotPathAllocRule : public Rule
                pathInDir(f.path, "src/dkip") ||
                pathInDir(f.path, "src/kilo_proc") ||
                pathInDir(f.path, "src/mem") ||
+               pathInDir(f.path, "src/obs") ||
                pathInDir(f.path, "src/util");
     }
 

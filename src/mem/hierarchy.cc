@@ -218,6 +218,15 @@ MemoryHierarchy::access(uint64_t addr, bool is_write, uint64_t now)
 bool
 MemoryHierarchy::wouldBlock(uint64_t addr, uint64_t now)
 {
+    if (!wouldBlockProbe(addr, now))
+        return false;
+    ++nMshrStalls;
+    return true;
+}
+
+bool
+MemoryHierarchy::wouldBlockProbe(uint64_t addr, uint64_t now)
+{
     if (!cfg.mshrStall || cfg.perfectL1)
         return false;
 
@@ -233,10 +242,7 @@ MemoryHierarchy::wouldBlock(uint64_t addr, uint64_t now)
         return false;
     if (cfg.hasL2 && (cfg.perfectL2 || l2->probe(addr)))
         return false;
-    if (!mshrs.setFull(line, now))
-        return false;
-    ++nMshrStalls;
-    return true;
+    return mshrs.setFull(line, now);
 }
 
 void

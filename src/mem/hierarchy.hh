@@ -149,6 +149,18 @@ class MemoryHierarchy
      */
     bool wouldBlock(uint64_t addr, uint64_t now);
 
+    /**
+     * Same structural answer as wouldBlock() without charging the
+     * mshr_stalls counter: the stall-attribution classifier
+     * (PipelineBase, src/obs/DESIGN.md) asks "is the head MSHR
+     * blocked?" purely diagnostically, and the probe must not inflate
+     * the back-pressure statistic the issue path owns. Shares
+     * wouldBlock()'s only side effect — the MSHR file's idempotent
+     * lazy expiry — so interleaving probes with accesses is
+     * timing-invisible.
+     */
+    bool wouldBlockProbe(uint64_t addr, uint64_t now);
+
     /** Accesses refused by wouldBlock() (mshrStall back-pressure). */
     uint64_t mshrStalls() const { return nMshrStalls; }
 

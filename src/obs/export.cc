@@ -1,0 +1,219 @@
+#include "src/obs/export.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+
+#include "src/isa/micro_op.hh"
+
+namespace kilo::obs
+{
+
+std::vector<InstRecord>
+collectInstructions(const Timeline &t)
+{
+    // Sequence numbers are NOT unique across a capture: a squash
+    // rewinds the fetch sequence, so the refetched correct path
+    // reuses the wrong path's seq values. A Fetch event therefore
+    // always opens a fresh dynamic instance; `open` maps each seq to
+    // its current (youngest) instance. The output keeps event order,
+    // which is fetch order for instructions seen fetching.
+    // (std::map, not unordered: determinism lint, tree-wide.)
+    std::vector<InstRecord> out;
+    std::map<uint64_t, size_t> open;
+    auto liveRecord = [&](uint64_t seq) -> InstRecord & {
+        auto it = open.find(seq);
+        if (it != open.end())
+            return out[it->second];
+        out.emplace_back();
+        out.back().seq = seq;
+        open[seq] = out.size() - 1;
+        return out.back();
+    };
+    const TimelineEvent *ev = t.data();
+    for (size_t i = 0; i < t.size(); ++i) {
+        const TimelineEvent &e = ev[i];
+        switch (e.kind) {
+          case EventKind::Fetch: {
+            open.erase(e.seq); // retire any previous instance
+            InstRecord &r = liveRecord(e.seq);
+            r.fetch = e.cycle;
+            r.pc = e.payload;
+            r.opClass = e.a;
+            break;
+          }
+          case EventKind::Rename:
+            liveRecord(e.seq).rename = e.cycle;
+            break;
+          case EventKind::Issue:
+            liveRecord(e.seq).issue = e.cycle;
+            break;
+          case EventKind::Complete:
+            liveRecord(e.seq).complete = e.cycle;
+            break;
+          case EventKind::Commit:
+            liveRecord(e.seq).commit = e.cycle;
+            break;
+          case EventKind::Squash: {
+            InstRecord &r = liveRecord(e.seq);
+            r.squashed = true;
+            r.squashCycle = e.cycle;
+            break;
+          }
+          case EventKind::Park:
+            liveRecord(e.seq).parked = true;
+            break;
+          default:
+            break; // checkpoint events are not lifecycle stages
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+appendLine(std::string &out, const char *fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void
+appendLine(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    if (n > 0)
+        out.append(buf, std::min(size_t(n), sizeof(buf) - 1));
+}
+
+/** Monotone stage clamp: a stage the capture missed inherits the
+ *  previous stage's cycle so viewers see a well-formed lifecycle. */
+uint64_t
+stageOr(uint64_t stage, uint64_t prev)
+{
+    return stage == InstRecord::Unseen ? prev : stage;
+}
+
+} // anonymous namespace
+
+std::string
+konataText(const Timeline &t)
+{
+    std::string out;
+    auto insts = collectInstructions(t);
+    for (const InstRecord &r : insts) {
+        if (r.fetch == InstRecord::Unseen)
+            continue; // attached mid-flight; lifecycle head missing
+        bool done = r.commit != InstRecord::Unseen || r.squashed;
+        if (!done)
+            continue; // still in flight when capture ended
+        uint64_t fetch = r.fetch;
+        uint64_t rename = stageOr(r.rename, fetch);
+        uint64_t issue = stageOr(r.issue, rename);
+        uint64_t complete = stageOr(r.complete, issue);
+        const char *mn = isa::opClassName(isa::OpClass(r.opClass));
+        appendLine(out,
+                   "O3PipeView:fetch:%" PRIu64 ":0x%08" PRIx64
+                   ":0:%" PRIu64 ":%s%s\n",
+                   fetch, r.pc, r.seq, mn, r.parked ? " [slow]" : "");
+        appendLine(out, "O3PipeView:decode:%" PRIu64 "\n", rename);
+        appendLine(out, "O3PipeView:rename:%" PRIu64 "\n", rename);
+        appendLine(out, "O3PipeView:dispatch:%" PRIu64 "\n", rename);
+        appendLine(out, "O3PipeView:issue:%" PRIu64 "\n", issue);
+        appendLine(out, "O3PipeView:complete:%" PRIu64 "\n", complete);
+        if (r.squashed) {
+            // gem5's convention for squashed instructions: a zero
+            // retire tick marks the lifecycle as flushed.
+            appendLine(out, "O3PipeView:retire:0:store:0\n");
+        } else {
+            appendLine(out, "O3PipeView:retire:%" PRIu64 ":store:0\n",
+                       r.commit);
+        }
+    }
+    return out;
+}
+
+std::string
+chromeTraceJson(const Timeline &t)
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string &obj) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += obj;
+    };
+
+    // Retired instructions as complete events on non-overlapping
+    // lanes: greedy first-free-lane assignment over fetch..commit
+    // intervals makes the window's miss overlap directly visible.
+    auto insts = collectInstructions(t);
+    std::vector<uint64_t> lane_end; // last occupied cycle per lane
+    for (const InstRecord &r : insts) {
+        if (r.fetch == InstRecord::Unseen)
+            continue;
+        uint64_t end = r.squashed ? r.squashCycle : r.commit;
+        if (end == InstRecord::Unseen || end < r.fetch)
+            continue;
+        size_t lane = lane_end.size();
+        for (size_t i = 0; i < lane_end.size(); ++i) {
+            if (lane_end[i] <= r.fetch) {
+                lane = i;
+                break;
+            }
+        }
+        if (lane == lane_end.size())
+            lane_end.push_back(0);
+        lane_end[lane] = end + 1;
+
+        char buf[320];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+            ",\"pid\":0,\"tid\":%zu,\"args\":{\"seq\":%" PRIu64
+            ",\"pc\":\"0x%" PRIx64 "\",\"issue\":%" PRIu64
+            ",\"complete\":%" PRIu64 "}}",
+            isa::opClassName(isa::OpClass(r.opClass)),
+            r.squashed ? "squashed" : (r.parked ? "slow" : "inst"),
+            r.fetch, end - r.fetch, lane, r.seq, r.pc,
+            r.issue == InstRecord::Unseen ? 0 : r.issue,
+            r.complete == InstRecord::Unseen ? 0 : r.complete);
+        emit(buf);
+    }
+
+    // Checkpoint creates/restores as global instant events.
+    const TimelineEvent *ev = t.data();
+    for (size_t i = 0; i < t.size(); ++i) {
+        const TimelineEvent &e = ev[i];
+        if (e.kind != EventKind::CkptCreate &&
+            e.kind != EventKind::CkptRestore)
+            continue;
+        char buf[192];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"cat\":\"ckpt\",\"ph\":\"i\","
+            "\"ts\":%" PRIu64 ",\"pid\":0,\"s\":\"g\","
+            "\"args\":{\"seq\":%" PRIu64 ",\"v\":%" PRIu64 "}}",
+            e.kind == EventKind::CkptCreate ? "ckpt_create"
+                                            : "ckpt_restore",
+            e.cycle, e.seq, e.payload);
+        emit(buf);
+    }
+
+    out += "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+           "\"dropped\":" +
+           std::to_string(t.dropped()) + "}}";
+    return out;
+}
+
+} // namespace kilo::obs

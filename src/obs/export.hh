@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Offline exporters for captured instruction timelines.
+ *
+ * A Timeline (src/obs/timeline.hh) is a flat event ring; these
+ * functions assemble it into per-instruction records and render the
+ * two interchange formats the ecosystem's pipeline viewers consume:
+ *
+ *  - gem5 O3PipeView text ("Konata text"): one fetch line plus one
+ *    line per stage per instruction, loadable directly by the Konata
+ *    pipeline viewer. The stage mapping and the conventions for
+ *    squashed / still-in-flight instructions are documented in
+ *    src/obs/DESIGN.md.
+ *  - Chrome trace-event JSON: one complete ("X") event per retired
+ *    instruction laid out on non-overlapping lanes — the kilo-window
+ *    miss-overlap picture — plus instant events for checkpoint
+ *    creates/restores. Loadable by chrome://tracing and Perfetto.
+ *
+ * Export runs strictly offline (after or outside simulation), so it
+ * may allocate freely; only Timeline::record() is on the hot path.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/timeline.hh"
+
+namespace kilo::obs
+{
+
+/** One instruction's lifecycle, assembled from timeline events. */
+struct InstRecord
+{
+    /** Sentinel for a stage the capture never observed. */
+    static constexpr uint64_t Unseen = UINT64_MAX;
+
+    uint64_t seq = 0;
+    uint64_t pc = 0;
+    uint8_t opClass = 0;
+
+    uint64_t fetch = Unseen;
+    uint64_t rename = Unseen;
+    uint64_t issue = Unseen;
+    uint64_t complete = Unseen;
+    uint64_t commit = Unseen;
+
+    bool squashed = false;
+    uint64_t squashCycle = Unseen;
+    bool parked = false;   ///< diverted to LLIB/SLIQ/AP
+};
+
+/**
+ * Group the ring's events per instruction, program order. Events for
+ * an instruction never seen fetching (attached mid-flight) still
+ * yield a record with fetch == Unseen.
+ */
+std::vector<InstRecord> collectInstructions(const Timeline &t);
+
+/**
+ * Render gem5 O3PipeView text (Konata-loadable). Only instructions
+ * whose fetch was captured are emitted; instructions still in flight
+ * when capture ended are skipped (their lifecycle is incomplete by
+ * construction, not by loss).
+ */
+std::string konataText(const Timeline &t);
+
+/** Render Chrome trace-event JSON (chrome://tracing, Perfetto). */
+std::string chromeTraceJson(const Timeline &t);
+
+} // namespace kilo::obs

@@ -1,0 +1,43 @@
+#include "src/obs/heartbeat.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace kilo::obs
+{
+
+std::string
+serializeHeartbeat(const Heartbeat &hb)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s %d %" PRIu64 " %" PRIu64 " %d %" PRIu64
+                  " %" PRIu64 " %" PRIu64,
+                  HeartbeatTag, hb.shard, hb.jobsDone, hb.jobsTotal,
+                  hb.lastJob, hb.instsDone, hb.elapsedMs,
+                  hb.lastJobWallMs);
+    return buf;
+}
+
+bool
+parseHeartbeat(const std::string &line, Heartbeat &out)
+{
+    Heartbeat hb;
+    char tag[16] = {};
+    int trailing = -1;
+    int n = std::sscanf(line.c_str(),
+                        "%15s %d %" SCNu64 " %" SCNu64 " %d %" SCNu64
+                        " %" SCNu64 " %" SCNu64 " %n",
+                        tag, &hb.shard, &hb.jobsDone, &hb.jobsTotal,
+                        &hb.lastJob, &hb.instsDone, &hb.elapsedMs,
+                        &hb.lastJobWallMs, &trailing);
+    if (n != 8 || std::string(tag) != HeartbeatTag)
+        return false;
+    // Reject trailing garbage: a heartbeat is the whole line.
+    if (trailing >= 0 && size_t(trailing) < line.size())
+        return false;
+    out = hb;
+    return true;
+}
+
+} // namespace kilo::obs

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Worker heartbeat lines for live sweep telemetry.
+ *
+ * A sharded worker running with --heartbeat emits one Heartbeat line
+ * on stderr after every finished job; the orchestrator parses them
+ * out of the stderr stream to drive its merged progress display and
+ * per-shard telemetry. The wire format is a single text line,
+ *
+ *   KILOHB <shard> <jobsDone> <jobsTotal> <lastJob> <instsDone>
+ *          <elapsedMs> <lastJobWallMs>
+ *
+ * chosen so heartbeats survive line-buffered pipes, interleave safely
+ * with diagnostic stderr output, and stay trivially greppable. Lines
+ * not starting with the KILOHB tag are not heartbeats and must be
+ * passed through untouched.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace kilo::obs
+{
+
+struct Heartbeat
+{
+    int shard = 0;            ///< shard index within the sweep
+    uint64_t jobsDone = 0;    ///< jobs finished so far
+    uint64_t jobsTotal = 0;   ///< jobs assigned to this shard
+    int lastJob = -1;         ///< global index of last finished job
+    uint64_t instsDone = 0;   ///< committed insts across done jobs
+    uint64_t elapsedMs = 0;   ///< wall time since the worker started
+    uint64_t lastJobWallMs = 0; ///< wall time of the last job alone
+};
+
+/** Wire tag heartbeat lines start with. */
+inline constexpr const char *HeartbeatTag = "KILOHB";
+
+/** Render @p hb as one wire line (no trailing newline). */
+std::string serializeHeartbeat(const Heartbeat &hb);
+
+/**
+ * Parse one wire line into @p out. Returns false (leaving @p out
+ * untouched) when @p line is not a well-formed heartbeat; callers
+ * then treat the line as ordinary stderr output.
+ */
+bool parseHeartbeat(const std::string &line, Heartbeat &out);
+
+} // namespace kilo::obs

@@ -1,0 +1,76 @@
+#include "src/obs/profiler.hh"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace kilo::obs
+{
+
+namespace
+{
+
+uint64_t
+nowNs()
+{
+    // kilolint: allow(nondeterminism) wall-time self-profile clock
+    auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t)
+            .count());
+}
+
+} // anonymous namespace
+
+Profiler::Scope::Scope(Profiler *p, const char *name)
+    : prof(p), idx(0), startNs(0)
+{
+    if (!prof)
+        return;
+    idx = prof->indexOf(name);
+    startNs = nowNs();
+}
+
+Profiler::Scope::~Scope()
+{
+    if (!prof)
+        return;
+    Phase &ph = prof->data[idx];
+    ph.ns += nowNs() - startNs;
+    ++ph.count;
+}
+
+size_t
+Profiler::indexOf(const char *name)
+{
+    for (size_t i = 0; i < data.size(); ++i) {
+        if (data[i].name == name)
+            return i;
+    }
+    Phase ph;
+    ph.name = name;
+    data.push_back(ph);
+    return data.size() - 1;
+}
+
+std::string
+Profiler::report() const
+{
+    uint64_t total = 0;
+    for (const Phase &p : data)
+        total += p.ns;
+    std::string out;
+    char buf[160];
+    for (const Phase &p : data) {
+        double ms = double(p.ns) / 1e6;
+        double pct =
+            total ? 100.0 * double(p.ns) / double(total) : 0.0;
+        std::snprintf(buf, sizeof(buf),
+                      "%-12s %12.3f ms %6.1f%% %8" PRIu64 "x\n",
+                      p.name.c_str(), ms, pct, p.count);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace kilo::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wall-time self-profile for simulator runs.
+ *
+ * A Profiler accumulates real (steady-clock) time per named phase via
+ * RAII Scope timers. It measures the simulator itself — where a run's
+ * wall time goes (warmup vs. measure vs. finish, trace replay vs.
+ * core ticking) — and is entirely separate from simulated time.
+ *
+ * Scopes accept a null Profiler and then do nothing, not even a clock
+ * read, so instrumented call sites cost nothing when profiling is off
+ * and simulated timing is never affected either way.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kilo::obs
+{
+
+class Profiler
+{
+  public:
+    struct Phase
+    {
+        std::string name;
+        uint64_t ns = 0;    ///< accumulated wall time
+        uint64_t count = 0; ///< number of scopes recorded
+    };
+
+    /** RAII timer; records into the profiler on destruction. */
+    class Scope
+    {
+      public:
+        /** @p p may be null: the scope then does nothing at all. */
+        Scope(Profiler *p, const char *name);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Profiler *prof;
+        size_t idx;
+        uint64_t startNs;
+    };
+
+    /** Phases in first-seen order; repeated names accumulate. */
+    const std::vector<Phase> &phases() const { return data; }
+
+    /** Human-readable table: per-phase ms, share of total, count. */
+    std::string report() const;
+
+  private:
+    friend class Scope;
+
+    /** Index of @p name, appending a fresh phase on first sight. */
+    size_t indexOf(const char *name);
+
+    std::vector<Phase> data;
+};
+
+} // namespace kilo::obs

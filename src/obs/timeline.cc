@@ -1,0 +1,13 @@
+#include "src/obs/timeline.hh"
+
+namespace kilo::obs
+{
+
+Timeline::Timeline(size_t capacity)
+{
+    // The one allocation this class ever performs: record() writes
+    // into preallocated slots and drops on overflow.
+    buf.resize(capacity ? capacity : 1);
+}
+
+} // namespace kilo::obs

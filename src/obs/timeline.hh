@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Plane 1 of the observability layer: per-instruction lifecycle
+ * timelines.
+ *
+ * A Timeline is a fixed-capacity, allocation-free event ring the core
+ * models write into when (and only when) one is attached through
+ * PipelineBase::attachTimeline(). Every recording site is a single
+ * null-check when observability is off — the default — so a run
+ * without a timeline executes the exact same instruction/cycle
+ * schedule and produces bit-identical statistics (pinned by
+ * tests/test_obs.cpp).
+ *
+ * Capacity is fixed at construction: the buffer is preallocated once
+ * and record() never touches the heap, keeping the zero-steady-state-
+ * allocation guarantee intact even with observability on. When the
+ * buffer fills, further events are dropped (not overwritten) and
+ * counted — the captured prefix stays a contiguous, in-order record
+ * of the run from the attach point, which is what the offline
+ * exporters (src/obs/export.hh) need.
+ *
+ * Events carry cycle, instruction sequence number, a small payload
+ * (pc at fetch, service level at issue, ...) and nothing else; all
+ * interpretation — per-instruction grouping, Konata/Chrome-trace
+ * mapping — happens offline in the exporters. See src/obs/DESIGN.md
+ * for the event schema.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace kilo::obs
+{
+
+/** Lifecycle points recorded per instruction (src/obs/DESIGN.md). */
+enum class EventKind : uint8_t
+{
+    Fetch = 0,    ///< entered the fetch buffer; payload = pc, a = op class
+    Rename,       ///< renamed/dispatched into the window
+    Issue,        ///< issued to execute; a = mem service level
+    Complete,     ///< result written back
+    Commit,       ///< architecturally retired
+    Squash,       ///< discarded on a recovery
+    Park,         ///< diverted to a slow-lane structure (LLIB/SLIQ/AP)
+    CkptCreate,   ///< checkpoint taken at this branch; payload = depth
+    CkptRestore,  ///< recovery restored through a checkpoint;
+                  ///< payload = 1 covered, 0 replayed uncovered
+    NumKinds
+};
+
+/** One timeline entry (32 bytes, trivially copyable). */
+struct TimelineEvent
+{
+    uint64_t cycle = 0;
+    uint64_t seq = 0;      ///< dynamic instruction sequence number
+    uint64_t payload = 0;  ///< kind-specific (see EventKind)
+    EventKind kind = EventKind::Fetch;
+    uint8_t a = 0;         ///< kind-specific small payload
+    uint16_t pad16 = 0;
+    uint32_t pad32 = 0;
+};
+
+static_assert(sizeof(TimelineEvent) == 32,
+              "TimelineEvent is sized for bulk capture; keep it tight");
+
+/** Fixed-capacity, allocation-free instruction-event ring. */
+class Timeline
+{
+  public:
+    /** Preallocates @p capacity event slots up front. */
+    explicit Timeline(size_t capacity);
+
+    /** Append one event; drops (and counts) when full. Never
+     *  allocates. */
+    void
+    record(uint64_t cycle, EventKind kind, uint64_t seq,
+           uint64_t payload = 0, uint8_t a = 0)
+    {
+        if (used == buf.size()) {
+            ++nDropped;
+            return;
+        }
+        TimelineEvent &e = buf[used++];
+        e.cycle = cycle;
+        e.seq = seq;
+        e.payload = payload;
+        e.kind = kind;
+        e.a = a;
+    }
+
+    /** Captured events, oldest first. */
+    const TimelineEvent *data() const { return buf.data(); }
+
+    /** Captured event count (<= capacity()). */
+    size_t size() const { return used; }
+
+    /** Event slots allocated at construction. */
+    size_t capacity() const { return buf.size(); }
+
+    /** Events discarded because the buffer was full. */
+    uint64_t dropped() const { return nDropped; }
+
+    /** Forget captured events; capacity is retained. */
+    void
+    clear()
+    {
+        used = 0;
+        nDropped = 0;
+    }
+
+  private:
+    std::vector<TimelineEvent> buf;
+    size_t used = 0;
+    uint64_t nDropped = 0;
+};
+
+} // namespace kilo::obs

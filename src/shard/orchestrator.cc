@@ -30,6 +30,12 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
+/** Cap on the retained per-attempt worker stderr tail. */
+constexpr size_t ErrTailBytes = 4096;
+
+/** Stderr-tail lines surfaced in retry and failure messages. */
+constexpr size_t ErrTailLogLines = 5;
+
 /** One shard's supervision state across attempts. */
 struct ShardState
 {
@@ -38,10 +44,18 @@ struct ShardState
     bool done = false;
     bool running = false;
     bool killed = false;             ///< this attempt was SIGKILLed
+    bool everKilled = false;         ///< any attempt was SIGKILLed
     pid_t pid = -1;
     int fd = -1;                     ///< read end of the stdout pipe
+    int errFd = -1;                  ///< read end of the stderr pipe
     Clock::time_point deadline = Clock::time_point::max();
+    Clock::time_point attemptStart;
+    uint64_t wallMs = 0;             ///< final attempt's wall time
     std::string output;              ///< this attempt's rows
+    std::string errBuf;              ///< partial stderr line
+    std::string errTail;             ///< last ErrTailBytes of stderr
+    bool sawHeartbeat = false;
+    obs::Heartbeat lastHeartbeat;
     std::string lastFailure;
 };
 
@@ -97,23 +111,36 @@ spawnAttempt(ShardState &s, const OrchestratorConfig &cfg,
              uint32_t shard_count, const std::string &manifest_path)
 {
     int fds[2];
+    int err_fds[2];
     if (::pipe(fds) != 0)
         throw ShardError("pipe() failed for shard " +
                          std::to_string(s.shard));
+    if (::pipe(err_fds) != 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        throw ShardError("pipe() failed for shard " +
+                         std::to_string(s.shard));
+    }
     pid_t pid = ::fork();
     if (pid < 0) {
         ::close(fds[0]);
         ::close(fds[1]);
+        ::close(err_fds[0]);
+        ::close(err_fds[1]);
         throw ShardError("fork() failed for shard " +
                          std::to_string(s.shard));
     }
     if (pid == 0) {
-        // Child: stdout -> pipe; stderr passes through for
-        // diagnosability. Process-level sharding replaces thread
-        // fan-out, so workers default to one sweep thread.
+        // Child: stdout and stderr each go to a pipe; the parent
+        // parses heartbeats out of stderr and forwards the rest.
+        // Process-level sharding replaces thread fan-out, so workers
+        // default to one sweep thread.
         ::dup2(fds[1], STDOUT_FILENO);
+        ::dup2(err_fds[1], STDERR_FILENO);
         ::close(fds[0]);
         ::close(fds[1]);
+        ::close(err_fds[0]);
+        ::close(err_fds[1]);
         if (cfg.workerThreads) {
             ::setenv("KILO_SWEEP_THREADS",
                      std::to_string(cfg.workerThreads).c_str(), 1);
@@ -122,6 +149,8 @@ spawnAttempt(ShardState &s, const OrchestratorConfig &cfg,
         args.push_back(cfg.workerPath);
         for (const auto &a : cfg.workerArgs)
             args.push_back(a);
+        if (cfg.heartbeat || cfg.progress)
+            args.push_back("--heartbeat");
         args.push_back("--shard");
         args.push_back(std::to_string(s.shard) + "/" +
                        std::to_string(shard_count));
@@ -137,17 +166,25 @@ spawnAttempt(ShardState &s, const OrchestratorConfig &cfg,
         ::_exit(127);
     }
     ::close(fds[1]);
+    ::close(err_fds[1]);
     ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(err_fds[0], F_SETFL, O_NONBLOCK);
     s.pid = pid;
     s.fd = fds[0];
+    s.errFd = err_fds[0];
     s.running = true;
     s.killed = false;
     ++s.attempts;
     s.output.clear();
+    s.errBuf.clear();
+    s.errTail.clear();
+    s.sawHeartbeat = false;
+    // kilolint: allow(nondeterminism) attempt wall-time anchor
+    s.attemptStart = Clock::now();
     s.deadline = cfg.workerDeadlineMs
-                     // kilolint: allow(nondeterminism) worker deadline
-                     ? Clock::now() + std::chrono::milliseconds(
-                                          int64_t(cfg.workerDeadlineMs))
+                     ? s.attemptStart +
+                           std::chrono::milliseconds(
+                               int64_t(cfg.workerDeadlineMs))
                      : Clock::time_point::max();
 }
 
@@ -160,10 +197,117 @@ killAll(std::vector<ShardState> &shards)
             continue;
         ::kill(s.pid, SIGKILL);
         ::close(s.fd);
+        if (s.errFd >= 0) {
+            ::close(s.errFd);
+            s.errFd = -1;
+        }
         int status = 0;
         ::waitpid(s.pid, &status, 0);
         s.running = false;
     }
+}
+
+/** Absorb one complete worker stderr line: heartbeats update the
+ *  shard's telemetry (and the live progress stream); anything else
+ *  is forwarded verbatim and its tail kept for failure reports. */
+void
+processErrLine(ShardState &s, const std::string &line, bool progress)
+{
+    obs::Heartbeat hb;
+    if (obs::parseHeartbeat(line, hb)) {
+        s.sawHeartbeat = true;
+        s.lastHeartbeat = hb;
+        if (progress) {
+            uint64_t left = hb.jobsTotal > hb.jobsDone
+                                ? hb.jobsTotal - hb.jobsDone
+                                : 0;
+            uint64_t eta =
+                hb.jobsDone ? hb.elapsedMs * left / hb.jobsDone : 0;
+            std::fprintf(stderr,
+                         "kilo-shard: [%d] %llu/%llu jobs, "
+                         "%llu insts, last job %d (%llu ms), "
+                         "eta ~%llu ms\n",
+                         hb.shard,
+                         (unsigned long long)hb.jobsDone,
+                         (unsigned long long)hb.jobsTotal,
+                         (unsigned long long)hb.instsDone,
+                         hb.lastJob,
+                         (unsigned long long)hb.lastJobWallMs,
+                         (unsigned long long)eta);
+        }
+        return;
+    }
+    std::fprintf(stderr, "%s\n", line.c_str());
+    s.errTail += line;
+    s.errTail += '\n';
+    if (s.errTail.size() > ErrTailBytes) {
+        s.errTail.erase(0, s.errTail.size() - ErrTailBytes);
+    }
+}
+
+/** Drain available stderr; closes errFd at EOF. */
+void
+drainErr(ShardState &s, bool progress)
+{
+    if (s.errFd < 0)
+        return;
+    char buf[1 << 14];
+    for (;;) {
+        ssize_t n = ::read(s.errFd, buf, sizeof(buf));
+        if (n > 0) {
+            s.errBuf.append(buf, size_t(n));
+            size_t pos = 0;
+            size_t eol;
+            while ((eol = s.errBuf.find('\n', pos)) !=
+                   std::string::npos) {
+                processErrLine(s, s.errBuf.substr(pos, eol - pos),
+                               progress);
+                pos = eol + 1;
+            }
+            s.errBuf.erase(0, pos);
+            continue;
+        }
+        if (n == 0) {
+            ::close(s.errFd);
+            s.errFd = -1;
+            if (!s.errBuf.empty()) {
+                processErrLine(s, s.errBuf, progress);
+                s.errBuf.clear();
+            }
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            ::close(s.errFd);
+            s.errFd = -1;
+        }
+        return;
+    }
+}
+
+/** Last @p max_lines lines of @p tail, indented for a log message. */
+std::string
+indentTail(const std::string &tail, size_t max_lines)
+{
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos < tail.size()) {
+        size_t eol = tail.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = tail.size();
+        if (eol > pos)
+            lines.push_back(tail.substr(pos, eol - pos));
+        pos = eol + 1;
+    }
+    std::string out;
+    size_t start =
+        lines.size() > max_lines ? lines.size() - max_lines : 0;
+    for (size_t i = start; i < lines.size(); ++i) {
+        out += "\n    | ";
+        out += lines[i];
+    }
+    return out;
 }
 
 /** Drain available stdout; returns true when the attempt finished
@@ -227,17 +371,18 @@ Orchestrator::run()
             spawnAttempt(s, cfg, shard_count, manifest_file.path);
 
         std::vector<pollfd> pfds;
-        std::vector<uint32_t> pfd_shard;
         for (;;) {
             pfds.clear();
-            pfd_shard.clear();
             Clock::time_point next_deadline =
                 Clock::time_point::max();
+            bool any_running = false;
             for (auto &s : shards) {
                 if (!s.running)
                     continue;
+                any_running = true;
                 pfds.push_back({s.fd, POLLIN, 0});
-                pfd_shard.push_back(s.shard);
+                if (s.errFd >= 0)
+                    pfds.push_back({s.errFd, POLLIN, 0});
                 // Attempts already killed only need the EOF that the
                 // SIGKILL guarantees; their past deadline must not
                 // zero the poll timeout into a busy loop.
@@ -245,7 +390,7 @@ Orchestrator::run()
                     next_deadline = std::min(next_deadline,
                                              s.deadline);
             }
-            if (pfds.empty())
+            if (!any_running)
                 break; // every shard resolved
 
             int timeout_ms = -1;
@@ -261,10 +406,12 @@ Orchestrator::run()
             }
             ::poll(pfds.data(), nfds_t(pfds.size()), timeout_ms);
 
+            // Both pipes are non-blocking, so every running shard is
+            // simply drained on each wake-up; poll() exists to sleep,
+            // not to route.
             // kilolint: allow(nondeterminism) deadline enforcement
             Clock::time_point now = Clock::now();
-            for (size_t p = 0; p < pfds.size(); ++p) {
-                ShardState &s = shards[pfd_shard[p]];
+            for (auto &s : shards) {
                 if (!s.running)
                     continue;
                 if (!s.killed && now >= s.deadline) {
@@ -273,18 +420,25 @@ Orchestrator::run()
                     // the corpse on this or a later iteration.
                     ::kill(s.pid, SIGKILL);
                     s.killed = true;
+                    s.everKilled = true;
                     ++nDeadlineKills;
                     s.lastFailure =
                         "deadline (" +
                         std::to_string(cfg.workerDeadlineMs) +
                         " ms) overrun";
                 }
-                if (!(pfds[p].revents & (POLLIN | POLLHUP | POLLERR))
-                    && !s.killed)
-                    continue;
+                drainErr(s, cfg.progress);
                 int status = 0;
                 if (!drainPipe(s, status))
                     continue; // more output later
+                // The child is reaped: whatever stderr remains is
+                // already in the pipe, so this final drain sees EOF.
+                drainErr(s, cfg.progress);
+                s.wallMs = uint64_t(
+                    std::chrono::duration_cast<
+                        std::chrono::milliseconds>(now -
+                                                   s.attemptStart)
+                        .count());
                 if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
                     s.done = true;
                     continue;
@@ -298,9 +452,17 @@ Orchestrator::run()
                         "shard " + std::to_string(s.shard) + "/" +
                         std::to_string(shard_count) + " failed after " +
                         std::to_string(s.attempts) + " attempt(s): " +
-                        s.lastFailure);
+                        s.lastFailure +
+                        indentTail(s.errTail, ErrTailLogLines));
                 }
                 ++nRetries;
+                std::fprintf(
+                    stderr,
+                    "kilo-shard: shard %u attempt %u/%u failed "
+                    "(%s); retrying%s\n",
+                    s.shard, s.attempts, cfg.maxAttempts,
+                    s.lastFailure.c_str(),
+                    indentTail(s.errTail, ErrTailLogLines).c_str());
                 s.lastFailure.clear();
                 spawnAttempt(s, cfg, shard_count,
                              manifest_file.path);
@@ -309,6 +471,22 @@ Orchestrator::run()
     } catch (...) {
         killAll(shards);
         throw;
+    }
+
+    // --------------------------------------------------- telemetry
+    tele = SweepTelemetry();
+    tele.retries = nRetries;
+    tele.deadlineKills = nDeadlineKills;
+    tele.shards.reserve(shards.size());
+    for (const auto &s : shards) {
+        ShardTelemetry st;
+        st.shard = s.shard;
+        st.attempts = s.attempts;
+        st.deadlineKilled = s.everKilled;
+        st.wallMs = s.wallMs;
+        st.sawHeartbeat = s.sawHeartbeat;
+        st.lastHeartbeat = s.lastHeartbeat;
+        tele.shards.push_back(st);
     }
 
     // ----------------------------------------------------------- merge

@@ -16,9 +16,18 @@
  *    deadline (SIGKILL) fails its attempt; the attempt's partial
  *    output is excluded from the merge wholesale;
  *  - a failed shard is retried with a fresh process up to
- *    maxAttempts total attempts;
+ *    maxAttempts total attempts, with a stderr-tail-bearing retry
+ *    line logged on the parent's stderr;
  *  - a shard exhausting its attempts fails the sweep: remaining
- *    workers are killed and run() throws ShardError.
+ *    workers are killed and run() throws ShardError carrying the
+ *    last attempt's stderr tail.
+ *
+ * Worker stderr is piped to the parent. KILOHB heartbeat lines
+ * (src/obs/heartbeat.hh, emitted by workers spawned with
+ * --heartbeat) are absorbed into per-shard telemetry — and, with
+ * OrchestratorConfig::progress, rendered as a merged live progress
+ * stream on the parent's stderr; every other stderr line is
+ * forwarded through verbatim and its tail kept for failure reports.
  *
  * Workers default to one sweep thread each (process-level sharding
  * replaces thread-level fan-out); all workers replaying a common
@@ -30,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/heartbeat.hh"
 #include "src/shard/manifest.hh"
 
 namespace kilo::shard
@@ -58,6 +68,33 @@ struct OrchestratorConfig
     /** KILO_SWEEP_THREADS exported to workers; 0 inherits the
      *  parent's environment unchanged. */
     unsigned workerThreads = 1;
+
+    /** Spawn workers with --heartbeat and collect their KILOHB
+     *  telemetry (implied by progress). */
+    bool heartbeat = false;
+
+    /** Render worker heartbeats as a merged live progress stream on
+     *  the parent's stderr. */
+    bool progress = false;
+};
+
+/** What the orchestrator observed about one shard. */
+struct ShardTelemetry
+{
+    uint32_t shard = 0;
+    uint32_t attempts = 0;        ///< processes spawned (>= 1)
+    bool deadlineKilled = false;  ///< any attempt overran and died
+    uint64_t wallMs = 0;          ///< wall time of the final attempt
+    bool sawHeartbeat = false;
+    obs::Heartbeat lastHeartbeat; ///< valid when sawHeartbeat
+};
+
+/** Sweep-level telemetry assembled from a finished run(). */
+struct SweepTelemetry
+{
+    uint32_t retries = 0;
+    uint32_t deadlineKills = 0;
+    std::vector<ShardTelemetry> shards;
 };
 
 /** Spawns, supervises and merges one sharded sweep. */
@@ -81,11 +118,15 @@ class Orchestrator
     /** Workers killed for overrunning the deadline. */
     uint32_t deadlineKills() const { return nDeadlineKills; }
 
+    /** Per-shard telemetry of the last run() (empty before it). */
+    const SweepTelemetry &telemetry() const { return tele; }
+
   private:
     Manifest manifest;
     OrchestratorConfig cfg;
     uint32_t nRetries = 0;
     uint32_t nDeadlineKills = 0;
+    SweepTelemetry tele;
 };
 
 } // namespace kilo::shard

@@ -80,6 +80,7 @@ Session::warmup()
 {
     if (warmedUp)
         return;
+    obs::Profiler::Scope prof(profiler, "warmup");
     warmedUp = true;
     if (rc.warmupInsts) {
         if (rc.maxWallMs) {
@@ -133,6 +134,7 @@ void
 Session::advance(uint64_t target_committed, uint64_t cycle_cap)
 {
     warmup();
+    obs::Profiler::Scope prof(profiler, "measure");
     if (target_committed > rc.measureInsts)
         target_committed = rc.measureInsts;
     const uint64_t deadline = deadlineCycle();
@@ -278,6 +280,7 @@ Session::loadCheckpoint(const std::string &path)
 RunResult
 Session::finish()
 {
+    obs::Profiler::Scope prof(profiler, "finish");
     RunResult res;
     res.machine = machineName;
     res.workload = wl->name();

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "src/ckpt/serial.hh"
+#include "src/obs/profiler.hh"
 #include "src/sim/simulator.hh"
 
 namespace kilo::sim
@@ -121,6 +122,14 @@ class Session
     const RunConfig &config() const { return rc; }
 
     /**
+     * Attach a wall-time self-profiler (may be null to detach). The
+     * session then accounts its warmup / measure / finish phases into
+     * it. Purely observational: profiling never touches simulated
+     * timing, and a detached session takes no clock reads at all.
+     */
+    void attachProfiler(obs::Profiler *p) { profiler = p; }
+
+    /**
      * Collect the RunResult. Steals the interval samples; the Session
      * remains inspectable but should not be advanced further.
      */
@@ -179,6 +188,7 @@ class Session
     uint64_t measureStartCycle = 0;   ///< absolute core cycle
     uint64_t nextIntervalAt = 0;      ///< committed insts, 0 = off
     std::vector<stats::IntervalSample> intervals_;
+    obs::Profiler *profiler = nullptr;
 };
 
 } // namespace kilo::sim

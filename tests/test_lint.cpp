@@ -404,7 +404,7 @@ TEST(LintSelfScan, LiveTreeLintsClean)
     // Every sanctioned suppression must still be load-bearing; the
     // count is pinned so exemptions cannot silently accumulate (CI
     // enforces the same cap via kilolint --max-suppressions).
-    EXPECT_EQ(report.suppressionsTotal, 9);
+    EXPECT_EQ(report.suppressionsTotal, 13);
     EXPECT_EQ(report.suppressionsUsed, report.suppressionsTotal);
 }
 #endif

@@ -197,6 +197,8 @@ TEST(CoreRegistry, RowSchemaIdenticalAcrossMachineKinds)
         "ipc", "cycles", "committed", "branches", "mispredict_rate",
         "mp_fraction", "mem_accesses", "l2_misses", "l2_miss_ratio",
         "mem_fills", "mshr_merges", "mshr_peak", "mshr_set_p50",
-        "mshr_set_p99", "mshr_set_max"};
+        "mshr_set_p99", "mshr_set_max", "stall_frontend",
+        "stall_empty", "stall_mem", "stall_exec", "stall_depend",
+        "stall_issue", "stall_mshr", "stall_decoupled"};
     EXPECT_EQ(row_names, expected);
 }

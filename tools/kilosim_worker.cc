@@ -2,11 +2,15 @@
  * @file
  * Sweep-shard worker / orchestration driver (src/shard/).
  *
- *     kilosim_worker [--shard I/N] MANIFEST
+ *     kilosim_worker [--shard I/N] [--heartbeat] MANIFEST
  *         execute one shard of the manifest's sweep matrix and print
  *         one "<job-index> <json>" row per owned job on stdout (the
  *         tagged form the orchestrator merges). --shard overrides the
- *         manifest's own shard line.
+ *         manifest's own shard line. With --heartbeat the shard runs
+ *         its jobs one at a time (rows stay byte-identical — sweep
+ *         jobs are independent) and emits one KILOHB telemetry line
+ *         on stderr after each (src/obs/heartbeat.hh); the
+ *         orchestrator parses these into its live progress stream.
  *
  *     kilosim_worker --single MANIFEST
  *         run the FULL matrix in this process and print the plain
@@ -29,6 +33,7 @@
  * pages.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +44,7 @@
 #include <unistd.h>
 #endif
 
+#include "src/obs/heartbeat.hh"
 #include "src/shard/orchestrator.hh"
 #include "src/sim/sweep_engine.hh"
 
@@ -72,24 +78,66 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--shard I/N] MANIFEST\n"
+                 "usage: %s [--shard I/N] [--heartbeat] MANIFEST\n"
                  "       %s --single MANIFEST\n"
                  "       %s --orchestrate N [--deadline-ms D] "
-                 "MANIFEST\n",
+                 "[--progress] MANIFEST\n",
                  argv0, argv0, argv0);
     return 2;
 }
 
 int
-runShard(const shard::Manifest &manifest)
+runShard(const shard::Manifest &manifest, bool heartbeat)
 {
     auto jobs = manifest.jobs();
     auto indices = manifest.shardJobIndices();
     sim::SweepEngine engine;
-    auto results = engine.runSubset(jobs, indices);
-    for (size_t i = 0; i < indices.size(); ++i) {
-        std::printf("%zu %s\n", indices[i],
-                    sim::runResultJson(results[i]).c_str());
+    if (!heartbeat) {
+        auto results = engine.runSubset(jobs, indices);
+        for (size_t i = 0; i < indices.size(); ++i) {
+            std::printf("%zu %s\n", indices[i],
+                        sim::runResultJson(results[i]).c_str());
+        }
+        return 0;
+    }
+
+    // Telemetry mode: one job at a time, a KILOHB line on stderr
+    // after each. Sweep jobs are independent, so per-job runSubset
+    // calls produce rows byte-identical to the bulk path above
+    // (pinned by the sharded-vs-single CI golden diff, which runs
+    // the orchestrator with progress enabled).
+    using ClockMs = std::chrono::steady_clock;
+    // kilolint: allow(nondeterminism) heartbeat wall-time anchor
+    auto start = ClockMs::now();
+    auto last = start;
+    uint64_t insts_done = 0;
+    for (size_t k = 0; k < indices.size(); ++k) {
+        std::vector<size_t> one{indices[k]};
+        auto results = engine.runSubset(jobs, one);
+        std::printf("%zu %s\n", indices[k],
+                    sim::runResultJson(results[0]).c_str());
+        std::fflush(stdout);
+
+        // kilolint: allow(nondeterminism) heartbeat job timing
+        auto t = ClockMs::now();
+        auto ms = [](ClockMs::duration d) {
+            return uint64_t(std::chrono::duration_cast<
+                                std::chrono::milliseconds>(d)
+                                .count());
+        };
+        insts_done += results[0].stats.committed;
+        obs::Heartbeat hb;
+        hb.shard = int(manifest.shardIndex);
+        hb.jobsDone = k + 1;
+        hb.jobsTotal = indices.size();
+        hb.lastJob = int(indices[k]);
+        hb.instsDone = insts_done;
+        hb.elapsedMs = ms(t - start);
+        hb.lastJobWallMs = ms(t - last);
+        last = t;
+        std::fprintf(stderr, "%s\n",
+                     obs::serializeHeartbeat(hb).c_str());
+        std::fflush(stderr);
     }
     return 0;
 }
@@ -106,12 +154,13 @@ runSingle(const shard::Manifest &manifest)
 
 int
 runOrchestrate(const shard::Manifest &manifest, const char *argv0,
-               uint32_t shards, uint64_t deadline_ms)
+               uint32_t shards, uint64_t deadline_ms, bool progress)
 {
     shard::OrchestratorConfig cfg;
     cfg.workerPath = selfPath(argv0);
     cfg.shards = shards;
     cfg.workerDeadlineMs = deadline_ms;
+    cfg.progress = progress;
     shard::Orchestrator orch(manifest, cfg);
     std::string merged = orch.run();
     // kilolint: allow(raw-serialization) merged text to stdout pipe
@@ -126,6 +175,8 @@ main(int argc, char **argv)
 {
     bool single = false;
     bool orchestrate = false;
+    bool heartbeat = false;
+    bool progress = false;
     uint32_t shards = 0;
     uint64_t deadline_ms = 0;
     std::string shard_spec;
@@ -151,6 +202,10 @@ main(int argc, char **argv)
             deadline_ms = std::strtoull(value(), nullptr, 10);
         } else if (arg == "--shard") {
             shard_spec = value();
+        } else if (arg == "--heartbeat") {
+            heartbeat = true;
+        } else if (arg == "--progress") {
+            progress = true;
         } else if (arg == "--crash-token") {
             crash_token = value();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -185,10 +240,10 @@ main(int argc, char **argv)
         }
         if (orchestrate)
             return runOrchestrate(manifest, argv[0], shards,
-                                  deadline_ms);
+                                  deadline_ms, progress);
         if (single)
             return runSingle(manifest);
-        return runShard(manifest);
+        return runShard(manifest, heartbeat);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
