@@ -1,0 +1,118 @@
+#include "src/lint/fix.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/lint/lexer.hh"
+
+namespace kilo::lint
+{
+
+namespace
+{
+
+/** One pending text splice: replace [pos, end) with text. */
+struct Edit
+{
+    size_t pos;
+    size_t end;
+    std::string text;
+};
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+bool
+isRegMethod(const std::string &s)
+{
+    return s == "counter" || s == "gauge" || s == "gaugeInt" ||
+           s == "histogram";
+}
+
+} // anonymous namespace
+
+std::string
+applyFixes(const std::string &path, const std::string &content,
+           FixStats *stats)
+{
+    SourceFile f = lex(path, content);
+    const auto &t = f.tokens;
+    FixStats local;
+    std::vector<Edit> edits;
+
+    // ---- std::endl -> '\n' -----------------------------------
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind == TokKind::Identifier && t[i].text == "std" &&
+            isPunct(t[i + 1], "::") &&
+            t[i + 2].kind == TokKind::Identifier &&
+            t[i + 2].text == "endl") {
+            edits.push_back(Edit{t[i].pos, t[i + 2].end, "'\\n'"});
+            ++local.endl;
+        }
+    }
+
+    // ---- missing #pragma once --------------------------------
+    if (f.isHeader && !t.empty()) {
+        bool pragmaOnce = false;
+        for (const Token &tok : t) {
+            if (tok.kind == TokKind::Directive &&
+                tok.text == "pragma once") {
+                pragmaOnce = true;
+                break;
+            }
+        }
+        if (!pragmaOnce) {
+            // Insert at the start of the first code line, which
+            // keeps any leading file comment where it is (the lexer
+            // skips comments, so tokens[0] is the first code).
+            size_t at = t.front().pos;
+            while (at > 0 && content[at - 1] != '\n')
+                --at;
+            edits.push_back(Edit{at, at, "#pragma once\n\n"});
+            ++local.pragmaOnce;
+        }
+    }
+
+    // ---- trailing '_' in stat names --------------------------
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            !isRegMethod(t[i].text))
+            continue;
+        const Token &prev = i ? t[i - 1] : t[i];
+        if (i == 0 ||
+            !(isPunct(prev, ".") || isPunct(prev, "->")))
+            continue;
+        if (!isPunct(t[i + 1], "(") ||
+            t[i + 2].kind != TokKind::String)
+            continue;
+        const std::string &name = t[i + 2].text;
+        size_t keep = name.find_last_not_of('_');
+        if (keep == std::string::npos || keep + 1 == name.size())
+            continue;  // all underscores (not mechanical) or clean
+        edits.push_back(Edit{t[i + 2].pos, t[i + 2].end,
+                             "\"" + name.substr(0, keep + 1) +
+                                 "\""});
+        ++local.statName;
+    }
+
+    if (stats)
+        *stats = local;
+    if (edits.empty())
+        return content;
+
+    // Splice back to front so earlier offsets stay valid. Edits
+    // never overlap: each targets a distinct token span.
+    std::sort(edits.begin(), edits.end(),
+              [](const Edit &a, const Edit &b) {
+                  return a.pos > b.pos;
+              });
+    std::string out = content;
+    for (const Edit &e : edits)
+        out.replace(e.pos, e.end - e.pos, e.text);
+    return out;
+}
+
+} // namespace kilo::lint

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * kilolint --fix: mechanical autofixes.
+ *
+ * Only rewrites with exactly one right answer are automated — the
+ * fixer must be safe to run blind in CI:
+ *
+ *   - `std::endl`                -> `'\n'`   (header-hygiene)
+ *   - header missing #pragma once -> inserted above the first
+ *     non-comment line            (header-hygiene)
+ *   - stat name with trailing '_' -> stripped (stat-name-style)
+ *
+ * Everything else (layering, dead stats, exhaustiveness) changes
+ * meaning and stays a human's call. Fixing is idempotent by
+ * construction: each rewrite removes the pattern it matched, so
+ * fix -> re-lint is clean for these rules and fix -> re-fix is a
+ * no-op — CI asserts exactly that round trip.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace kilo::lint
+{
+
+/** Edit counts from one applyFixes() pass. */
+struct FixStats
+{
+    int endl = 0;        ///< std::endl -> '\n'
+    int pragmaOnce = 0;  ///< #pragma once inserted
+    int statName = 0;    ///< trailing '_' stripped from a stat name
+
+    int total() const { return endl + pragmaOnce + statName; }
+};
+
+/**
+ * Return @p content with every mechanical fix applied; @p path
+ * decides header-ness exactly as lex() does. @p stats (optional)
+ * receives the edit counts; content comes back unchanged when
+ * nothing matched.
+ */
+std::string applyFixes(const std::string &path,
+                       const std::string &content,
+                       FixStats *stats = nullptr);
+
+} // namespace kilo::lint

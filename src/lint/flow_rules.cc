@@ -1,0 +1,551 @@
+/**
+ * @file
+ * kilolint's semantic tier: rules over the cross-TU ProjectModel
+ * (layering, include cycles, stats liveness/schema sync) and
+ * function-scope flow (switch exhaustiveness over project enums,
+ * Session phase order).
+ *
+ * Same philosophy as the token rules in rules.cc: heuristic, zero
+ * false positives on this tree, degrade by dropping the check — an
+ * enum name defined twice with different enumerator lists is simply
+ * not checked, a switch whose labels the matcher cannot resolve is
+ * skipped. The dynamic tests stay the authority; these rules exist
+ * so a violation on a path no test drives still fails CI with a
+ * file:line instead of a golden diff three PRs later.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/lint/linter.hh"
+
+namespace kilo::lint
+{
+
+namespace
+{
+
+bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+/** tokens[i], or a harmless sentinel when out of range. */
+const Token &
+at(const std::vector<Token> &t, size_t i)
+{
+    static const Token sentinel{TokKind::Punct, "", 0, 0, 0};
+    return i < t.size() ? t[i] : sentinel;
+}
+
+/** normalized path -> lexed file, for reporting against the path
+ *  the user passed in (suppressions key on it). */
+std::map<std::string, const SourceFile *>
+fileIndex(const ProjectModel &m)
+{
+    std::map<std::string, const SourceFile *> out;
+    for (const SourceFile *f : m.files())
+        out.emplace(normalizePath(f->path), f);
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.compare(0, std::string(prefix).size(), prefix) == 0;
+}
+
+// ------------------------------------------------------- layering
+
+class LayeringRule : public Rule
+{
+  public:
+    LayeringRule()
+        : Rule("layering",
+               "src/ modules include only the layers below them per "
+               "the declared DAG in src/lint/layers; an upward "
+               "#include couples a foundation layer to its clients",
+               Severity::Error)
+    {}
+
+    void
+    check(const SourceFile &, std::vector<Finding> &) const override
+    {}
+
+    void
+    checkModel(const ProjectModel &m,
+               std::vector<Finding> &out) const override
+    {
+        const LayerSpec &spec = m.layers();
+        for (const LayerSpec::Error &e : spec.errors)
+            reportAt(out, spec.path, e.line, e.message);
+        if (!spec.loaded)
+            return;
+
+        auto files = fileIndex(m);
+        std::set<std::string> unknownReported;
+
+        for (const auto &[norm, includes] : m.includes()) {
+            if (!startsWith(norm, "src/"))
+                continue;  // tools/bench/tests are top-of-stack
+            std::string fromMod = moduleOf(norm);
+            if (fromMod.empty())
+                continue;
+            auto fit = files.find(norm);
+            const SourceFile *file =
+                fit == files.end() ? nullptr : fit->second;
+            if (!file)
+                continue;
+
+            auto allowedIt = spec.allowed.find(fromMod);
+            if (allowedIt == spec.allowed.end()) {
+                if (unknownReported.insert(fromMod).second &&
+                    !includes.empty()) {
+                    report(out, *file, includes.front().line,
+                           "module 'src/" + fromMod +
+                               "' is not declared in " + spec.path);
+                }
+                continue;
+            }
+
+            for (const IncludeRef &inc : includes) {
+                if (!startsWith(inc.target, "src/"))
+                    continue;  // system/third-party includes
+                std::string toMod = moduleOf(inc.target);
+                if (toMod.empty() || toMod == fromMod)
+                    continue;
+                if (allowedIt->second.count(toMod))
+                    continue;
+                bool declared = spec.allowed.count(toMod) != 0;
+                report(out, *file, inc.line,
+                       "src/" + fromMod + " may not include \"" +
+                           inc.target + "\": src/" + toMod +
+                           (declared
+                                ? " is not in its allowed layers ("
+                                : " is not declared in (") +
+                           spec.path + ")");
+            }
+        }
+    }
+};
+
+// -------------------------------------------------- include-cycle
+
+class IncludeCycleRule : public Rule
+{
+  public:
+    IncludeCycleRule()
+        : Rule("include-cycle",
+               "the project include graph is acyclic at file "
+               "granularity; a cycle means neither header can be "
+               "understood (or compiled) without the other",
+               Severity::Error)
+    {}
+
+    void
+    check(const SourceFile &, std::vector<Finding> &) const override
+    {}
+
+    void
+    checkModel(const ProjectModel &m,
+               std::vector<Finding> &out) const override
+    {
+        // Edges only between scanned files, so a dangling include
+        // (not lint's business) never manufactures a node.
+        const auto &scanned = m.scannedPaths();
+        auto files = fileIndex(m);
+
+        // 0 unvisited / 1 on stack / 2 done.
+        std::map<std::string, int> state;
+        std::vector<std::string> stack;
+        std::set<std::string> reportedCycles;
+
+        std::function<void(const std::string &)> dfs =
+            [&](const std::string &node) {
+                state[node] = 1;
+                stack.push_back(node);
+                auto it = m.includes().find(node);
+                if (it != m.includes().end()) {
+                    for (const IncludeRef &inc : it->second) {
+                        const std::string &to = inc.target;
+                        if (!scanned.count(to))
+                            continue;
+                        if (state[to] == 2)
+                            continue;
+                        if (state[to] == 1) {
+                            reportCycle(files, node, inc, to, stack,
+                                        reportedCycles, out);
+                            continue;
+                        }
+                        dfs(to);
+                    }
+                }
+                stack.pop_back();
+                state[node] = 2;
+            };
+
+        for (const std::string &node : scanned)
+            if (state[node] == 0)
+                dfs(node);
+    }
+
+  private:
+    void
+    reportCycle(const std::map<std::string, const SourceFile *> &files,
+                const std::string &from, const IncludeRef &inc,
+                const std::string &to,
+                const std::vector<std::string> &stack,
+                std::set<std::string> &reported,
+                std::vector<Finding> &out) const
+    {
+        // The cycle is the stack suffix from `to` plus the back
+        // edge. Canonicalize (rotate to the smallest member) so the
+        // same cycle found from two entry points reports once.
+        auto start = std::find(stack.begin(), stack.end(), to);
+        std::vector<std::string> cycle(start, stack.end());
+        size_t smallest = 0;
+        for (size_t i = 1; i < cycle.size(); ++i)
+            if (cycle[i] < cycle[smallest])
+                smallest = i;
+        std::string key;
+        for (size_t i = 0; i < cycle.size(); ++i)
+            key += cycle[(smallest + i) % cycle.size()] + ";";
+        if (!reported.insert(key).second)
+            return;
+
+        std::string msg = "include cycle: ";
+        for (const std::string &n : cycle)
+            msg += n + " -> ";
+        msg += to;
+        auto fit = files.find(from);
+        if (fit != files.end())
+            report(out, *fit->second, inc.line, msg);
+        else
+            reportAt(out, from, inc.line, msg);
+    }
+};
+
+// ------------------------------------------------------ dead-stat
+
+class DeadStatRule : public Rule
+{
+  public:
+    DeadStatRule()
+        : Rule("dead-stat",
+               "a counter/histogram registration binds a field that "
+               "is never incremented, assigned or sampled anywhere "
+               "in src/ — the stat would report 0 forever (gauges "
+               "are derived lambdas and exempt)",
+               Severity::Error)
+    {}
+
+    void
+    check(const SourceFile &, std::vector<Finding> &) const override
+    {}
+
+    void
+    checkModel(const ProjectModel &m,
+               std::vector<Finding> &out) const override
+    {
+        auto files = fileIndex(m);
+        for (const StatReg &reg : m.statRegs()) {
+            if (reg.method != "counter" && reg.method != "histogram")
+                continue;
+            if (reg.field.empty())
+                continue;  // unresolvable binding: drop the check
+            if (m.fieldUpdated(reg.field))
+                continue;
+            std::string msg =
+                "stat \"" + reg.name + "\" binds field '" +
+                reg.field +
+                "', which is never updated in src/ — dead stat "
+                "(remove the registration or wire the field)";
+            auto fit = files.find(reg.file);
+            if (fit != files.end())
+                report(out, *fit->second, reg.line, msg);
+            else
+                reportAt(out, reg.file, reg.line, msg);
+        }
+    }
+};
+
+// ---------------------------------------------------- schema-sync
+
+class SchemaSyncRule : public Rule
+{
+  public:
+    SchemaSyncRule()
+        : Rule("schema-sync",
+               "every stat key in tools/stats_schema.golden has a "
+               "live Registry registration in src/; a key with none "
+               "is documentation for a stat that no longer exists",
+               Severity::Error)
+    {}
+
+    void
+    check(const SourceFile &, std::vector<Finding> &) const override
+    {}
+
+    void
+    checkModel(const ProjectModel &m,
+               std::vector<Finding> &out) const override
+    {
+        const SchemaGolden &schema = m.schema();
+        if (!schema.loaded)
+            return;
+        std::set<std::string> registered;
+        for (const StatReg &reg : m.statRegs())
+            registered.insert(reg.name);
+        for (const auto &[key, line] : schema.keys) {
+            if (registered.count(key))
+                continue;
+            reportAt(out, schema.path, line,
+                     "schema key \"" + key +
+                         "\" has no live registration in src/ — "
+                         "stale schema entry");
+        }
+    }
+};
+
+// --------------------------------------- enum-switch-exhaustive
+
+/** NumReasons / NumKinds / ... — count sentinels, never real
+ *  enumerators a switch should name. */
+bool
+isSentinel(const std::string &name)
+{
+    return name.size() > 3 && name.compare(0, 3, "Num") == 0 &&
+           std::isupper(static_cast<unsigned char>(name[3]));
+}
+
+class EnumSwitchRule : public Rule
+{
+  public:
+    EnumSwitchRule()
+        : Rule("enum-switch-exhaustive",
+               "a switch over a project enum class with no default: "
+               "names every enumerator — otherwise adding one "
+               "compiles clean and silently falls through",
+               Severity::Error)
+    {}
+
+    void
+    check(const SourceFile &, std::vector<Finding> &) const override
+    {}
+
+    void
+    checkModel(const ProjectModel &m,
+               std::vector<Finding> &out) const override
+    {
+        // Enum registry; a name defined with two different
+        // enumerator lists (stats::Kind vs Lsq::Kind) is ambiguous
+        // at token level and dropped.
+        std::map<std::string, const EnumDef *> defs;
+        std::set<std::string> ambiguous;
+        for (const EnumDef &d : m.enums()) {
+            auto [it, fresh] = defs.emplace(d.name, &d);
+            if (!fresh && it->second->enumerators != d.enumerators)
+                ambiguous.insert(d.name);
+        }
+        for (const std::string &name : ambiguous)
+            defs.erase(name);
+
+        for (const SourceFile *f : m.files())
+            checkFile(*f, defs, out);
+    }
+
+  private:
+    void
+    checkFile(const SourceFile &f,
+              const std::map<std::string, const EnumDef *> &defs,
+              std::vector<Finding> &out) const
+    {
+        const auto &t = f.tokens;
+        for (size_t i = 0; i + 1 < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier ||
+                t[i].text != "switch" || !isPunct(t[i + 1], "("))
+                continue;
+
+            // Skip the condition, expect the body brace.
+            size_t j = i + 1;
+            int paren = 0;
+            for (; j < t.size(); ++j) {
+                if (isPunct(t[j], "("))
+                    ++paren;
+                else if (isPunct(t[j], ")") && --paren == 0)
+                    break;
+            }
+            if (j >= t.size() || !isPunct(at(t, j + 1), "{"))
+                continue;
+
+            // Walk the body; labels live at relative depth 1 (a
+            // nested switch's labels sit deeper and stay out).
+            size_t k = j + 1;
+            int depth = 0;
+            bool hasDefault = false;
+            std::set<std::string> covered;
+            std::string enumName;
+            bool resolvable = true;
+            for (; k < t.size(); ++k) {
+                const Token &u = t[k];
+                if (isPunct(u, "{")) {
+                    ++depth;
+                    continue;
+                }
+                if (isPunct(u, "}")) {
+                    if (--depth == 0)
+                        break;
+                    continue;
+                }
+                if (depth != 1 || u.kind != TokKind::Identifier)
+                    continue;
+                if (u.text == "default" &&
+                    isPunct(at(t, k + 1), ":")) {
+                    hasDefault = true;
+                    continue;
+                }
+                if (u.text != "case")
+                    continue;
+                // Label tokens up to ':' (the '::' pair is one
+                // token, so a lone ':' really ends the label).
+                std::string lastScope, lastName;
+                size_t e = k + 1;
+                for (; e < t.size() && !isPunct(t[e], ":"); ++e) {
+                    if (t[e].kind == TokKind::Identifier &&
+                        isPunct(at(t, e + 1), "::") &&
+                        at(t, e + 2).kind == TokKind::Identifier) {
+                        lastScope = t[e].text;
+                        lastName = t[e + 2].text;
+                    }
+                }
+                k = e;
+                if (lastScope.empty()) {
+                    resolvable = false;  // unqualified label
+                    continue;
+                }
+                if (enumName.empty())
+                    enumName = lastScope;
+                else if (enumName != lastScope)
+                    resolvable = false;  // mixed scopes
+                covered.insert(lastName);
+            }
+
+            if (hasDefault || !resolvable || enumName.empty())
+                continue;
+            auto dit = defs.find(enumName);
+            if (dit == defs.end())
+                continue;
+            const EnumDef &def = *dit->second;
+            // Every label must be a real enumerator; otherwise the
+            // scope was a namespace or a different type.
+            bool known = true;
+            for (const std::string &c : covered) {
+                if (std::find(def.enumerators.begin(),
+                              def.enumerators.end(),
+                              c) == def.enumerators.end())
+                    known = false;
+            }
+            if (!known)
+                continue;
+
+            std::string missing;
+            int nMissing = 0;
+            for (const std::string &e : def.enumerators) {
+                if (isSentinel(e) || covered.count(e))
+                    continue;
+                if (!missing.empty())
+                    missing += ", ";
+                missing += e;
+                ++nMissing;
+            }
+            if (nMissing == 0)
+                continue;
+            report(out, f, t[i].line,
+                   "switch over " + enumName + " without default: "
+                   "does not name " + missing +
+                   " — name every enumerator or add a default");
+        }
+    }
+};
+
+// ---------------------------------------------------- phase-order
+
+/**
+ * Function-scope flow over sim::Session: after `x.finish()` the run
+ * is over and its RunResult harvested — a later `x.step(...)` or
+ * `x.runFor(...)` on the same object in the same function body is
+ * always a bug (the session asserts at run time; this catches it on
+ * paths no test drives). Pure per-file rule: runs in both tiers.
+ */
+class PhaseOrderRule : public Rule
+{
+  public:
+    PhaseOrderRule()
+        : Rule("phase-order",
+               "no step()/runFor() on a session object after its "
+               "finish() in the same function body — the run is "
+               "over and the result already harvested",
+               Severity::Error)
+    {}
+
+    void
+    check(const SourceFile &f, std::vector<Finding> &out) const override
+    {
+        const auto &t = f.tokens;
+        FunctionMap fm = functionMap(f);
+
+        // (body id, receiver) -> line of the finish() call.
+        std::map<std::pair<int, std::string>, int> finished;
+        for (size_t i = 0; i + 3 < t.size(); ++i) {
+            if (t[i].kind != TokKind::Identifier)
+                continue;
+            const Token &dot = at(t, i + 1);
+            if (!isPunct(dot, ".") && !isPunct(dot, "->"))
+                continue;
+            const Token &method = at(t, i + 2);
+            if (method.kind != TokKind::Identifier ||
+                !isPunct(at(t, i + 3), "("))
+                continue;
+            int body = fm.bodyAt[i];
+            if (body < 0)
+                continue;
+            std::pair<int, std::string> key{body, t[i].text};
+            if (method.text == "finish") {
+                finished.emplace(key, method.line);
+                continue;
+            }
+            if (method.text != "step" && method.text != "runFor")
+                continue;
+            auto it = finished.find(key);
+            if (it == finished.end())
+                continue;
+            report(out, f, method.line,
+                   "'" + t[i].text + "." + method.text +
+                       "()' after '" + t[i].text +
+                       ".finish()' (line " +
+                       std::to_string(it->second) +
+                       ") — the session is finished");
+        }
+    }
+};
+
+} // anonymous namespace
+
+void
+addModelRules(RuleRegistry &reg)
+{
+    reg.add(std::make_unique<LayeringRule>());
+    reg.add(std::make_unique<IncludeCycleRule>());
+    reg.add(std::make_unique<DeadStatRule>());
+    reg.add(std::make_unique<SchemaSyncRule>());
+    reg.add(std::make_unique<EnumSwitchRule>());
+    reg.add(std::make_unique<PhaseOrderRule>());
+}
+
+} // namespace kilo::lint

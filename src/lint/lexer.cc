@@ -124,9 +124,11 @@ lex(std::string path, const std::string &content)
         f.allows[target].insert(rules.begin(), rules.end());
     };
 
-    auto push = [&](TokKind kind, std::string text, int at) {
+    auto push = [&](TokKind kind, std::string text, int at,
+                    size_t from, size_t to) {
         lastCodeLine = at;
-        f.tokens.push_back(Token{kind, std::move(text), at});
+        f.tokens.push_back(
+            Token{kind, std::move(text), at, from, to});
     };
 
     while (i < s.size()) {
@@ -172,6 +174,7 @@ lex(std::string path, const std::string &content)
         // caring about spacing.
         if (c == '#') {
             int startLine = line;
+            size_t startPos = i;
             std::string text;
             ++i;
             bool lastWasSpace = true;
@@ -200,7 +203,8 @@ lex(std::string path, const std::string &content)
             }
             while (!text.empty() && text.back() == ' ')
                 text.pop_back();
-            push(TokKind::Directive, std::move(text), startLine);
+            push(TokKind::Directive, std::move(text), startLine,
+                 startPos, i);
             continue;
         }
 
@@ -222,10 +226,12 @@ lex(std::string path, const std::string &content)
                 for (char bc : body)
                     if (bc == '\n')
                         ++line;
-                push(TokKind::String, std::move(body), startLine);
-                i = close == std::string::npos
-                        ? s.size()
-                        : close + delim.size();
+                size_t stopPos = close == std::string::npos
+                                     ? s.size()
+                                     : close + delim.size();
+                push(TokKind::String, std::move(body), startLine, i,
+                     stopPos);
+                i = stopPos;
                 continue;
             }
         }
@@ -233,6 +239,7 @@ lex(std::string path, const std::string &content)
         // --------------------------------- string/char literals
         if (c == '"' || c == '\'') {
             char quote = c;
+            size_t startPos = i;
             std::string body;
             ++i;
             while (i < s.size() && s[i] != quote) {
@@ -254,7 +261,7 @@ lex(std::string path, const std::string &content)
             if (i < s.size() && s[i] == quote)
                 ++i;
             push(quote == '"' ? TokKind::String : TokKind::CharLit,
-                 std::move(body), line);
+                 std::move(body), line, startPos, i);
             continue;
         }
 
@@ -269,7 +276,8 @@ lex(std::string path, const std::string &content)
                      (s[i - 1] == 'e' || s[i - 1] == 'E' ||
                       s[i - 1] == 'p' || s[i - 1] == 'P'))))
                 ++i;
-            push(TokKind::Number, s.substr(start, i - start), line);
+            push(TokKind::Number, s.substr(start, i - start), line,
+                 start, i);
             continue;
         }
 
@@ -279,17 +287,17 @@ lex(std::string path, const std::string &content)
             while (i < s.size() && identChar(s[i]))
                 ++i;
             push(TokKind::Identifier, s.substr(start, i - start),
-                 line);
+                 line, start, i);
             continue;
         }
 
         // --------------------------------------------- puncts
         if (i + 1 < s.size() && isPunctPair(c, s[i + 1])) {
-            push(TokKind::Punct, s.substr(i, 2), line);
+            push(TokKind::Punct, s.substr(i, 2), line, i, i + 2);
             i += 2;
             continue;
         }
-        push(TokKind::Punct, std::string(1, c), line);
+        push(TokKind::Punct, std::string(1, c), line, i, i + 1);
         ++i;
     }
 

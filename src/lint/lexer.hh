@@ -44,12 +44,20 @@ enum class TokKind : uint8_t
     Directive,   ///< whole preprocessor directive (text = normalised)
 };
 
-/** One token, with the 1-based line it starts on. */
+/**
+ * One token, with the 1-based line it starts on and its byte extent
+ * in the original buffer ([pos, end)). The extent covers the raw
+ * spelling — for a string literal it includes the quotes — which is
+ * what lets the autofixer (src/lint/fix.cc) splice replacements back
+ * into the untokenized text.
+ */
 struct Token
 {
     TokKind kind = TokKind::Punct;
     std::string text;
     int line = 0;
+    size_t pos = 0;  ///< byte offset of the first character
+    size_t end = 0;  ///< one past the last byte of the spelling
 };
 
 /** A lexed translation unit plus its suppression annotations. */

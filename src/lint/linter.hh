@@ -28,11 +28,15 @@
 
 #pragma once
 
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/lint/lexer.hh"
+#include "src/lint/model.hh"
 
 namespace kilo::lint
 {
@@ -83,10 +87,29 @@ class Rule
     virtual void check(const SourceFile &f,
                        std::vector<Finding> &out) const = 0;
 
+    /**
+     * Tier-1 hook: append findings that need the whole-project model
+     * (layering, include cycles, cross-TU stat liveness, registered
+     * enum definitions). Runs once per Analysis, after every file
+     * has been lexed; per-file Linter runs never call it. Default:
+     * nothing.
+     */
+    virtual void checkModel(const ProjectModel &m,
+                            std::vector<Finding> &out) const
+    {
+        (void)m;
+        (void)out;
+    }
+
   protected:
     /** Convenience: emit one finding tagged with this rule. */
     void report(std::vector<Finding> &out, const SourceFile &f,
                 int line, std::string message) const;
+
+    /** Same, for model findings not tied to a lexed file (layer
+     *  spec or schema golden lines). */
+    void reportAt(std::vector<Finding> &out, std::string path,
+                  int line, std::string message) const;
 
   private:
     std::string name_;
@@ -125,6 +148,14 @@ class RuleRegistry
     std::vector<std::unique_ptr<Rule>> rules_;
 };
 
+/**
+ * Register the semantic-tier rules (src/lint/flow_rules.cc):
+ * layering, include-cycle, dead-stat, schema-sync,
+ * enum-switch-exhaustive, phase-order. Called by
+ * RuleRegistry::builtin(); exposed for registries built by hand.
+ */
+void addModelRules(RuleRegistry &reg);
+
 /** Aggregated result of linting a set of files. */
 struct LintReport
 {
@@ -136,7 +167,13 @@ struct LintReport
     bool clean() const { return findings.empty(); }
 };
 
-/** Runs a RuleRegistry over sources and applies suppressions. */
+/**
+ * Runs a RuleRegistry over sources one file at a time and applies
+ * suppressions. Tier-2 only: rules' checkModel() hooks never run, so
+ * cross-TU checks stay silent — use Analysis for the full pipeline.
+ * Kept for single-buffer fixtures and as the building block Analysis
+ * shares its traversal and suppression logic with.
+ */
 class Linter
 {
   public:
@@ -162,11 +199,103 @@ class Linter
     const RuleRegistry &rules_;
 };
 
+/** What a full Analysis run checks beyond the per-file rules. */
+struct AnalysisOptions
+{
+    LayerSpec layers;    ///< loaded => layering checks active
+    SchemaGolden schema; ///< loaded => schema-sync checks active
+};
+
+/**
+ * The two-tier pipeline: collect every file first, build one
+ * ProjectModel, then run each rule's per-file check() plus its
+ * cross-TU checkModel() hook, and apply suppressions last — so a
+ * `// kilolint: allow(layering)` on an #include line covers a
+ * model finding exactly like a per-file one.
+ */
+class Analysis
+{
+  public:
+    explicit Analysis(const RuleRegistry &rules,
+                      AnalysisOptions opts = {})
+        : rules_(rules), opts_(std::move(opts))
+    {}
+
+    /** Queue one in-memory buffer. */
+    void addSource(std::string path, const std::string &content);
+
+    /**
+     * Queue a file, or recursively every .hh/.h/.hpp/.cc/.cpp file
+     * under a directory (sorted traversal). Throws
+     * std::runtime_error on unreadable paths.
+     */
+    void addPath(const std::string &path);
+
+    /** Build the model, run every rule, apply suppressions. */
+    LintReport run();
+
+    /** The model of the last run(); nullptr before. */
+    const ProjectModel *model() const { return model_.get(); }
+
+  private:
+    const RuleRegistry &rules_;
+    AnalysisOptions opts_;
+    std::vector<SourceFile> files_;
+    std::unique_ptr<ProjectModel> model_;
+};
+
 /**
  * Machine-readable report:
  * {"files":N,"suppressions":{"total":N,"used":N},
  *  "findings":[{"file","line","rule","severity","message"}...]}
  */
 std::string reportJson(const LintReport &report);
+
+/**
+ * SARIF 2.1.0 report for GitHub code scanning: one run, one result
+ * per finding, the rule catalog under tool.driver.rules. Paths are
+ * normalized repo-relative (normalizePath) so upload works no matter
+ * what directory kilolint was invoked from.
+ */
+std::string sarifJson(const LintReport &report,
+                      const RuleRegistry &rules);
+
+/**
+ * Baseline identity of a finding: normalized-path|rule|message.
+ * Deliberately line-free, so reflowing a file does not churn a
+ * checked-in baseline.
+ */
+std::string baselineKey(const Finding &f);
+
+/**
+ * Parse the "findings" of a reportJson()-format document into
+ * baseline keys (a multiset: two identical findings need two
+ * baseline entries). Returns false on malformed input.
+ */
+bool parseBaselineKeys(const std::string &json,
+                       std::multiset<std::string> &keys);
+
+/**
+ * Drop findings present in @p keys (each key absorbs one finding).
+ * PR CI lints the full tree but gates only on what the checked-in
+ * baseline does not already carry.
+ */
+void filterBaseline(LintReport &report,
+                    std::multiset<std::string> keys);
+
+/** Changed-line ranges, for --diff: only findings inside them gate. */
+struct DiffRanges
+{
+    /** normalized path -> inclusive [start, end] line ranges */
+    std::map<std::string, std::vector<std::pair<int, int>>> ranges;
+
+    /** Add "path:start[-end]"; false on malformed spec. */
+    bool add(const std::string &spec);
+
+    bool contains(const std::string &path, int line) const;
+};
+
+/** Keep only findings whose (file, line) falls in @p d. */
+void filterDiff(LintReport &report, const DiffRanges &d);
 
 } // namespace kilo::lint

@@ -61,155 +61,6 @@ anyOf(sv needle, std::initializer_list<sv> hay)
     return false;
 }
 
-/** Keywords that look like `name (` but never open a function. */
-bool
-isControlKeyword(const std::string &s)
-{
-    return anyOf(s, {"if", "for", "while", "switch", "catch",
-                     "return", "sizeof", "alignof", "decltype",
-                     "static_assert", "new", "delete", "throw",
-                     "case", "defined", "alignas", "operator",
-                     "noexcept", "requires", "assert"});
-}
-
-/**
- * For every token, the name of the innermost enclosing *function
- * definition* body ("" at file/class/namespace scope). Heuristic
- * single pass: at non-function scope, `name ( params ) [const|
- * noexcept|override|final|-> type]* [: init-list] {` opens a
- * function named `name`. Lambdas and local classes inside a body
- * inherit the enclosing function's name — for hot-path purposes
- * their code runs where the function runs.
- */
-std::vector<std::string>
-enclosingFunctions(const SourceFile &f)
-{
-    const auto &t = f.tokens;
-    std::vector<std::string> out(t.size());
-
-    struct Open
-    {
-        std::string name;
-        int depth;  ///< brace depth at which the body opened
-    };
-    std::vector<Open> stack;
-    int depth = 0;
-
-    // Token index of a detected body-open brace -> function name.
-    std::string pendingName;
-    size_t pendingBody = size_t(-1);
-
-    for (size_t i = 0; i < t.size(); ++i) {
-        if (!stack.empty())
-            out[i] = stack.back().name;
-
-        const Token &tok = t[i];
-        if (tok.kind == TokKind::Punct) {
-            if (tok.text == "{") {
-                if (i == pendingBody) {
-                    stack.push_back(Open{pendingName, depth});
-                    pendingBody = size_t(-1);
-                }
-                ++depth;
-                continue;
-            }
-            if (tok.text == "}") {
-                --depth;
-                if (!stack.empty() && depth <= stack.back().depth)
-                    stack.pop_back();
-                continue;
-            }
-        }
-
-        if (!stack.empty() || pendingBody != size_t(-1))
-            continue;
-        if (tok.kind != TokKind::Identifier ||
-            isControlKeyword(tok.text) || !isPunct(at(t, i + 1), "("))
-            continue;
-
-        // Match the parameter list.
-        size_t j = i + 1;
-        int paren = 0;
-        bool balanced = false;
-        for (; j < t.size(); ++j) {
-            if (isPunct(t[j], "(")) {
-                ++paren;
-            } else if (isPunct(t[j], ")")) {
-                if (--paren == 0) {
-                    balanced = true;
-                    break;
-                }
-            } else if (isPunct(t[j], "{") || isPunct(t[j], "}") ||
-                       isPunct(t[j], ";")) {
-                break;
-            }
-        }
-        if (!balanced)
-            continue;
-
-        // Scan the post-parameter tail for a body brace.
-        bool inInit = false;
-        int nest = 0;
-        for (size_t k = j + 1; k < t.size(); ++k) {
-            const Token &u = t[k];
-            if (u.kind == TokKind::Directive)
-                continue;
-            if (u.kind == TokKind::Punct) {
-                const std::string &x = u.text;
-                if (x == "(") {
-                    ++nest;
-                    continue;
-                }
-                if (x == ")") {
-                    --nest;
-                    continue;
-                }
-                if (x == "{") {
-                    if (nest == 0 && inInit) {
-                        // `b{y}` initializer vs the body: an
-                        // initializer brace directly follows a name
-                        // or template close.
-                        const Token &prev = at(t, k - 1);
-                        bool init_brace =
-                            prev.kind == TokKind::Identifier ||
-                            isPunct(prev, ">") || isPunct(prev, "::");
-                        if (init_brace) {
-                            ++nest;
-                            continue;
-                        }
-                    }
-                    if (nest == 0) {
-                        pendingName = tok.text;
-                        pendingBody = k;
-                        break;
-                    }
-                    ++nest;
-                    continue;
-                }
-                if (x == "}") {
-                    --nest;
-                    continue;
-                }
-                if (nest > 0)
-                    continue;
-                if (x == ":" && !inInit) {
-                    inInit = true;  // constructor initializer list
-                    continue;
-                }
-                if (x == ";" || x == "=")
-                    break;  // declaration / = default / variable
-                if (anyOf(x, {"->", "::", "<", ">", "*", "&", ",",
-                              "[", "]"}))
-                    continue;
-                break;
-            }
-            // const / noexcept / override / final / trailing type
-            // names / init-list member names all pass through.
-        }
-    }
-    return out;
-}
-
 // ------------------------------------------------- hot-path-alloc
 
 /** Function names that are steady-state hot paths by convention. */
@@ -269,7 +120,11 @@ class HotPathAllocRule : public Rule
     check(const SourceFile &f, std::vector<Finding> &out) const override
     {
         const auto &t = f.tokens;
-        std::vector<std::string> fn = enclosingFunctions(f);
+        // Innermost-enclosing-function map from the project model
+        // layer (src/lint/model.hh) — lambdas and local classes
+        // inherit the enclosing function's name, which is right for
+        // hot-path purposes: their code runs where the function runs.
+        std::vector<std::string> fn = functionMap(f).nameAt;
         for (size_t i = 0; i < t.size(); ++i) {
             if (fn[i].empty() || !isHotFunction(fn[i]) ||
                 t[i].kind != TokKind::Identifier)
@@ -451,8 +306,14 @@ class RawSerializationRule : public Rule
     bool
     appliesTo(const SourceFile &f) const override
     {
+        // bench/ and examples/ are out of scope: only the portable
+        // rules (nondeterminism, header-hygiene, stat-name-style)
+        // extend there — demo code writing a scratch file is not a
+        // format-ownership violation.
         return !pathInDir(f.path, "src/ckpt") &&
-               !pathInDir(f.path, "src/trace");
+               !pathInDir(f.path, "src/trace") &&
+               !pathInDir(f.path, "bench") &&
+               !pathInDir(f.path, "examples");
     }
 
     void
@@ -559,6 +420,7 @@ RuleRegistry::builtin()
     reg.add(std::make_unique<RawSerializationRule>());
     reg.add(std::make_unique<HeaderHygieneRule>());
     reg.add(std::make_unique<UnusedSuppressionRule>());
+    addModelRules(reg);
     return reg;
 }
 

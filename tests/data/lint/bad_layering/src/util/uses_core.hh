@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Deliberate layering violation, used as a seeded fixture: util is
+ * the bottom layer of the declared DAG (src/lint/layers), so an
+ * #include reaching up into core must make `kilolint --layers` exit
+ * nonzero. tests/test_lint.cpp and the CI kilolint job both assert
+ * this file fails — if it ever lints clean, the layering rule has
+ * gone soft. Never compiled; not part of any build target.
+ */
+
+#pragma once
+
+#include "src/core/ooo_core.hh"
