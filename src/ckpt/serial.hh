@@ -44,10 +44,31 @@ class CheckpointError : public std::runtime_error
 /** Raise CheckpointError when @p got differs from @p want. */
 void expectEq(uint64_t got, uint64_t want, const char *what);
 
-/** Growing byte buffer a component serializes itself into. */
+/** What a Sink does with the bytes serialized into it. */
+enum class SinkMode : uint8_t
+{
+    Store,   ///< append to the in-memory payload (checkpointing)
+    Digest,  ///< fold into a running FNV-style hash (audit plane)
+};
+
+/**
+ * Byte consumer a component serializes itself into.
+ *
+ * The default (SinkMode::Store) grows the checkpoint payload. A
+ * Digest sink reuses the exact same save() traversal — every mutable
+ * byte the checkpoint machinery covers — but folds each field into a
+ * 64-bit word-mixed FNV digest instead of storing it: no allocation,
+ * no buffer, just the hash the KILOAUD audit plane records at
+ * interval boundaries (src/obs/audit.hh). Each bytes() call folds
+ * its length first, so field boundaries contribute to the digest and
+ * two adjacent fields cannot alias by concatenation.
+ */
 class Sink
 {
   public:
+    Sink() = default;
+    explicit Sink(SinkMode m) : mode_(m) {}
+
     /** Append @p n raw bytes. */
 #if defined(__GNUC__) && !defined(__clang__)
 // GCC 12 flags the reallocation move inside vector::insert with an
@@ -59,6 +80,10 @@ class Sink
     void
     bytes(const void *p, size_t n)
     {
+        if (mode_ == SinkMode::Digest) {
+            fold(p, n);
+            return;
+        }
         if (!n)
             return; // empty strings may pass a null/dangling data()
         const uint8_t *b = static_cast<const uint8_t *>(p);
@@ -102,8 +127,38 @@ class Sink
     std::vector<uint8_t> take() { return std::move(buf); }
     size_t size() const { return buf.size(); }
 
+    SinkMode mode() const { return mode_; }
+
+    /** Digest accumulated so far (meaningful in Digest mode only). */
+    uint64_t digest() const { return hash_; }
+
   private:
+    /**
+     * Word-mixed FNV-1a fold: length first, then 8-byte words, then
+     * the byte tail. Allocation-free by construction — the audit
+     * plane calls this on the hot interval boundary.
+     */
+    void
+    fold(const void *p, size_t n)
+    {
+        constexpr uint64_t prime = 1099511628211ull;
+        uint64_t h = hash_;
+        h = (h ^ uint64_t(n)) * prime;
+        const uint8_t *b = static_cast<const uint8_t *>(p);
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            uint64_t w;
+            std::memcpy(&w, b + i, 8);
+            h = (h ^ w) * prime;
+        }
+        for (; i < n; ++i)
+            h = (h ^ b[i]) * prime;
+        hash_ = h;
+    }
+
     std::vector<uint8_t> buf;
+    SinkMode mode_ = SinkMode::Store;
+    uint64_t hash_ = 14695981039346656037ull; // FNV-1a offset basis
 };
 
 /** Bounds-checked reader over a checkpoint payload. */
@@ -179,8 +234,12 @@ class Source
 /** File magic, first 8 bytes of every KILOCKPT file. */
 constexpr char FileMagic[8] = {'K', 'I', 'L', 'O', 'C', 'K', 'P', 'T'};
 
-/** Container format version; bumped on any payload-layout change. */
-constexpr uint32_t FileVersion = 1;
+/**
+ * Container format version; bumped on any payload-layout change.
+ * v2: Session payload carries the audit cursor (nextAuditAt, rolling
+ * digest) and PipelineBase appends the debug-flip latch.
+ */
+constexpr uint32_t FileVersion = 2;
 
 /** FNV-1a over @p n bytes (payload integrity). */
 uint64_t fnv1a(const uint8_t *p, size_t n);

@@ -183,8 +183,9 @@ static_assert(sizeof(DynInst) <= 64,
               "new field to DynInstCold unless a per-cycle loop needs "
               "it");
 static_assert(std::is_trivially_copyable_v<DynInst>,
-              "DynInst must stay trivially copyable (the checkpoint "
-              "layer serializes arena slabs verbatim)");
+              "DynInst must stay trivially copyable (arena slots are "
+              "bulk-assigned; the checkpoint layer serializes them "
+              "field by field — see inst_arena.cc saveSlot)");
 
 /**
  * Cold per-instruction state: written once or twice and read a
@@ -241,8 +242,9 @@ struct DynInstCold
 };
 
 static_assert(std::is_trivially_copyable_v<DynInstCold>,
-              "DynInstCold must stay trivially copyable (the "
-              "checkpoint layer serializes arena slabs verbatim)");
+              "DynInstCold must stay trivially copyable (arena slots "
+              "are bulk-assigned; the checkpoint layer serializes "
+              "them field by field — see inst_arena.cc saveSlot)");
 
 } // namespace kilo::core
 

@@ -67,6 +67,14 @@ class FetchEngine
     /** Current speculative global history (for checkpoint tests). */
     uint64_t history() const { return ghr; }
 
+    /**
+     * Test-only determinism-audit hook: XOR @p mask into the global
+     * history, seeding a single deliberate divergence that the
+     * KILOAUD plane must localize (CI kilodiff smoke). Never called
+     * outside RunConfig::auditFlipCycle plumbing.
+     */
+    void debugFlipHistory(uint64_t mask) { ghr ^= mask; }
+
     /** Serialize / restore fetch position, redirect stall and global
      *  history. @{ */
     template <typename Sink>

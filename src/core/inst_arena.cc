@@ -67,15 +67,114 @@ InstArena::alloc()
     return inst.self;
 }
 
+// Slots are serialized field by field, never as raw slab bytes:
+// DynInst (bitfields) and DynInstCold (tail padding) both carry
+// indeterminate padding, and DynInst::reset()'s whole-struct assign
+// copies a stack temporary's padding into the slab — raw bytes would
+// make checkpoint payloads (and therefore KILOAUD state digests)
+// vary run to run under ASLR. The exact-size asserts force this list
+// to be revisited whenever either struct grows a field.
+static_assert(sizeof(DynInst) == 64 && sizeof(DynInstCold) == 88,
+              "DynInst/DynInstCold layout changed: update "
+              "saveSlot()/loadSlot() to cover the new fields");
+
+namespace
+{
+
+void
+saveSlot(ckpt::Sink &s, const DynInst &d, const DynInstCold &c)
+{
+    s.scalar(d.op);
+    s.scalar(d.seq);
+    s.scalar(d.readyCycle);
+    s.scalar(d.fetchCycle);
+    s.scalar(d.self);
+    s.scalar(d.gen);
+    s.scalar(d.depHead);
+    s.scalar(d.lsqBucketNext);
+    s.scalar(d.iqId);
+    uint16_t flags =
+        uint16_t(d.dispatched) | uint16_t(d.readyFlag) << 1 |
+        uint16_t(d.issued) << 2 | uint16_t(d.completed) << 3 |
+        uint16_t(d.squashed) << 4 | uint16_t(d.retired) << 5 |
+        uint16_t(d.inLsq) << 6 | uint16_t(d.inRob) << 7 |
+        uint16_t(d.predTaken) << 8 | uint16_t(d.mispredicted) << 9 |
+        uint16_t(d.longLatency) << 10 | uint16_t(d.inLlib) << 11 |
+        uint16_t(d.execInMp) << 12;
+    s.scalar(flags);
+    s.scalar(d.srcNotReady);
+    s.scalar(uint8_t(d.serviceLevel));
+    s.scalar(d.llrfBank);
+    s.scalar(d.llrfSlot);
+
+    s.scalar(c.pc);
+    s.scalar(c.target);
+    s.scalar(c.dispatchCycle);
+    s.scalar(c.issueCycle);
+    s.scalar(c.completeCycle);
+    s.scalar(c.historySnapshot);
+    s.scalar(c.producers[0]);
+    s.scalar(c.producers[1]);
+    s.scalar(c.prevProducer);
+    s.scalar(c.prevReadyCycle);
+    s.scalar(c.prevDefinerSeq);
+    s.scalar(uint8_t(c.prevDefinerValid));
+}
+
+void
+loadSlot(ckpt::Source &s, DynInst &d, DynInstCold &c)
+{
+    d.op = s.scalar<isa::MicroOpHot>();
+    d.seq = s.scalar<uint64_t>();
+    d.readyCycle = s.scalar<uint64_t>();
+    d.fetchCycle = s.scalar<uint64_t>();
+    d.self = s.scalar<InstRef>();
+    d.gen = s.scalar<uint32_t>();
+    d.depHead = s.scalar<uint32_t>();
+    d.lsqBucketNext = s.scalar<InstRef>();
+    d.iqId = s.scalar<int8_t>();
+    uint16_t flags = s.scalar<uint16_t>();
+    d.dispatched = flags & 1;
+    d.readyFlag = flags >> 1 & 1;
+    d.issued = flags >> 2 & 1;
+    d.completed = flags >> 3 & 1;
+    d.squashed = flags >> 4 & 1;
+    d.retired = flags >> 5 & 1;
+    d.inLsq = flags >> 6 & 1;
+    d.inRob = flags >> 7 & 1;
+    d.predTaken = flags >> 8 & 1;
+    d.mispredicted = flags >> 9 & 1;
+    d.longLatency = flags >> 10 & 1;
+    d.inLlib = flags >> 11 & 1;
+    d.execInMp = flags >> 12 & 1;
+    d.srcNotReady = s.scalar<int8_t>();
+    d.serviceLevel = mem::ServiceLevel(s.scalar<uint8_t>());
+    d.llrfBank = s.scalar<int8_t>();
+    d.llrfSlot = s.scalar<int16_t>();
+
+    c.pc = s.scalar<uint64_t>();
+    c.target = s.scalar<uint64_t>();
+    c.dispatchCycle = s.scalar<uint64_t>();
+    c.issueCycle = s.scalar<uint64_t>();
+    c.completeCycle = s.scalar<uint64_t>();
+    c.historySnapshot = s.scalar<uint64_t>();
+    c.producers[0] = s.scalar<InstRef>();
+    c.producers[1] = s.scalar<InstRef>();
+    c.prevProducer = s.scalar<InstRef>();
+    c.prevReadyCycle = s.scalar<uint64_t>();
+    c.prevDefinerSeq = s.scalar<uint64_t>();
+    c.prevDefinerValid = s.scalar<uint8_t>() != 0;
+}
+
+} // anonymous namespace
+
 void
 InstArena::save(ckpt::Sink &s) const
 {
     auto *self = const_cast<InstArena *>(this);
     s.scalar(uint32_t(numSlots));
-    for (uint32_t base = 0; base < numSlots; base += SlabSize) {
-        s.bytes(&self->slotAt(base), SlabSize * sizeof(DynInst));
-        s.bytes(&self->coldAt(base), SlabSize * sizeof(DynInstCold));
-    }
+    for (uint32_t i = 0; i < numSlots; ++i)
+        saveSlot(s, self->slotAt(i), self->coldAt(i));
     s.podVector(depNodes);
     s.scalar(uint32_t(depFreeHead));
     s.scalar(uint32_t(depsLive));
@@ -94,10 +193,8 @@ InstArena::load(ckpt::Source &s)
             "(slots cannot shrink)");
     while (numSlots < saved_slots)
         addSlab();
-    for (uint32_t base = 0; base < numSlots; base += SlabSize) {
-        s.bytes(&slotAt(base), SlabSize * sizeof(DynInst));
-        s.bytes(&coldAt(base), SlabSize * sizeof(DynInstCold));
-    }
+    for (uint32_t i = 0; i < numSlots; ++i)
+        loadSlot(s, slotAt(i), coldAt(i));
     s.podVector(depNodes);
     depFreeHead = s.scalar<uint32_t>();
     depsLive = s.scalar<uint32_t>();

@@ -194,13 +194,48 @@ IssueQueue::notifySquashed(InstRef ref)
         eraseFromFifo(ref);
 }
 
+namespace
+{
+
+// Element-wise: ReadyEntry has tail padding after its InstRef, and
+// indeterminate padding bytes must never reach a checkpoint payload
+// or a KILOAUD state digest. (Templated on the vector so the private
+// nested type never has to be named here.)
+template <typename V>
+void
+saveEntries(ckpt::Sink &s, const V &v)
+{
+    s.scalar(uint64_t(v.size()));
+    for (const auto &e : v) {
+        s.scalar(e.seq);
+        s.scalar(e.ref);
+    }
+}
+
+template <typename V>
+void
+loadEntries(ckpt::Source &s, V &v)
+{
+    uint64_t n = s.scalar<uint64_t>();
+    v.clear();
+    v.reserve(size_t(n));
+    for (uint64_t i = 0; i < n; ++i) {
+        typename V::value_type e;
+        e.seq = s.scalar<uint64_t>();
+        e.ref = s.scalar<InstRef>();
+        v.push_back(e);
+    }
+}
+
+} // anonymous namespace
+
 void
 IssueQueue::save(ckpt::Sink &s) const
 {
     s.scalar(uint64_t(count));
     s.scalar(uint64_t(readyCount));
-    s.podVector(readyHeap);
-    s.podVector(deferred);
+    saveEntries(s, readyHeap);
+    saveEntries(s, deferred);
     fifo.save(s);
     s.scalar(uint8_t(stalledThisCycle));
 }
@@ -214,8 +249,8 @@ IssueQueue::load(ckpt::Source &s)
         throw ckpt::CheckpointError(
             "issue queue " + label +
             " checkpoint exceeds configured capacity");
-    s.podVector(readyHeap);
-    s.podVector(deferred);
+    loadEntries(s, readyHeap);
+    loadEntries(s, deferred);
     fifo.load(s);
     stalledThisCycle = s.scalar<uint8_t>() != 0;
 }

@@ -613,6 +613,14 @@ void
 PipelineBase::runUntil(uint64_t target_committed, uint64_t cycle_limit)
 {
     while (st.committed < target_committed && now < cycle_limit) {
+        // Test-only divergence seed for the KILOAUD audit plane:
+        // checked before tick() so the flip lands at exactly cycle
+        // dbgFlipCycle regardless of how callers slice their
+        // runUntil() calls (stepping-invariant by construction).
+        if (dbgFlipCycle && !dbgFlipDone && now >= dbgFlipCycle) {
+            fetchEngine.debugFlipHistory(dbgFlipMask);
+            dbgFlipDone = true;
+        }
         tick();
         idleSkip();
         if (now - lastCommitCycle >= 4000000) {
@@ -680,6 +688,11 @@ PipelineBase::saveState(ckpt::Sink &s) const
     wheel.save(s);
     globalOrder.save(s);
     fetchBuffer.save(s);
+    // Only the latch: the flip *configuration* is re-armed by the
+    // restoring Session and must never contaminate state digests —
+    // a flipped run and a clean run hash identically until the flip
+    // cycle actually executes.
+    s.scalar(uint8_t(dbgFlipDone));
     saveDerived(s);
 }
 
@@ -699,6 +712,7 @@ PipelineBase::restoreState(ckpt::Source &s)
     wheel.load(s);
     globalOrder.load(s);
     fetchBuffer.load(s);
+    dbgFlipDone = s.scalar<uint8_t>() != 0;
     restoreDerived(s);
 
     // Scratch state is clear-at-use but clear it anyway so a restore

@@ -121,6 +121,22 @@ class PipelineBase
     void attachTimeline(obs::Timeline *t) { timeline = t; }
 
     /**
+     * Arm the test-only determinism-audit divergence seed: at the
+     * first runUntil() iteration whose cycle reaches @p cycle, XOR
+     * @p mask into the fetch global history, exactly once. Cycle 0
+     * disarms. Only the fired/not-fired latch is checkpointed — the
+     * arming itself is re-applied by the restoring Session, so a
+     * flipped run and a clean run have identical state digests until
+     * the flip actually executes (pinned by tests/test_audit.cpp).
+     */
+    void
+    setDebugFlip(uint64_t cycle, uint64_t mask)
+    {
+        dbgFlipCycle = cycle;
+        dbgFlipMask = mask;
+    }
+
+    /**
      * Serialize the complete mutable microarchitectural state —
      * cycle, statistics, arena, hierarchy, predictor, every queue —
      * in a fixed order. The workload stream position is stored as a
@@ -342,6 +358,13 @@ class PipelineBase
     std::vector<InstRef> resolvedMispredicts;
     std::vector<InstRef> fetchScratch;
     uint64_t lastCommitCycle = 0;
+
+    /** Test-only audit divergence seed (setDebugFlip). Only the
+     *  fired latch is serialized; see saveState(). @{ */
+    uint64_t dbgFlipCycle = 0;
+    uint64_t dbgFlipMask = 1;
+    bool dbgFlipDone = false;
+    /** @} */
 
     /** Fetch gate for drain(): no new instruction enters while the
      *  pipeline empties ahead of a fast-forward. */

@@ -65,21 +65,31 @@ class Scoreboard
     /** Reset every register to ready-at-cycle-0. */
     void clear();
 
-    /** Serialize / restore all register mappings verbatim. @{ */
+    /** Serialize / restore all register mappings, field by field —
+     *  RegState has padding, and indeterminate padding bytes must
+     *  never reach a checkpoint payload or a KILOAUD state digest. @{ */
     template <typename Sink>
     void
     save(Sink &s) const
     {
-        static_assert(std::is_trivially_copyable_v<RegState>,
-                      "RegState must stay POD for checkpointing");
-        s.bytes(regs.data(), sizeof(regs));
+        for (const RegState &r : regs) {
+            s.template scalar<InstRef>(r.producer);
+            s.template scalar<uint64_t>(r.readyCycle);
+            s.template scalar<uint64_t>(r.definerSeq);
+            s.template scalar<uint8_t>(r.definerValid ? 1 : 0);
+        }
     }
 
     template <typename Source>
     void
     load(Source &s)
     {
-        s.bytes(regs.data(), sizeof(regs));
+        for (RegState &r : regs) {
+            r.producer = s.template scalar<InstRef>();
+            r.readyCycle = s.template scalar<uint64_t>();
+            r.definerSeq = s.template scalar<uint64_t>();
+            r.definerValid = s.template scalar<uint8_t>() != 0;
+        }
     }
     /** @} */
 

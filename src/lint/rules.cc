@@ -67,12 +67,17 @@ anyOf(sv needle, std::initializer_list<sv> hay)
 bool
 isHotFunction(const std::string &name)
 {
-    static constexpr std::array<sv, 19> exact = {
+    static constexpr std::array<sv, 22> exact = {
         "tick", "access", "warmAccess", "wouldBlock", "lookup",
         "allocate", "alloc", "free", "next", "nextBlock", "op",
         "endCycle", "idleSkip", "scheduleCompletion",
         "addDependence", "addDependent", "releaseDependents",
         "addSample", "record",
+        // KILOAUD digest paths: folded once per audit interval but
+        // over the entire architectural state, and required to be
+        // zero-perturbation — any allocation here shows up as noise
+        // in the run under audit.
+        "fold", "foldValues", "stateDigest",
     };
     static constexpr std::array<sv, 14> prefix = {
         "stage", "issue", "dispatch", "commit", "wake", "complete",
@@ -100,8 +105,10 @@ class HotPathAllocRule : public Rule
         : Rule("hot-path-alloc",
                "no heap allocation in tick/issue/commit-class "
                "functions of src/core, src/dkip, src/kilo_proc, "
-               "src/mem, src/obs, src/util (static twin of the "
-               "counting-operator-new zero-allocation test)",
+               "src/mem, src/obs, src/util, nor in the KILOAUD "
+               "digest fold paths of src/ckpt and src/stats (static "
+               "twin of the counting-operator-new zero-allocation "
+               "test)",
                Severity::Error)
     {}
 
@@ -109,10 +116,12 @@ class HotPathAllocRule : public Rule
     appliesTo(const SourceFile &f) const override
     {
         return pathInDir(f.path, "src/core") ||
+               pathInDir(f.path, "src/ckpt") ||
                pathInDir(f.path, "src/dkip") ||
                pathInDir(f.path, "src/kilo_proc") ||
                pathInDir(f.path, "src/mem") ||
                pathInDir(f.path, "src/obs") ||
+               pathInDir(f.path, "src/stats") ||
                pathInDir(f.path, "src/util");
     }
 
@@ -297,9 +306,9 @@ class RawSerializationRule : public Rule
   public:
     RawSerializationRule()
         : Rule("raw-serialization",
-               "no raw-byte file I/O (fwrite/fread) outside "
-               "src/ckpt and src/trace, which own the versioned "
-               "KILOCKPT/KILOTRC formats",
+               "no raw-byte file I/O (fwrite/fread) outside the "
+               "versioned-format owners: src/ckpt and src/trace "
+               "(KILOCKPT/KILOTRC) and src/obs/audit.cc (KILOAUD)",
                Severity::Error)
     {}
 
@@ -309,11 +318,14 @@ class RawSerializationRule : public Rule
         // bench/ and examples/ are out of scope: only the portable
         // rules (nondeterminism, header-hygiene, stat-name-style)
         // extend there — demo code writing a scratch file is not a
-        // format-ownership violation.
+        // format-ownership violation. src/obs/audit.cc is the third
+        // format owner: it carries the KILOAUD magic/version/checksum
+        // container end to end (src/obs/audit.hh).
         return !pathInDir(f.path, "src/ckpt") &&
                !pathInDir(f.path, "src/trace") &&
                !pathInDir(f.path, "bench") &&
-               !pathInDir(f.path, "examples");
+               !pathInDir(f.path, "examples") &&
+               f.path.find("src/obs/audit.cc") == std::string::npos;
     }
 
     void

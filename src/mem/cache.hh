@@ -83,13 +83,20 @@ class SetAssocCache
     /** Zero the statistics (end of warm-up). */
     void resetStats();
 
-    /** Serialize / restore tag state and statistics. Geometry is
-     *  configuration; load() asserts it matches. @{ */
+    /** Serialize / restore tag state and statistics, field by field
+     *  (Way has tail padding; indeterminate padding bytes must never
+     *  reach a checkpoint payload or a KILOAUD state digest).
+     *  Geometry is configuration; load() asserts it matches. @{ */
     template <typename Sink>
     void
     save(Sink &s) const
     {
-        s.podVector(store);
+        s.template scalar<uint64_t>(store.size());
+        for (const Way &w : store) {
+            s.template scalar<uint64_t>(w.tag);
+            s.template scalar<uint64_t>(w.lruStamp);
+            s.template scalar<uint8_t>(w.valid ? 1 : 0);
+        }
         s.template scalar<uint64_t>(stamp);
         s.template scalar<uint64_t>(nAccesses);
         s.template scalar<uint64_t>(nMisses);
@@ -99,10 +106,14 @@ class SetAssocCache
     void
     load(Source &s)
     {
-        size_t sz = store.size();
-        s.podVector(store);
-        KILO_ASSERT(store.size() == sz,
+        uint64_t sz = s.template scalar<uint64_t>();
+        KILO_ASSERT(sz == store.size(),
                     "cache checkpoint geometry mismatch");
+        for (Way &w : store) {
+            w.tag = s.template scalar<uint64_t>();
+            w.lruStamp = s.template scalar<uint64_t>();
+            w.valid = s.template scalar<uint8_t>() != 0;
+        }
         stamp = s.template scalar<uint64_t>();
         nAccesses = s.template scalar<uint64_t>();
         nMisses = s.template scalar<uint64_t>();

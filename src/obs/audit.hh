@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Determinism audit plane: KILOAUD state-hash streams.
+ *
+ * The fourth observability plane (src/obs/DESIGN.md v2). At a
+ * configurable instruction cadence a Session folds a deterministic
+ * FNV-style digest over its complete architectural state — exactly
+ * the bytes the checkpoint machinery serializes, via a Digest-mode
+ * ckpt::Sink, plus every registered statistic — and records one
+ * 32-byte AuditRecord per interval. Two runs of the same
+ * configuration are deterministic if and only if their KILOAUD
+ * streams are byte-identical; the first record that differs names
+ * the first divergent interval, and tools/kilodiff bisects inside it
+ * (src/obs_audit/bisect.hh) to the first divergent cycle.
+ *
+ * This header is self-contained on purpose: the stream format owns
+ * its own FNV constants and file IO so that readers (tools, the
+ * shard orchestrator) never need the simulator proper. The digest
+ * *producer* lives in src/sim/session.cc.
+ *
+ * On-disk container (all fields little-endian, mirroring the
+ * KILOTRC conventions in src/trace/trace_format.hh):
+ *
+ *     char[8]  magic      "KILOAUD1"
+ *     u32      version    AuditVersion (bumped on any layout or
+ *                         digest-composition change; old streams are
+ *                         rejected, never migrated)
+ *     u32      reserved   0
+ *     u64      intervalInsts   cadence the stream was recorded at
+ *     u64      recordCount
+ *     u64      headerChecksum  FNV-1a over the 32 bytes above
+ *     records  recordCount × 32-byte AuditRecord
+ *     u64      finalRolling    rolling digest after the last record
+ *
+ * Each AuditRecord chains into a rolling digest via auditMix(), so a
+ * reader can detect both corruption (the chain breaks) and
+ * truncation (finalRolling disagrees) without trusting the header.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kilo::obs
+{
+
+/** Any failure to produce, parse or validate a KILOAUD stream. */
+class AuditError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** File magic, first 8 bytes of every KILOAUD file. */
+constexpr char AuditMagic[8] = {'K', 'I', 'L', 'O', 'A', 'U', 'D', '1'};
+
+/** Stream format version; bumped on any layout or digest change. */
+constexpr uint32_t AuditVersion = 1;
+
+/** FNV-1a offset basis — the seed of every audit digest chain. */
+constexpr uint64_t AuditBasis = 14695981039346656037ull;
+
+/** FNV prime used by every audit fold. */
+constexpr uint64_t AuditPrime = 1099511628211ull;
+
+/** One interval-boundary observation; exactly 32 bytes on disk. */
+struct AuditRecord
+{
+    uint64_t insts = 0;   ///< committed instructions at the boundary
+    uint64_t cycle = 0;   ///< absolute core cycle at the boundary
+    uint64_t state = 0;   ///< state digest (checkpoint bytes + stats)
+    uint64_t rolling = 0; ///< chain digest after folding this record
+};
+
+/** Fold one record into the rolling chain digest. */
+constexpr uint64_t
+auditMix(uint64_t rolling, uint64_t insts, uint64_t cycle,
+         uint64_t state)
+{
+    rolling = (rolling ^ insts) * AuditPrime;
+    rolling = (rolling ^ cycle) * AuditPrime;
+    rolling = (rolling ^ state) * AuditPrime;
+    return rolling;
+}
+
+/** A parsed (or under-construction) KILOAUD stream. */
+struct AuditStream
+{
+    uint64_t intervalInsts = 0;
+    std::vector<AuditRecord> records;
+
+    /** finalRolling of the stream (AuditBasis when empty). */
+    uint64_t
+    finalRolling() const
+    {
+        return records.empty() ? AuditBasis : records.back().rolling;
+    }
+};
+
+/** Write @p stream to @p path in the KILOAUD container. */
+void writeAuditFile(const std::string &path,
+                    const AuditStream &stream);
+
+/**
+ * Read and validate a KILOAUD file. Validates magic, version, header
+ * checksum, record count against file size, the per-record rolling
+ * chain (recomputed from AuditBasis) and the trailing finalRolling.
+ * Throws AuditError on any malformation.
+ */
+AuditStream readAuditFile(const std::string &path);
+
+/**
+ * Index of the first record where @p a and @p b disagree (any field),
+ * or -1 if no compared record differs. Streams of unequal length
+ * diverge at the shorter length if all shared records agree. Streams
+ * recorded at different cadences are not comparable (AuditError).
+ */
+long firstDivergence(const AuditStream &a, const AuditStream &b);
+
+} // namespace kilo::obs

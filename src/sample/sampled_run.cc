@@ -58,17 +58,18 @@ SampledResult
 runSampled(const sim::MachineConfig &machine,
            const std::string &workload_name,
            const mem::MemConfig &mem_config,
-           const sim::RunConfig &run_config)
+           const sim::RunConfig &run_config, obs::Profiler *profiler)
 {
     wload::WorkloadPtr wl =
         sim::openWorkload(workload_name, run_config);
-    return runSampled(machine, *wl, mem_config, run_config);
+    return runSampled(machine, *wl, mem_config, run_config,
+                      profiler);
 }
 
 SampledResult
 runSampled(const sim::MachineConfig &machine, wload::Workload &workload,
            const mem::MemConfig &mem_config,
-           const sim::RunConfig &run_config)
+           const sim::RunConfig &run_config, obs::Profiler *profiler)
 {
     const uint64_t W = run_config.warmupInsts;
     const uint64_t M = run_config.measureInsts;
@@ -80,12 +81,18 @@ runSampled(const sim::MachineConfig &machine, wload::Workload &workload,
         L = M;
 
     // Phase 1: functional fingerprint of every interval.
-    SignaturePass pass = fingerprintIntervals(workload, W, M, L);
+    SignaturePass pass = [&] {
+        obs::Profiler::Scope scope(profiler, "fingerprint");
+        return fingerprintIntervals(workload, W, M, L);
+    }();
     workload.reset();
 
     // Phase 2: cluster and pick representatives.
-    Clustering clus =
-        clusterSignatures(pass.signatures, run_config.numClusters);
+    Clustering clus = [&] {
+        obs::Profiler::Scope scope(profiler, "cluster");
+        return clusterSignatures(pass.signatures,
+                                 run_config.numClusters);
+    }();
 
     SampledResult out;
     out.totalIntervals = pass.signatures.size();
@@ -102,65 +109,69 @@ runSampled(const sim::MachineConfig &machine, wload::Workload &workload,
     // representative in time order: block-skip the gap, functionally
     // warm the last W instructions, then measure the interval in
     // detail with freshly reset statistics.
-    auto core =
-        sim::Simulator::makeCore(machine, workload, mem_config);
-    for (const auto &region : workload.regions())
-        core->memory().prewarm(region.base, region.bytes);
-
     std::vector<uint32_t> order(clus.representatives.size());
-    for (uint32_t c = 0; c < order.size(); ++c)
-        order[c] = c;
-    std::sort(order.begin(), order.end(),
-              [&](uint32_t a, uint32_t b) {
-                  return clus.representatives[a] <
-                         clus.representatives[b];
-              });
-
-    const uint64_t detail_warm =
-        4 * windowHint(machine) + 2000;
-
     std::vector<RepMeasure> reps(clus.representatives.size());
-    uint64_t cursor = 0;
-    for (uint32_t c : order) {
-        uint64_t r = clus.representatives[c];
-        uint64_t start = W + r * L;
-        // Unmeasured detailed run that refills the window before the
-        // interval, preceded by W instructions of functional warming
-        // and a block-skip over the rest of the gap.
-        uint64_t detail_start =
-            start > detail_warm ? start - detail_warm : 0;
-        uint64_t warm_start =
-            detail_start > W ? detail_start - W : 0;
-        if (warm_start > cursor) {
-            out.skippedInsts += warm_start - cursor;
-            core->fastForward(warm_start,
-                              core::PipelineBase::FfMode::Skip);
-            cursor = warm_start;
+    {
+        obs::Profiler::Scope phase(profiler, "simulate");
+        auto core =
+            sim::Simulator::makeCore(machine, workload, mem_config);
+        for (const auto &region : workload.regions())
+            core->memory().prewarm(region.base, region.bytes);
+
+        for (uint32_t c = 0; c < order.size(); ++c)
+            order[c] = c;
+        std::sort(order.begin(), order.end(),
+                  [&](uint32_t a, uint32_t b) {
+                      return clus.representatives[a] <
+                             clus.representatives[b];
+                  });
+
+        const uint64_t detail_warm =
+            4 * windowHint(machine) + 2000;
+
+        uint64_t cursor = 0;
+        for (uint32_t c : order) {
+            uint64_t r = clus.representatives[c];
+            uint64_t start = W + r * L;
+            // Unmeasured detailed run that refills the window before the
+            // interval, preceded by W instructions of functional warming
+            // and a block-skip over the rest of the gap.
+            uint64_t detail_start =
+                start > detail_warm ? start - detail_warm : 0;
+            uint64_t warm_start =
+                detail_start > W ? detail_start - W : 0;
+            if (warm_start > cursor) {
+                out.skippedInsts += warm_start - cursor;
+                core->fastForward(warm_start,
+                                  core::PipelineBase::FfMode::Skip);
+                cursor = warm_start;
+            }
+            if (detail_start > cursor) {
+                out.warmInsts += detail_start - cursor;
+                core->fastForward(detail_start,
+                                  core::PipelineBase::FfMode::Warm);
+                cursor = detail_start;
+            }
+            if (start > cursor) {
+                out.detailInsts += start - cursor;
+                core->run(start - cursor);
+            }
+            core->resetStats();
+            core->run(pass.lengths[r]);
+            RepMeasure &m = reps[c];
+            m.snap = core->statsRegistry().snapshot();
+            m.committed = core->stats().committed;
+            m.cycles = core->stats().cycles;
+            m.weight = weight[c];
+            out.detailInsts += m.committed;
+            cursor = start + pass.lengths[r];
         }
-        if (detail_start > cursor) {
-            out.warmInsts += detail_start - cursor;
-            core->fastForward(detail_start,
-                              core::PipelineBase::FfMode::Warm);
-            cursor = detail_start;
-        }
-        if (start > cursor) {
-            out.detailInsts += start - cursor;
-            core->run(start - cursor);
-        }
-        core->resetStats();
-        core->run(pass.lengths[r]);
-        RepMeasure &m = reps[c];
-        m.snap = core->statsRegistry().snapshot();
-        m.committed = core->stats().committed;
-        m.cycles = core->stats().cycles;
-        m.weight = weight[c];
-        out.detailInsts += m.committed;
-        cursor = start + pass.lengths[r];
-    }
+    } // simulate scope
 
     // Phase 4: reconstruct the whole-run snapshot. Additive stats
     // (counters, histogram sample counts) become weighted sums of
     // the per-interval rates; gauges become weight-averaged values.
+    obs::Profiler::Scope phase(profiler, "reconstruct");
     KILO_ASSERT(!reps.empty(), "sampled run selected no intervals");
     double total_weight = 0.0;
     for (const RepMeasure &m : reps)

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/profiler.hh"
 #include "src/sample/signature.hh"
 #include "src/sim/simulator.hh"
 
@@ -77,17 +78,25 @@ struct SampledResult
  * (intervalInsts; 0 = measureInsts / 50), and the cluster count
  * (numClusters); samplingMode itself is ignored here — calling this
  * function IS the opt-in. The workload-name overload resolves names
- * exactly like Session (presets, "trace:<path>", tracePath). @{
+ * exactly like Session (presets, "trace:<path>", tracePath).
+ *
+ * @p profiler, when non-null, receives one wall-time phase per
+ * methodology stage — "fingerprint", "cluster", "simulate",
+ * "reconstruct" — mirroring Session::attachProfiler's
+ * warmup/measure/finish phases for exact runs. Null costs nothing
+ * and simulated results are identical either way. @{
  */
 SampledResult runSampled(const sim::MachineConfig &machine,
                          const std::string &workload_name,
                          const mem::MemConfig &mem_config,
-                         const sim::RunConfig &run_config);
+                         const sim::RunConfig &run_config,
+                         obs::Profiler *profiler = nullptr);
 
 SampledResult runSampled(const sim::MachineConfig &machine,
                          wload::Workload &workload,
                          const mem::MemConfig &mem_config,
-                         const sim::RunConfig &run_config);
+                         const sim::RunConfig &run_config,
+                         obs::Profiler *profiler = nullptr);
 /** @} */
 
 } // namespace kilo::sample

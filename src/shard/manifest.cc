@@ -87,6 +87,7 @@ Manifest::parse(std::istream &in, const std::string &where)
     bool saw_max_cycles = false, saw_max_wall = false;
     bool saw_interval = false, saw_clusters = false;
     bool saw_sampling = false;
+    bool saw_audit = false;
     bool saw_shard = false;
 
     while (std::getline(in, line)) {
@@ -174,6 +175,10 @@ Manifest::parse(std::istream &in, const std::string &where)
                      "sampling must be 'off' or 'sampled', got '" +
                          value + "'");
             }
+        } else if (key == "audit") {
+            scalar_once(saw_audit);
+            m.run.auditIntervalInsts =
+                parseU64(where, line_no, key, value);
         } else if (key == "shard") {
             scalar_once(saw_shard);
             try {
@@ -236,6 +241,8 @@ Manifest::serialize() const
         os << "clusters " << run.numClusters << "\n";
     if (run.samplingMode == sim::SamplingMode::Sampled)
         os << "sampling sampled\n";
+    if (run.auditIntervalInsts)
+        os << "audit " << run.auditIntervalInsts << "\n";
     os << "shard " << shardIndex << "/" << shardCount << "\n";
     return os.str();
 }

@@ -23,9 +23,11 @@
  *
  * Optional sampling directives (`interval N`, `clusters K`,
  * `sampling sampled`) make every job of the matrix a sampled run
- * (src/sample/); they are emitted by serialize() only when they
- * deviate from the RunConfig defaults, so pre-sampling manifests
- * round-trip unchanged.
+ * (src/sample/); an optional `audit N` directive sets the
+ * determinism-audit cadence (RunConfig::auditIntervalInsts) of every
+ * job. All of them are emitted by serialize() only when they deviate
+ * from the RunConfig defaults, so older manifests round-trip
+ * unchanged.
  *
  * Every worker process of a sharded sweep loads the same manifest
  * (the shard line is overridable on the worker command line), expands
@@ -124,6 +126,8 @@ struct Manifest
                run.intervalInsts == o.run.intervalInsts &&
                run.numClusters == o.run.numClusters &&
                run.samplingMode == o.run.samplingMode &&
+               run.auditIntervalInsts ==
+                   o.run.auditIntervalInsts &&
                shardIndex == o.shardIndex &&
                shardCount == o.shardCount;
     }

@@ -57,7 +57,71 @@ struct ShardState
     bool sawHeartbeat = false;
     obs::Heartbeat lastHeartbeat;
     std::string lastFailure;
+
+    /** (job, rolling digest) pairs harvested from FAILED attempts'
+     *  partial output — the evidence the cross-attempt audit check
+     *  compares the winning attempt against. Survives respawns. */
+    std::vector<std::pair<size_t, uint64_t>> priorAudit;
 };
+
+/**
+ * Parse one "KILOAUD <job-index> <16-hex-digest>" worker line.
+ * Returns false when @p line is not of that exact shape.
+ */
+bool
+parseAuditLine(const std::string &line, size_t *idx, uint64_t *digest)
+{
+    constexpr const char *Tag = "KILOAUD ";
+    constexpr size_t TagLen = 8;
+    if (line.compare(0, TagLen, Tag) != 0)
+        return false;
+    size_t sep = line.find(' ', TagLen);
+    if (sep == std::string::npos || sep == TagLen)
+        return false;
+    std::string is = line.substr(TagLen, sep - TagLen);
+    std::string hs = line.substr(sep + 1);
+    if (is.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    if (hs.size() != 16 ||
+        hs.find_first_not_of("0123456789abcdef") != std::string::npos)
+        return false;
+    *idx = size_t(std::strtoull(is.c_str(), nullptr, 10));
+    *digest = std::strtoull(hs.c_str(), nullptr, 16);
+    return true;
+}
+
+/** 16-digit lowercase hex of an audit digest (error messages). */
+std::string
+hexDigest(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)v);
+    return buf;
+}
+
+/**
+ * Harvest the audit digests a FAILED attempt managed to report
+ * before dying: every complete, well-formed KILOAUD line of its
+ * partial output. Everything else about a failed attempt is suspect
+ * and excluded from the merge, but a digest line that made it out
+ * whole is a claim about a finished job, and a later attempt of the
+ * same shard must reproduce it exactly.
+ */
+void
+harvestAudit(ShardState &s)
+{
+    size_t pos = 0;
+    size_t eol;
+    while ((eol = s.output.find('\n', pos)) != std::string::npos) {
+        std::string line = s.output.substr(pos, eol - pos);
+        pos = eol + 1;
+        size_t idx = 0;
+        uint64_t digest = 0;
+        if (parseAuditLine(line, &idx, &digest))
+            s.priorAudit.emplace_back(idx, digest);
+    }
+}
 
 /** Temp file that unlinks itself. */
 struct TempFile
@@ -151,6 +215,8 @@ spawnAttempt(ShardState &s, const OrchestratorConfig &cfg,
             args.push_back(a);
         if (cfg.heartbeat || cfg.progress)
             args.push_back("--heartbeat");
+        if (cfg.audit)
+            args.push_back("--audit");
         args.push_back("--shard");
         args.push_back(std::to_string(s.shard) + "/" +
                        std::to_string(shard_count));
@@ -464,6 +530,10 @@ Orchestrator::run()
                     s.lastFailure.c_str(),
                     indentTail(s.errTail, ErrTailLogLines).c_str());
                 s.lastFailure.clear();
+                // Keep the dead attempt's audit evidence before the
+                // respawn clears its output buffer.
+                if (cfg.audit)
+                    harvestAudit(s);
                 spawnAttempt(s, cfg, shard_count,
                              manifest_file.path);
             }
@@ -496,6 +566,8 @@ Orchestrator::run()
     // matrix.
     std::vector<std::string> rows(total_jobs);
     std::vector<bool> seen(total_jobs, false);
+    std::vector<uint64_t> auditDigests(cfg.audit ? total_jobs : 0, 0);
+    std::vector<bool> auditSeen(cfg.audit ? total_jobs : 0, false);
     for (const auto &s : shards) {
         size_t pos = 0;
         while (pos < s.output.size()) {
@@ -506,6 +578,31 @@ Orchestrator::run()
             pos = eol + 1;
             if (line.empty())
                 continue;
+            if (cfg.audit && line.compare(0, 7, "KILOAUD") == 0) {
+                // Audited workers follow each row with a digest
+                // line; it is merged like a row (ownership-checked,
+                // duplicate-checked) but reported separately.
+                size_t aidx = 0;
+                uint64_t digest = 0;
+                if (!parseAuditLine(line, &aidx, &digest))
+                    throw ShardError(
+                        "shard " + std::to_string(s.shard) +
+                        " emitted a malformed KILOAUD line: " + line);
+                if (aidx >= total_jobs ||
+                    aidx % shard_count != s.shard)
+                    throw ShardError(
+                        "shard " + std::to_string(s.shard) +
+                        " emitted a KILOAUD digest for job " +
+                        std::to_string(aidx) + ", which it does not "
+                        "own");
+                if (auditSeen[aidx])
+                    throw ShardError(
+                        "duplicate KILOAUD digest for job " +
+                        std::to_string(aidx));
+                auditSeen[aidx] = true;
+                auditDigests[aidx] = digest;
+                continue;
+            }
             size_t sep = line.find(' ');
             if (sep == std::string::npos || sep == 0 ||
                 line.find_first_not_of("0123456789") != sep) {
@@ -541,12 +638,54 @@ Orchestrator::run()
             throw ShardError("no row for job " + std::to_string(i) +
                              " (shard " +
                              std::to_string(i % shard_count) + ")");
+        if (cfg.audit && !auditSeen[i])
+            throw ShardError("no KILOAUD digest for job " +
+                             std::to_string(i) + " (shard " +
+                             std::to_string(i % shard_count) + ")");
+    }
+
+    // ------------------------------------- cross-attempt audit check
+    // Any job that completed under more than one process — reported
+    // by a failed attempt AND by the attempt that won the merge —
+    // must carry the same rolling state digest in both; anything
+    // else means a retry silently computed different architectural
+    // state, which no amount of row-level merging can be trusted
+    // over.
+    if (cfg.audit) {
+        for (const auto &s : shards) {
+            for (const auto &[idx, digest] : s.priorAudit) {
+                // A crashed process's line that parses but names a
+                // job outside this shard is noise, not evidence.
+                if (idx >= total_jobs || idx % shard_count != s.shard)
+                    continue;
+                if (digest != auditDigests[idx])
+                    throw ShardError(
+                        "audit digest mismatch for job " +
+                        std::to_string(idx) + ": a failed attempt "
+                        "of shard " + std::to_string(s.shard) +
+                        " reported " + hexDigest(digest) +
+                        ", the merged attempt reported " +
+                        hexDigest(auditDigests[idx]) +
+                        " — retried work did not reproduce the same "
+                        "architectural state");
+                ++tele.auditCrossChecked;
+            }
+        }
+        tele.auditDigests = auditDigests;
     }
 
     std::string merged;
     for (const auto &row : rows) {
         merged += row;
         merged += '\n';
+    }
+    // Digest lines after the rows, in job order — the exact stream
+    // an audited --single run prints, so CI byte-diffs the two.
+    if (cfg.audit) {
+        for (size_t i = 0; i < total_jobs; ++i) {
+            merged += "KILOAUD " + std::to_string(i) + " " +
+                      hexDigest(auditDigests[i]) + "\n";
+        }
     }
     return merged;
 }

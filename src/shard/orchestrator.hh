@@ -76,6 +76,19 @@ struct OrchestratorConfig
     /** Render worker heartbeats as a merged live progress stream on
      *  the parent's stderr. */
     bool progress = false;
+
+    /**
+     * Spawn workers with --audit: every job runs under the
+     * determinism-audit plane (src/obs/audit.hh) and reports its
+     * final rolling state digest on a KILOAUD line. The orchestrator
+     * then (a) cross-checks the digest of every job that completed
+     * in more than one attempt of its shard — a retried worker that
+     * silently computes different state is a hard ShardError carrying
+     * both digests — and (b) appends the KILOAUD lines, in job order,
+     * after the merged rows (the stream an audited --single run
+     * prints, so the two remain byte-diffable).
+     */
+    bool audit = false;
 };
 
 /** What the orchestrator observed about one shard. */
@@ -95,6 +108,14 @@ struct SweepTelemetry
     uint32_t retries = 0;
     uint32_t deadlineKills = 0;
     std::vector<ShardTelemetry> shards;
+
+    /** Final rolling audit digest per job of the full matrix
+     *  (OrchestratorConfig::audit runs only; empty otherwise). */
+    std::vector<uint64_t> auditDigests;
+
+    /** Jobs whose digest was verified against an earlier attempt's
+     *  (i.e. the job completed under >= 2 processes and agreed). */
+    uint32_t auditCrossChecked = 0;
 };
 
 /** Spawns, supervises and merges one sharded sweep. */

@@ -52,6 +52,8 @@ Session::Session(const MachineConfig &machine,
     // instruction SimPoint run would.
     for (const auto &region : wl->regions())
         core_->memory().prewarm(region.base, region.bytes);
+    if (rc.auditFlipCycle)
+        core_->setDebugFlip(rc.auditFlipCycle, rc.auditFlipMask);
 }
 
 Session::Session(const MachineConfig &machine, wload::Workload &workload,
@@ -62,6 +64,8 @@ Session::Session(const MachineConfig &machine, wload::Workload &workload,
 {
     for (const auto &region : wl->regions())
         core_->memory().prewarm(region.base, region.bytes);
+    if (rc.auditFlipCycle)
+        core_->setDebugFlip(rc.auditFlipCycle, rc.auditFlipMask);
 }
 
 bool
@@ -102,6 +106,7 @@ Session::warmup()
     }
     measureStartCycle = core_->cycle();
     nextIntervalAt = rc.intervalInsts;
+    nextAuditAt = rc.auditIntervalInsts;
 }
 
 uint64_t
@@ -150,6 +155,8 @@ Session::advance(uint64_t target_committed, uint64_t cycle_cap)
         uint64_t stop = target_committed;
         if (nextIntervalAt && nextIntervalAt < stop)
             stop = nextIntervalAt;
+        if (nextAuditAt && nextAuditAt < stop)
+            stop = nextAuditAt;
         uint64_t cap = cycle_cap;
         if (rc.maxWallMs) {
             uint64_t quantum_end = core_->cycle() + WallCheckCycles;
@@ -161,6 +168,14 @@ Session::advance(uint64_t target_committed, uint64_t cycle_cap)
             core_->stats().committed >= nextIntervalAt) {
             recordInterval();
             nextIntervalAt += rc.intervalInsts;
+        }
+        // A wide commit stage can overshoot several audit boundaries
+        // in one runUntil() quantum; record one fold per boundary so
+        // two runs with different pause slicing stay record-aligned.
+        while (nextAuditAt &&
+               core_->stats().committed >= nextAuditAt) {
+            recordAudit();
+            nextAuditAt += rc.auditIntervalInsts;
         }
         if (wallExpired() &&
             core_->stats().committed < rc.measureInsts) {
@@ -222,20 +237,53 @@ Session::recordInterval()
     intervals_.push_back(std::move(s));
 }
 
-ckpt::Checkpoint
-Session::checkpoint() const
+void
+Session::serializePayload(ckpt::Sink &s) const
 {
-    ckpt::Sink s;
     s.str(machineName);
     s.str(wl->name());
     s.scalar(uint8_t(warmedUp ? 1 : 0));
     s.scalar(uint8_t(aborted_ ? 1 : 0));
     s.scalar(uint64_t(measureStartCycle));
     s.scalar(uint64_t(nextIntervalAt));
+    s.scalar(uint64_t(nextAuditAt));
+    s.scalar(uint64_t(auditRolling_));
     core_->saveState(s);
+}
+
+ckpt::Checkpoint
+Session::checkpoint() const
+{
+    ckpt::Sink s;
+    serializePayload(s);
     ckpt::Checkpoint c;
     c.bytes = s.take();
     return c;
+}
+
+uint64_t
+Session::stateDigest() const
+{
+    // The same payload traversal as checkpoint(), folded instead of
+    // stored, then every registered statistic: the audit plane hashes
+    // exactly what a checkpoint would capture plus what a JSONL row
+    // would report. Allocation-free end to end.
+    ckpt::Sink s(ckpt::SinkMode::Digest);
+    serializePayload(s);
+    return core_->statsRegistry().foldValues(s.digest());
+}
+
+void
+Session::recordAudit()
+{
+    obs::AuditRecord r;
+    r.insts = core_->stats().committed;
+    r.cycle = core_->cycle();
+    r.state = stateDigest();
+    auditRolling_ =
+        obs::auditMix(auditRolling_, r.insts, r.cycle, r.state);
+    r.rolling = auditRolling_;
+    audit_.push_back(r);
 }
 
 void
@@ -256,11 +304,18 @@ Session::restore(const ckpt::Checkpoint &c)
     aborted_ = s.scalar<uint8_t>() != 0;
     measureStartCycle = s.scalar<uint64_t>();
     nextIntervalAt = s.scalar<uint64_t>();
+    nextAuditAt = s.scalar<uint64_t>();
+    auditRolling_ = s.scalar<uint64_t>();
     core_->restoreState(s);
     if (!s.atEnd())
         throw ckpt::CheckpointError(
             "checkpoint has trailing bytes after the core state");
     intervals_.clear();
+    // Like interval samples, already-recorded audit records are not
+    // part of the image — but the rolling digest and the cursor are,
+    // so a restored run's chain continues exactly where the
+    // checkpointed run's would have.
+    audit_.clear();
 }
 
 void
@@ -290,6 +345,9 @@ Session::finish()
     res.snapshot = core_->statsRegistry().snapshot();
     res.intervals = std::move(intervals_);
     intervals_.clear();
+    res.audit = std::move(audit_);
+    audit_.clear();
+    res.auditRolling = auditRolling_;
 
     // Deprecated flat fields (see the MIGRATION note in README.md).
     const mem::MemoryHierarchy &m = core_->memory();

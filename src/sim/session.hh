@@ -113,6 +113,26 @@ class Session
         return intervals_;
     }
 
+    /** Audit records recorded so far (RunConfig::auditIntervalInsts;
+     *  the fourth observability plane, src/obs/audit.hh). */
+    const std::vector<obs::AuditRecord> &auditRecords() const
+    {
+        return audit_;
+    }
+
+    /** Rolling audit chain digest (obs::AuditBasis before the first
+     *  record / when the plane is off). */
+    uint64_t auditRolling() const { return auditRolling_; }
+
+    /**
+     * Digest of the complete architectural state right now: every
+     * byte checkpoint() would serialize, folded through a Digest-mode
+     * ckpt::Sink, then every registered statistic. Allocation-free
+     * and const — auditing never perturbs the run. Two Sessions agree
+     * on stateDigest() iff their checkpoints and stats agree.
+     */
+    uint64_t stateDigest() const;
+
     /** The underlying core (structure inspection, registry). @{ */
     core::PipelineBase &core() { return *core_; }
     const core::PipelineBase &core() const { return *core_; }
@@ -162,6 +182,14 @@ class Session
     void advance(uint64_t target_committed, uint64_t cycle_cap);
 
     void recordInterval();
+    void recordAudit();
+
+    /**
+     * The checkpoint payload body, shared verbatim between
+     * checkpoint() (Store sink) and stateDigest() (Digest sink) so
+     * the audit plane hashes exactly what a checkpoint captures.
+     */
+    void serializePayload(ckpt::Sink &s) const;
 
     /** Absolute cycle the measured region must end by. */
     uint64_t deadlineCycle() const;
@@ -187,7 +215,10 @@ class Session
 
     uint64_t measureStartCycle = 0;   ///< absolute core cycle
     uint64_t nextIntervalAt = 0;      ///< committed insts, 0 = off
+    uint64_t nextAuditAt = 0;         ///< committed insts, 0 = off
+    uint64_t auditRolling_ = obs::AuditBasis;
     std::vector<stats::IntervalSample> intervals_;
+    std::vector<obs::AuditRecord> audit_;
     obs::Profiler *profiler = nullptr;
 };
 

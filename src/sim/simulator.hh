@@ -24,6 +24,7 @@
 #include "src/core/core_stats.hh"
 #include "src/core/pipeline_base.hh"
 #include "src/mem/hierarchy.hh"
+#include "src/obs/audit.hh"
 #include "src/sim/config.hh"
 #include "src/stats/snapshot.hh"
 #include "src/wload/workload.hh"
@@ -94,6 +95,35 @@ struct RunConfig
     uint32_t numClusters = 8;
 
     /**
+     * Determinism-audit cadence in committed instructions; 0 (the
+     * default) disables the audit plane entirely. When set, the
+     * Session records one obs::AuditRecord — committed instructions,
+     * absolute cycle, a digest of the complete checkpointable state
+     * plus every registered statistic, and the rolling chain digest —
+     * every auditIntervalInsts committed instructions of the measured
+     * region (RunResult::audit, written to disk as a KILOAUD stream
+     * by tools/kilodiff). Zero-perturbation pinned like the other
+     * observability planes: the fold reads state, never changes it.
+     * Ignored under SamplingMode::Sampled (a sampled run estimates;
+     * there is no exact state trajectory to audit).
+     */
+    uint64_t auditIntervalInsts = 0;
+
+    /**
+     * Test-only divergence seed for the audit plane: when non-zero,
+     * XOR auditFlipMask into the fetch global history at the first
+     * simulated cycle >= auditFlipCycle (warm-up included). Exists so
+     * the CI kilodiff smoke test can plant a known single-bit fault
+     * and assert the audit plane localizes it; never set by real
+     * drivers. Deliberately excluded from Manifest serialization of
+     * normal sweeps and from the state digest (only the fired latch
+     * is hashed). @{
+     */
+    uint64_t auditFlipCycle = 0;
+    uint64_t auditFlipMask = 1;
+    /** @} */
+
+    /**
      * When non-empty, run-by-name replays this KILOTRC trace file
      * instead of constructing a synthetic generator; the name
      * argument is ignored in favour of the trace header's. (Workload
@@ -139,6 +169,15 @@ struct RunResult
 
     /** Interval samples (RunConfig::intervalInsts; empty when off). */
     std::vector<stats::IntervalSample> intervals;
+
+    /** Audit records (RunConfig::auditIntervalInsts; empty when
+     *  off). One per audit boundary of the measured region. */
+    std::vector<obs::AuditRecord> audit;
+
+    /** Rolling chain digest over `audit` (obs::AuditBasis when the
+     *  plane is off) — the one-word determinism witness a sharded
+     *  worker ships back instead of the whole stream. */
+    uint64_t auditRolling = obs::AuditBasis;
 
     /** Deprecated flat memory-side fields (use snapshot). @{ */
     uint64_t memAccesses = 0;

@@ -1,5 +1,7 @@
 #include "src/stats/registry.hh"
 
+#include <cstring>
+
 #include "src/util/logging.hh"
 
 namespace kilo::stats
@@ -137,6 +139,24 @@ Registry::snapshot() const
         snap.entries.push_back(std::move(e));
     }
     return snap;
+}
+
+uint64_t
+Registry::foldValues(uint64_t h) const
+{
+    constexpr uint64_t prime = 1099511628211ull;
+    for (const auto &def : defs_) {
+        Value v = read(def);
+        uint64_t bits;
+        if (v.real) {
+            double d = v.d;
+            std::memcpy(&bits, &d, sizeof(bits));
+        } else {
+            bits = v.u;
+        }
+        h = (h ^ bits) * prime;
+    }
+    return h;
 }
 
 void

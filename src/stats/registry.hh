@@ -111,6 +111,16 @@ class Registry
     Snapshot snapshot() const;
 
     /**
+     * Fold every current value into @p h (FNV-style multiply-mix, in
+     * registration order) and return the result. Allocation-free —
+     * the audit plane calls this at interval boundaries, so it must
+     * never perturb the run it is hashing. Real-valued gauges
+     * contribute their exact bit pattern: determinism auditing wants
+     * "the same bits", not "approximately equal".
+     */
+    uint64_t foldValues(uint64_t h) const;
+
+    /**
      * Zero every counter and reset every histogram in place; gauges
      * are derived and therefore untouched.
      */

@@ -169,21 +169,31 @@ class EventWheel
     void
     save(Sink &s) const
     {
-        static_assert(std::is_trivially_copyable_v<Event>,
-                      "EventWheel::save requires a POD payload");
+        // Element-wise, payload then cycle: Event has padding after
+        // a payload smaller than 8 bytes, and indeterminate padding
+        // must never reach a checkpoint payload or a KILOAUD state
+        // digest. The payload itself must be padding-free.
+        static_assert(std::has_unique_object_representations_v<T>,
+                      "EventWheel::save requires a padding-free "
+                      "payload");
         s.template scalar<uint64_t>(popFrontier);
-        std::vector<Event> events;
-        events.reserve(count);
+        s.template scalar<uint64_t>(count);
+        uint64_t written = 0;
         for (uint64_t c = popFrontier; c < popFrontier + horizon();
              ++c) {
-            for (const auto &ev : ring[slotOf(c)])
-                events.push_back(ev);
+            for (const auto &ev : ring[slotOf(c)]) {
+                s.template scalar<T>(ev.payload);
+                s.template scalar<uint64_t>(ev.cycle);
+                ++written;
+            }
         }
-        for (const auto &ev : overflow)
-            events.push_back(ev);
-        KILO_ASSERT(events.size() == count,
+        for (const auto &ev : overflow) {
+            s.template scalar<T>(ev.payload);
+            s.template scalar<uint64_t>(ev.cycle);
+            ++written;
+        }
+        KILO_ASSERT(written == count,
                     "EventWheel lost events during save");
-        s.podVector(events);
     }
 
     template <typename Source>
@@ -192,10 +202,12 @@ class EventWheel
     {
         clear();
         popFrontier = s.template scalar<uint64_t>();
-        std::vector<Event> events;
-        s.podVector(events);
-        for (const auto &ev : events)
-            schedule(ev.cycle, ev.payload);
+        uint64_t n = s.template scalar<uint64_t>();
+        for (uint64_t i = 0; i < n; ++i) {
+            T payload = s.template scalar<T>();
+            uint64_t cycle = s.template scalar<uint64_t>();
+            schedule(cycle, payload);
+        }
     }
     /** @} */
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "src/isa/micro_op.hh"
+#include "src/util/logging.hh"
 #include "src/util/ring_deque.hh"
 #include "src/wload/workload.hh"
 
@@ -80,8 +81,24 @@ class TraceWindow
         baseSeq = base;
         workload.reset();
         workload.skip(base);
-        if (count)
-            (void)op(base + count - 1);
+        // Re-pull EXACTLY count ops — not op()'s batch-rounded
+        // refill, whose read-ahead overshoot depends on how the live
+        // window's pulls happened to align. The frontier is part of
+        // the serialized state, so a restore must land on the same
+        // one or re-checkpointing (and the audit plane's state
+        // digests) would differ from the run it resumed.
+        isa::MicroOp batch[RefillBatch];
+        for (uint64_t need = count; need;) {
+            size_t want = need < RefillBatch ? size_t(need)
+                                             : RefillBatch;
+            size_t got = workload.nextBlock(batch, want);
+            KILO_ASSERT(got > 0 && got <= want,
+                        "TraceWindow: workload under-ran its own "
+                        "checkpointed span");
+            for (size_t i = 0; i < got; ++i)
+                buf.push_back(batch[i]);
+            need -= got;
+        }
     }
     /** @} */
 

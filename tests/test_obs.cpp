@@ -16,7 +16,9 @@
 #include "src/obs/heartbeat.hh"
 #include "src/obs/profiler.hh"
 #include "src/obs/timeline.hh"
+#include "src/sample/sampled_run.hh"
 #include "src/sim/session.hh"
+#include "src/sim/sweep_engine.hh"
 #include "src/stats/json.hh"
 
 using namespace kilo;
@@ -318,4 +320,166 @@ TEST(Profiler, SessionPhasesShowUp)
     EXPECT_TRUE(saw_warmup);
     EXPECT_TRUE(saw_measure);
     EXPECT_TRUE(saw_finish);
+}
+
+TEST(Profiler, SampledRunPhasesShowUp)
+{
+    sim::RunConfig rc;
+    rc.warmupInsts = 1000;
+    rc.measureInsts = 10000;
+    rc.numClusters = 3;
+
+    obs::Profiler prof;
+    sample::SampledResult with = sample::runSampled(
+        sim::MachineConfig::r10_64(), "swim",
+        mem::MemConfig::mem400(), rc, &prof);
+
+    // Every methodology stage appears exactly once.
+    ASSERT_EQ(prof.phases().size(), 4u);
+    EXPECT_EQ(prof.phases()[0].name, "fingerprint");
+    EXPECT_EQ(prof.phases()[1].name, "cluster");
+    EXPECT_EQ(prof.phases()[2].name, "simulate");
+    EXPECT_EQ(prof.phases()[3].name, "reconstruct");
+    for (const auto &p : prof.phases())
+        EXPECT_EQ(p.count, 1u) << p.name;
+
+    // Zero-perturbation: the profiler observes wall time only; the
+    // reconstructed row is identical with and without it.
+    sample::SampledResult without = sample::runSampled(
+        sim::MachineConfig::r10_64(), "swim",
+        mem::MemConfig::mem400(), rc);
+    EXPECT_EQ(sim::runResultJson(with.result),
+              sim::runResultJson(without.result));
+}
+
+// ------------------------------------------- heartbeat robustness
+
+namespace
+{
+
+/**
+ * Minimal replica of the orchestrator's stderr drain: append
+ * arbitrarily-sized chunks, split on newlines, classify each
+ * complete line as heartbeat or passthrough.
+ */
+struct LineDrain
+{
+    std::string buf;
+    std::vector<obs::Heartbeat> beats;
+    std::vector<std::string> passthrough;
+
+    void
+    feed(const std::string &chunk)
+    {
+        buf += chunk;
+        size_t pos = 0;
+        size_t eol;
+        while ((eol = buf.find('\n', pos)) != std::string::npos) {
+            std::string line = buf.substr(pos, eol - pos);
+            pos = eol + 1;
+            obs::Heartbeat hb;
+            if (obs::parseHeartbeat(line, hb))
+                beats.push_back(hb);
+            else
+                passthrough.push_back(line);
+        }
+        buf.erase(0, pos);
+    }
+};
+
+} // anonymous namespace
+
+TEST(Heartbeat, ParsesStreamSplitAtEveryByteBoundary)
+{
+    obs::Heartbeat a, b;
+    a.shard = 0;
+    a.jobsDone = 1;
+    a.jobsTotal = 4;
+    a.lastJob = 0;
+    a.instsDone = 123456;
+    a.elapsedMs = 10;
+    a.lastJobWallMs = 10;
+    b = a;
+    b.shard = 2;
+    b.jobsDone = 2;
+    b.lastJob = 6;
+
+    std::string stream = obs::serializeHeartbeat(a) + "\n" +
+                         "warning: something odd\n" +
+                         obs::serializeHeartbeat(b) + "\n";
+
+    // However a pipe fragments the byte stream — including splits
+    // mid-tag and mid-number — reassembly by lines must recover
+    // exactly both heartbeats and the diagnostic in between.
+    for (size_t cut = 0; cut <= stream.size(); ++cut) {
+        LineDrain drain;
+        drain.feed(stream.substr(0, cut));
+        drain.feed(stream.substr(cut));
+        ASSERT_EQ(drain.beats.size(), 2u) << "cut at " << cut;
+        EXPECT_EQ(drain.beats[0].shard, a.shard);
+        EXPECT_EQ(drain.beats[0].instsDone, a.instsDone);
+        EXPECT_EQ(drain.beats[1].shard, b.shard);
+        EXPECT_EQ(drain.beats[1].lastJob, b.lastJob);
+        ASSERT_EQ(drain.passthrough.size(), 1u);
+        EXPECT_EQ(drain.passthrough[0], "warning: something odd");
+        EXPECT_TRUE(drain.buf.empty());
+    }
+}
+
+TEST(Heartbeat, TruncatedLineIsNotAHeartbeat)
+{
+    obs::Heartbeat hb;
+    hb.shard = 1;
+    hb.jobsDone = 3;
+    hb.jobsTotal = 9;
+    hb.lastJob = 7;
+    hb.instsDone = 999999;
+    hb.elapsedMs = 1234;
+    hb.lastJobWallMs = 56;
+    std::string line = obs::serializeHeartbeat(hb);
+
+    // A worker killed mid-write leaves a prefix. Any prefix that
+    // loses a whole field is rejected outright by the parser.
+    obs::Heartbeat out;
+    size_t last_field = line.rfind(' ') + 1;
+    for (size_t n = 0; n < last_field; ++n)
+        EXPECT_FALSE(obs::parseHeartbeat(line.substr(0, n), out))
+            << "prefix length " << n;
+    ASSERT_TRUE(obs::parseHeartbeat(line, out));
+    EXPECT_EQ(out.instsDone, hb.instsDone);
+
+    // A cut INSIDE the final number ("... 1234 5" for "... 1234 56")
+    // is a syntactically complete line the parser alone cannot
+    // flag; the newline framing catches it instead — a torn write
+    // never gains its terminator, so the drain keeps it buffered and
+    // no heartbeat is ever synthesized from it.
+    for (size_t n = last_field + 1; n < line.size(); ++n) {
+        LineDrain drain;
+        drain.feed(line.substr(0, n)); // torn: no trailing newline
+        EXPECT_TRUE(drain.beats.empty()) << "cut at " << n;
+        EXPECT_TRUE(drain.passthrough.empty()) << "cut at " << n;
+        EXPECT_EQ(drain.buf, line.substr(0, n));
+    }
+}
+
+TEST(Heartbeat, InterleavedWritesAreRejectedNotMisparsed)
+{
+    obs::Heartbeat hb;
+    hb.shard = 1;
+    hb.jobsDone = 2;
+    hb.jobsTotal = 3;
+    hb.lastJob = 4;
+    hb.instsDone = 5;
+    hb.elapsedMs = 6;
+    hb.lastJobWallMs = 7;
+    std::string line = obs::serializeHeartbeat(hb);
+
+    obs::Heartbeat out;
+    // Two heartbeats torn onto one line (missing the newline between
+    // two unsynchronized writers).
+    EXPECT_FALSE(obs::parseHeartbeat(line + " " + line, out));
+    EXPECT_FALSE(obs::parseHeartbeat(line + line, out));
+    // Diagnostic text glued to a heartbeat on either side.
+    EXPECT_FALSE(obs::parseHeartbeat("error: boom " + line, out));
+    EXPECT_FALSE(obs::parseHeartbeat(line + " error: boom", out));
 }

@@ -329,3 +329,136 @@ TEST_F(ShardTest, MoreShardsThanJobsClampAndStillMatch)
     Orchestrator orch(m, cfg);
     EXPECT_EQ(orch.run(), singleProcessJsonl(m));
 }
+
+// --------------------------------------------- audited orchestration
+
+namespace
+{
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  (unsigned long long)v);
+    return buf;
+}
+
+/** The stream an audited run must produce: the plain JSONL rows
+ *  followed by one KILOAUD digest line per job, in job order. */
+std::string
+auditedSingleProcessJsonl(const Manifest &m)
+{
+    sim::SweepEngine engine(1);
+    auto results = engine.run(m.jobs());
+    std::ostringstream os;
+    sim::writeJsonRows(os, results);
+    for (size_t i = 0; i < results.size(); ++i) {
+        os << "KILOAUD " << i << " "
+           << hex16(results[i].auditRolling) << "\n";
+    }
+    return os.str();
+}
+
+} // anonymous namespace
+
+TEST(ShardManifest, AuditDirectiveRoundTrips)
+{
+    Manifest m;
+    m.machines = {"r10-64"};
+    m.workloads = {"swim"};
+    m.mems = {"mem-400"};
+    m.run.auditIntervalInsts = 2500;
+    std::string text = m.serialize();
+    EXPECT_NE(text.find("audit 2500\n"), std::string::npos) << text;
+    EXPECT_EQ(Manifest::parse(text), m);
+
+    // Off by default: no directive emitted, so pre-audit manifests
+    // round-trip byte-identically through a reader that knows it.
+    m.run.auditIntervalInsts = 0;
+    EXPECT_EQ(m.serialize().find("audit"), std::string::npos);
+    EXPECT_EQ(Manifest::parse(m.serialize()), m);
+}
+
+TEST_F(ShardTest, AuditedOrchestrationMatchesAuditedSingle)
+{
+    if (!workerAvailable())
+        GTEST_SKIP() << "kilosim_worker not in CWD";
+    Manifest m = miniManifest(tempPath("aud") + ".ktrc");
+    m.run.auditIntervalInsts = 1500;
+
+    OrchestratorConfig cfg;
+    cfg.workerPath = kWorkerPath;
+    cfg.shards = 3;
+    cfg.audit = true;
+    Orchestrator orch(m, cfg);
+    std::string merged = orch.run();
+
+    EXPECT_EQ(merged, auditedSingleProcessJsonl(m));
+    ASSERT_EQ(orch.telemetry().auditDigests.size(), m.jobCount());
+    // No retries happened, so nothing was double-computed.
+    EXPECT_EQ(orch.telemetry().auditCrossChecked, 0u);
+}
+
+TEST_F(ShardTest, RetriedShardDigestsAreCrossChecked)
+{
+    if (!workerAvailable())
+        GTEST_SKIP() << "kilosim_worker not in CWD";
+    Manifest m = miniManifest(tempPath("audretry") + ".ktrc");
+    m.run.auditIntervalInsts = 1500;
+
+    // The claiming attempt emits one job (row + digest), then dies;
+    // the retry recomputes that job. Both processes were healthy
+    // simulations of the same work, so the digests must agree and
+    // the sweep must succeed.
+    std::string token = tempPath("audtoken");
+    { std::ofstream(token) << "boom\n"; }
+
+    OrchestratorConfig cfg;
+    cfg.workerPath = kWorkerPath;
+    cfg.workerArgs = {"--crash-token", token, "--crash-after", "1"};
+    cfg.shards = 1;
+    cfg.maxAttempts = 3;
+    cfg.audit = true;
+    Orchestrator orch(m, cfg);
+    std::string merged = orch.run();
+
+    EXPECT_EQ(merged, auditedSingleProcessJsonl(m));
+    EXPECT_EQ(orch.retries(), 1u);
+    EXPECT_GE(orch.telemetry().auditCrossChecked, 1u);
+}
+
+TEST_F(ShardTest, RetriedShardDigestMismatchIsHardError)
+{
+    if (!workerAvailable())
+        GTEST_SKIP() << "kilosim_worker not in CWD";
+    Manifest m = miniManifest(tempPath("audbad") + ".ktrc");
+    m.run.auditIntervalInsts = 1500;
+
+    // The first attempt claims BOTH tokens: it simulates under the
+    // audit plane's divergence seed (different architectural state,
+    // different digests) and dies after reporting one job. The retry
+    // runs clean — and the orchestrator must refuse to paper over
+    // the disagreement between the two attempts.
+    std::string crash = tempPath("crashtok");
+    std::string flip = tempPath("fliptok");
+    { std::ofstream(crash) << "x\n"; }
+    { std::ofstream(flip) << "x\n"; }
+
+    OrchestratorConfig cfg;
+    cfg.workerPath = kWorkerPath;
+    cfg.workerArgs = {"--crash-token", crash, "--crash-after", "1",
+                      "--flip-token", flip, "--flip-cycle", "50"};
+    cfg.shards = 1;
+    cfg.maxAttempts = 3;
+    cfg.audit = true;
+    Orchestrator orch(m, cfg);
+    try {
+        orch.run();
+        FAIL() << "digest mismatch between attempts went undetected";
+    } catch (const ShardError &e) {
+        EXPECT_NE(std::string(e.what()).find("audit digest mismatch"),
+                  std::string::npos)
+            << e.what();
+    }
+}

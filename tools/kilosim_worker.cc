@@ -2,7 +2,7 @@
  * @file
  * Sweep-shard worker / orchestration driver (src/shard/).
  *
- *     kilosim_worker [--shard I/N] [--heartbeat] MANIFEST
+ *     kilosim_worker [--shard I/N] [--heartbeat] [--audit] MANIFEST
  *         execute one shard of the manifest's sweep matrix and print
  *         one "<job-index> <json>" row per owned job on stdout (the
  *         tagged form the orchestrator merges). --shard overrides the
@@ -11,21 +11,49 @@
  *         jobs are independent) and emits one KILOHB telemetry line
  *         on stderr after each (src/obs/heartbeat.hh); the
  *         orchestrator parses these into its live progress stream.
+ *         With --audit every job runs under the determinism-audit
+ *         plane (src/obs/audit.hh; cadence = the manifest's `audit`
+ *         directive, defaulting to measure/4) and each tagged row is
+ *         followed by a "KILOAUD <job-index> <16-hex-rolling>" line
+ *         carrying the job's final rolling state digest.
  *
- *     kilosim_worker --single MANIFEST
+ *     kilosim_worker --single [--audit] MANIFEST
  *         run the FULL matrix in this process and print the plain
  *         JSONL stream (writeJsonRows) — the single-process reference
- *         a sharded run must reproduce byte-for-byte.
+ *         a sharded run must reproduce byte-for-byte. With --audit,
+ *         the rows are followed by one KILOAUD line per job in job
+ *         order — the same shape an audited orchestrated run merges
+ *         to, so CI can byte-diff the two streams whole.
  *
- *     kilosim_worker --orchestrate N [--deadline-ms D] MANIFEST
+ *     kilosim_worker --orchestrate N [--deadline-ms D] [--audit]
+ *                    MANIFEST
  *         parent mode: spawn N copies of this binary (one per shard,
  *         --shard i/N), supervise, merge, and print the merged plain
- *         JSONL stream. CI diffs this against --single.
+ *         JSONL stream. CI diffs this against --single. With --audit
+ *         the children run audited, the parent cross-checks rolling
+ *         digests across retried attempts (a silent divergence
+ *         between two attempts of the same job is a hard error), and
+ *         the merged stream ends with the KILOAUD lines in job order.
  *
  *     --crash-token PATH   (test hook, any mode)
  *         if PATH exists, unlink it and abort before doing any work —
  *         a deterministic crash-exactly-once switch the retry tests
  *         use.
+ *
+ *     --crash-after K   (test hook, shard mode)
+ *         abort after emitting K rows — yields a failed attempt WITH
+ *         harvestable partial output, which is how the orchestrator's
+ *         cross-attempt digest check is exercised. Combined with
+ *         --crash-token the deferred crash fires only in the process
+ *         that claims the token (crash exactly once, then run clean);
+ *         alone it fires in every attempt.
+ *
+ *     --flip-token PATH [--flip-cycle C] [--flip-mask M]
+ *         (test hook, shard mode) if PATH exists, unlink it and arm
+ *         the audit plane's divergence seed (RunConfig::auditFlip*)
+ *         in THIS process only: the claiming attempt computes
+ *         different state digests than any clean re-run of the same
+ *         jobs, which must surface as an audit-digest mismatch.
  *
  * Sweep threads per process default to KILO_SWEEP_THREADS (the
  * orchestrator exports 1 to its children); trace-backed jobs replay
@@ -33,6 +61,7 @@
  * pages.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -78,21 +107,31 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--shard I/N] [--heartbeat] MANIFEST\n"
-                 "       %s --single MANIFEST\n"
+                 "usage: %s [--shard I/N] [--heartbeat] [--audit] "
+                 "MANIFEST\n"
+                 "       %s --single [--audit] MANIFEST\n"
                  "       %s --orchestrate N [--deadline-ms D] "
-                 "[--progress] MANIFEST\n",
+                 "[--progress] [--audit] MANIFEST\n",
                  argv0, argv0, argv0);
     return 2;
 }
 
+/** One "KILOAUD <job-index> <16-hex>" digest line on stdout. */
+void
+printAuditLine(size_t job_index, uint64_t rolling)
+{
+    std::printf("KILOAUD %zu %016llx\n",
+                job_index, (unsigned long long)rolling);
+}
+
 int
-runShard(const shard::Manifest &manifest, bool heartbeat)
+runShard(const shard::Manifest &manifest, bool heartbeat, bool audit,
+         uint64_t crash_after)
 {
     auto jobs = manifest.jobs();
     auto indices = manifest.shardJobIndices();
     sim::SweepEngine engine;
-    if (!heartbeat) {
+    if (!heartbeat && !audit && !crash_after) {
         auto results = engine.runSubset(jobs, indices);
         for (size_t i = 0; i < indices.size(); ++i) {
             std::printf("%zu %s\n", indices[i],
@@ -101,11 +140,13 @@ runShard(const shard::Manifest &manifest, bool heartbeat)
         return 0;
     }
 
-    // Telemetry mode: one job at a time, a KILOHB line on stderr
-    // after each. Sweep jobs are independent, so per-job runSubset
-    // calls produce rows byte-identical to the bulk path above
-    // (pinned by the sharded-vs-single CI golden diff, which runs
-    // the orchestrator with progress enabled).
+    // Per-job mode (telemetry, audit and the crash-after hook need a
+    // row boundary between jobs): one job at a time, the row — and
+    // with --audit its KILOAUD digest line — flushed after each.
+    // Sweep jobs are independent, so per-job runSubset calls produce
+    // rows byte-identical to the bulk path above (pinned by the
+    // sharded-vs-single CI golden diff, which runs the orchestrator
+    // with progress enabled).
     using ClockMs = std::chrono::steady_clock;
     // kilolint: allow(nondeterminism) heartbeat wall-time anchor
     auto start = ClockMs::now();
@@ -116,8 +157,18 @@ runShard(const shard::Manifest &manifest, bool heartbeat)
         auto results = engine.runSubset(jobs, one);
         std::printf("%zu %s\n", indices[k],
                     sim::runResultJson(results[0]).c_str());
+        if (audit)
+            printAuditLine(indices[k], results[0].auditRolling);
         std::fflush(stdout);
+        if (crash_after && k + 1 >= crash_after) {
+            std::fprintf(stderr, "kilosim_worker: --crash-after %llu "
+                                 "reached, aborting\n",
+                         (unsigned long long)crash_after);
+            std::abort();
+        }
 
+        if (!heartbeat)
+            continue;
         // kilolint: allow(nondeterminism) heartbeat job timing
         auto t = ClockMs::now();
         auto ms = [](ClockMs::duration d) {
@@ -143,24 +194,32 @@ runShard(const shard::Manifest &manifest, bool heartbeat)
 }
 
 int
-runSingle(const shard::Manifest &manifest)
+runSingle(const shard::Manifest &manifest, bool audit)
 {
     sim::SweepEngine engine;
     auto results = engine.run(manifest.jobs());
     for (const auto &r : results)
         std::printf("%s\n", sim::runResultJson(r).c_str());
+    // Digests after the rows, in job order — the same stream shape
+    // an audited orchestrated run merges to (byte-diffable in CI).
+    if (audit) {
+        for (size_t i = 0; i < results.size(); ++i)
+            printAuditLine(i, results[i].auditRolling);
+    }
     return 0;
 }
 
 int
 runOrchestrate(const shard::Manifest &manifest, const char *argv0,
-               uint32_t shards, uint64_t deadline_ms, bool progress)
+               uint32_t shards, uint64_t deadline_ms, bool progress,
+               bool audit)
 {
     shard::OrchestratorConfig cfg;
     cfg.workerPath = selfPath(argv0);
     cfg.shards = shards;
     cfg.workerDeadlineMs = deadline_ms;
     cfg.progress = progress;
+    cfg.audit = audit;
     shard::Orchestrator orch(manifest, cfg);
     std::string merged = orch.run();
     // kilolint: allow(raw-serialization) merged text to stdout pipe
@@ -177,10 +236,15 @@ main(int argc, char **argv)
     bool orchestrate = false;
     bool heartbeat = false;
     bool progress = false;
+    bool audit = false;
     uint32_t shards = 0;
     uint64_t deadline_ms = 0;
+    uint64_t crash_after = 0;
+    uint64_t flip_cycle = 1;
+    uint64_t flip_mask = 1;
     std::string shard_spec;
     std::string crash_token;
+    std::string flip_token;
     std::string manifest_path;
 
     for (int i = 1; i < argc; ++i) {
@@ -206,8 +270,18 @@ main(int argc, char **argv)
             heartbeat = true;
         } else if (arg == "--progress") {
             progress = true;
+        } else if (arg == "--audit") {
+            audit = true;
         } else if (arg == "--crash-token") {
             crash_token = value();
+        } else if (arg == "--crash-after") {
+            crash_after = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--flip-token") {
+            flip_token = value();
+        } else if (arg == "--flip-cycle") {
+            flip_cycle = std::strtoull(value(), nullptr, 10);
+        } else if (arg == "--flip-mask") {
+            flip_mask = std::strtoull(value(), nullptr, 16);
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
         } else if (manifest_path.empty()) {
@@ -221,14 +295,28 @@ main(int argc, char **argv)
         return usage(argv[0]);
     }
 
-    if (!crash_token.empty() &&
-        std::remove(crash_token.c_str()) == 0) {
-        // Deterministic crash-once hook: the first process to claim
-        // the token dies abnormally; retries find it gone and run.
-        std::fprintf(stderr, "kilosim_worker: crash token %s "
-                             "claimed, aborting\n",
-                     crash_token.c_str());
-        std::abort();
+    if (!crash_token.empty()) {
+        if (std::remove(crash_token.c_str()) == 0) {
+            // Deterministic crash-once hook: the first process to
+            // claim the token dies abnormally; retries find it gone
+            // and run. With --crash-after K the death is deferred
+            // until K rows have been emitted, so the failed attempt
+            // leaves harvestable partial output behind.
+            if (!crash_after) {
+                std::fprintf(stderr, "kilosim_worker: crash token %s "
+                                     "claimed, aborting\n",
+                             crash_token.c_str());
+                std::abort();
+            }
+            std::fprintf(stderr,
+                         "kilosim_worker: crash token %s claimed, "
+                         "aborting after %llu row(s)\n",
+                         crash_token.c_str(),
+                         (unsigned long long)crash_after);
+        } else {
+            // Token already claimed: this process runs to completion.
+            crash_after = 0;
+        }
     }
 
     try {
@@ -238,12 +326,31 @@ main(int argc, char **argv)
             shard::parseShardSpec(shard_spec, manifest.shardIndex,
                                   manifest.shardCount);
         }
+        if (audit && !manifest.run.auditIntervalInsts) {
+            // Default cadence: a few records per job. Set in the
+            // manifest BEFORE the orchestrator re-serializes it, so
+            // parent and children agree on the interval.
+            manifest.run.auditIntervalInsts =
+                std::max<uint64_t>(manifest.run.measureInsts / 4, 1);
+        }
+        if (!flip_token.empty() &&
+            std::remove(flip_token.c_str()) == 0) {
+            // Divergence-seed-once hook: the claiming process audits
+            // a deliberately perturbed run (see RunConfig::auditFlip*).
+            std::fprintf(stderr, "kilosim_worker: flip token %s "
+                                 "claimed, seeding divergence at "
+                                 "cycle %llu\n",
+                         flip_token.c_str(),
+                         (unsigned long long)flip_cycle);
+            manifest.run.auditFlipCycle = flip_cycle;
+            manifest.run.auditFlipMask = flip_mask;
+        }
         if (orchestrate)
             return runOrchestrate(manifest, argv[0], shards,
-                                  deadline_ms, progress);
+                                  deadline_ms, progress, audit);
         if (single)
-            return runSingle(manifest);
-        return runShard(manifest, heartbeat);
+            return runSingle(manifest, audit);
+        return runShard(manifest, heartbeat, audit, crash_after);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
